@@ -1,0 +1,157 @@
+package mithrilog
+
+import (
+	"fmt"
+
+	"mithrilog/internal/analytics"
+)
+
+// AnomalyOptions tune template-based anomaly detection over tagged lines.
+type AnomalyOptions struct {
+	// WindowLines is the number of lines per analysis window (default 1000).
+	WindowLines int
+	// Components is the PCA subspace dimension (default 3).
+	Components int
+	// Quantile is the detection threshold quantile in (0,1) (default 0.98).
+	Quantile float64
+	// TFIDF applies the inverse-document-frequency weighting of Xu et
+	// al. before fitting (default true via zero value — set SkipTFIDF to
+	// disable).
+	SkipTFIDF bool
+}
+
+func (o AnomalyOptions) withDefaults() AnomalyOptions {
+	if o.WindowLines <= 0 {
+		o.WindowLines = 1000
+	}
+	if o.Components <= 0 {
+		o.Components = 3
+	}
+	if o.Quantile <= 0 || o.Quantile >= 1 {
+		o.Quantile = 0.98
+	}
+	return o
+}
+
+// Anomaly is a flagged analysis window.
+type Anomaly struct {
+	// Window index (window w covers lines [w*WindowLines, (w+1)*WindowLines)).
+	Window int
+	// FirstLine and LastLine bound the window in ingested line numbers.
+	FirstLine, LastLine int
+	// SPE and T2 are the PCA detection statistics; Score ranks anomalies.
+	SPE, T2, Score float64
+}
+
+// DetectAnomalies runs the paper's envisioned downstream pipeline (§1,
+// §8): tag every line with its template (wire-speed filter passes), build
+// the window×template count matrix, and flag windows whose template mix
+// is anomalous under PCA subspace analysis [79]. It returns the flagged
+// windows ranked by severity.
+func (e *Engine) DetectAnomalies(lib *TemplateLibrary, opts AnomalyOptions) ([]Anomaly, error) {
+	opts = opts.withDefaults()
+	tag, err := e.Tag(lib, true)
+	if err != nil {
+		return nil, err
+	}
+	if tag.Lines == 0 {
+		return nil, fmt.Errorf("mithrilog: no lines to analyze")
+	}
+	m, err := analytics.BuildCountMatrix(tag.Tags, lib.Len(), opts.WindowLines)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.SkipTFIDF {
+		m = m.TFIDF()
+	}
+	raw, err := analytics.DetectAnomalies(m, opts.Components, opts.Quantile)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Anomaly, 0, len(raw))
+	for _, a := range raw {
+		first := a.Window * opts.WindowLines
+		last := first + opts.WindowLines - 1
+		if last >= int(tag.Lines) {
+			last = int(tag.Lines) - 1
+		}
+		out = append(out, Anomaly{
+			Window:    a.Window,
+			FirstLine: first,
+			LastLine:  last,
+			SPE:       a.SPE,
+			T2:        a.T2,
+			Score:     a.Score,
+		})
+	}
+	return out, nil
+}
+
+// Spike is a flagged per-template rate anomaly: one template's count in
+// one window jumped far above its EWMA forecast.
+type Spike struct {
+	// Window index and the bounding ingested line numbers.
+	Window              int
+	FirstLine, LastLine int
+	// Template that burst.
+	Template int
+	// Count observed vs the EWMA Forecast; Sigmas is the deviation in
+	// EWMA standard deviations.
+	Count, Forecast, Sigmas float64
+}
+
+// DetectSpikes runs a per-template EWMA rate monitor over tagged windows,
+// localizing which template burst and when — the drill-down companion to
+// DetectAnomalies' whole-mix view.
+func (e *Engine) DetectSpikes(lib *TemplateLibrary, windowLines int) ([]Spike, error) {
+	if windowLines <= 0 {
+		windowLines = 1000
+	}
+	tag, err := e.Tag(lib, true)
+	if err != nil {
+		return nil, err
+	}
+	m, err := analytics.BuildCountMatrix(tag.Tags, lib.Len(), windowLines)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := analytics.DetectSpikes(m, analytics.SpikeParams{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Spike, 0, len(raw))
+	for _, s := range raw {
+		first := s.Window * windowLines
+		last := first + windowLines - 1
+		if last >= int(tag.Lines) {
+			last = int(tag.Lines) - 1
+		}
+		out = append(out, Spike{
+			Window: s.Window, FirstLine: first, LastLine: last,
+			Template: s.Template, Count: s.Count, Forecast: s.Forecast, Sigmas: s.Sigmas,
+		})
+	}
+	return out, nil
+}
+
+// ClusterWindows groups analysis windows by template mix with k-means
+// [36]: windows in the same cluster exhibit the same system behaviour.
+// It returns the per-window cluster assignment.
+func (e *Engine) ClusterWindows(lib *TemplateLibrary, windowLines, k int) ([]int, error) {
+	if windowLines <= 0 {
+		windowLines = 1000
+	}
+	tag, err := e.Tag(lib, true)
+	if err != nil {
+		return nil, err
+	}
+	m, err := analytics.BuildCountMatrix(tag.Tags, lib.Len(), windowLines)
+	if err != nil {
+		return nil, err
+	}
+	res, err := analytics.KMeans(m.NormalizeRows(), k, 1)
+	if err != nil {
+		return nil, err
+	}
+	return res.Assignments, nil
+}

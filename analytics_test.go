@@ -1,0 +1,155 @@
+package mithrilog
+
+import (
+	"fmt"
+	"testing"
+)
+
+func taggingFixture(t *testing.T) (*Engine, *TemplateLibrary, []string) {
+	t.Helper()
+	var lines []string
+	for i := 0; i < 3000; i++ {
+		switch {
+		case i >= 1500 && i < 1600:
+			// Injected burst of an otherwise-rare event.
+			lines = append(lines, fmt.Sprintf("node%d kernel: PANIC machine halted code %d", i%64, i))
+		case i%2 == 0:
+			lines = append(lines, fmt.Sprintf("node%d RAS KERNEL INFO cache parity error corrected %d", i%64, i))
+		default:
+			lines = append(lines, fmt.Sprintf("node%d RAS APP WARNING heartbeat delayed %d ms", i%64, i))
+		}
+	}
+	lib := ExtractTemplates(lines, TemplateParams{MaxChildren: 40, MinSupport: 5, MaxDepth: 10})
+	if lib.Len() < 2 {
+		t.Fatalf("too few templates: %d", lib.Len())
+	}
+	eng := Open(Config{})
+	if err := eng.IngestLines(lines); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return eng, lib, lines
+}
+
+func TestTagEndToEnd(t *testing.T) {
+	eng, lib, lines := taggingFixture(t)
+	res, err := eng.Tag(lib, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lines != uint64(len(lines)) {
+		t.Fatalf("lines = %d, want %d", res.Lines, len(lines))
+	}
+	if len(res.Tags) != len(lines) {
+		t.Fatalf("tags = %d", len(res.Tags))
+	}
+	wantPasses := (lib.Len() + 7) / 8
+	if res.Passes != wantPasses {
+		t.Fatalf("passes = %d, want %d", res.Passes, wantPasses)
+	}
+	// Template counts must sum to total tags.
+	var sum uint64
+	for _, c := range res.Counts {
+		sum += c
+	}
+	var tagged uint64
+	for _, tags := range res.Tags {
+		tagged += uint64(len(tags))
+	}
+	if sum != tagged {
+		t.Fatalf("count sum %d != tag total %d", sum, tagged)
+	}
+	// Each tagged line's templates must actually match it.
+	for i, tags := range res.Tags {
+		for _, tid := range tags {
+			q, err := lib.Query(tid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !q.Match(lines[i]) {
+				t.Fatalf("line %d tagged %d but query does not match", i, tid)
+			}
+		}
+	}
+	if res.SimElapsed <= 0 {
+		t.Fatal("sim time missing")
+	}
+}
+
+func TestDetectAnomaliesEndToEnd(t *testing.T) {
+	eng, lib, _ := taggingFixture(t)
+	// 150-line windows give 20 windows, so the 0.9 quantile threshold
+	// leaves headroom above it for the burst window to exceed.
+	anomalies, err := eng.DetectAnomalies(lib, AnomalyOptions{
+		WindowLines: 150,
+		Components:  2,
+		Quantile:    0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anomalies) == 0 {
+		t.Fatal("burst window not flagged")
+	}
+	// The burst lives in lines 1500-1599 => window 5 at 300 lines/window.
+	top := anomalies[0]
+	if top.FirstLine > 1599 || top.LastLine < 1500 {
+		t.Fatalf("top anomaly window %d (lines %d-%d) misses the burst",
+			top.Window, top.FirstLine, top.LastLine)
+	}
+	if top.Score <= 1 {
+		t.Fatalf("score %v", top.Score)
+	}
+}
+
+func TestClusterWindowsEndToEnd(t *testing.T) {
+	eng, lib, _ := taggingFixture(t)
+	assign, err := eng.ClusterWindows(lib, 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != 10 {
+		t.Fatalf("windows = %d", len(assign))
+	}
+	// The burst window should separate from at least one normal window.
+	burst := assign[5]
+	differs := false
+	for i, c := range assign {
+		if i != 5 && c != burst {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("clustering found no structure")
+	}
+}
+
+func TestDetectAnomaliesEmptyEngine(t *testing.T) {
+	eng := Open(Config{})
+	lines := []string{"a b c", "a b c", "a b c"}
+	lib := ExtractTemplates(lines, TemplateParams{MinSupport: 2})
+	if _, err := eng.DetectAnomalies(lib, AnomalyOptions{}); err == nil {
+		t.Fatal("empty engine should fail")
+	}
+}
+
+func TestDetectSpikesEndToEnd(t *testing.T) {
+	eng, lib, _ := taggingFixture(t)
+	spikes, err := eng.DetectSpikes(lib, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spikes) == 0 {
+		t.Fatal("burst template not flagged")
+	}
+	top := spikes[0]
+	// The panic burst sits at lines 1500-1599 => window 10 at 150 lines.
+	if top.FirstLine > 1599 || top.LastLine < 1500 {
+		t.Fatalf("top spike window %d (lines %d-%d) misses the burst", top.Window, top.FirstLine, top.LastLine)
+	}
+	if top.Count < 50 {
+		t.Fatalf("spike count %v", top.Count)
+	}
+}

@@ -1,0 +1,149 @@
+package mithrilog
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSearchBatchMatchesIndividual(t *testing.T) {
+	lines := sampleLines(3000)
+	eng := Open(Config{})
+	if err := eng.IngestLines(lines); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{
+		MustParseQuery(`parity AND error`),
+		MustParseQuery(`(TLB AND data) OR (machine AND check)`), // 2 sets
+		MustParseQuery(`FATAL AND NOT INFO`),
+		MustParseQuery(`lustre`),
+		MustParseQuery(`nonexistent-token-xyz`),
+	}
+	batch, err := eng.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Matches) != len(queries) {
+		t.Fatalf("matches = %d", len(batch.Matches))
+	}
+	for qi, q := range queries {
+		individual, err := eng.SearchQuery(q, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch.Matches[qi] != individual.Matches {
+			t.Errorf("query %d (%s): batch %d != individual %d",
+				qi, q, batch.Matches[qi], individual.Matches)
+		}
+	}
+	// 6 total sets at capacity 8 -> one pass.
+	if batch.Passes != 1 {
+		t.Fatalf("passes = %d", batch.Passes)
+	}
+	if batch.SimElapsed <= 0 {
+		t.Fatal("sim time missing")
+	}
+}
+
+func TestSearchBatchMultiPass(t *testing.T) {
+	eng := Open(Config{})
+	var lines []string
+	var queries []Query
+	for i := 0; i < 20; i++ {
+		tok := fmt.Sprintf("batchtok%02d", i)
+		lines = append(lines, tok+" payload")
+		queries = append(queries, MustParseQuery(tok))
+	}
+	if err := eng.IngestLines(lines); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := eng.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Passes != 3 { // 20 sets / 8 per pass
+		t.Fatalf("passes = %d", batch.Passes)
+	}
+	for qi := range queries {
+		if batch.Matches[qi] != 1 {
+			t.Fatalf("query %d matches = %d", qi, batch.Matches[qi])
+		}
+	}
+}
+
+func TestSearchBatchOverlappingSetsCountOnce(t *testing.T) {
+	eng := Open(Config{})
+	if err := eng.IngestLines([]string{"a b both here"}); err != nil {
+		t.Fatal(err)
+	}
+	// Both sets of one query match the same line: it must count once.
+	q := MustParseQuery(`(a) OR (b)`)
+	batch, err := eng.SearchBatch([]Query{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Matches[0] != 1 {
+		t.Fatalf("double-counted: %d", batch.Matches[0])
+	}
+}
+
+func TestSearchBatchErrors(t *testing.T) {
+	eng := Open(Config{})
+	if _, err := eng.SearchBatch(nil); err == nil {
+		t.Fatal("empty batch should fail")
+	}
+	if err := eng.IngestLines([]string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SearchBatch([]Query{{}}); err == nil {
+		t.Fatal("invalid query should fail")
+	}
+}
+
+func TestDrainLibraryFacade(t *testing.T) {
+	var lines []string
+	for i := 0; i < 20; i++ {
+		lines = append(lines, fmt.Sprintf("session opened for user u%d", i))
+		lines = append(lines, fmt.Sprintf("cache flush took %d ms total", i*3))
+	}
+	lib := ExtractTemplatesDrain(lines, DrainParams{})
+	if lib.Len() != 2 {
+		t.Fatalf("groups = %d", lib.Len())
+	}
+	tpl, err := lib.Template(0)
+	if err != nil || tpl == "" {
+		t.Fatalf("template: %q %v", tpl, err)
+	}
+	sup, err := lib.Support(0)
+	if err != nil || sup != 20 {
+		t.Fatalf("support: %d %v", sup, err)
+	}
+	if _, err := lib.Template(99); err == nil {
+		t.Fatal("out of range template")
+	}
+	if _, err := lib.Support(-1); err == nil {
+		t.Fatal("out of range support")
+	}
+	id := lib.Classify("session opened for user u99")
+	if id < 0 {
+		t.Fatal("classify failed")
+	}
+	// The compiled query must run on the engine and match the group.
+	eng := Open(Config{})
+	if err := eng.IngestLines(lines); err != nil {
+		t.Fatal(err)
+	}
+	q, err := lib.Query(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.SearchQuery(q, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 20 {
+		t.Fatalf("drain query matches = %d", res.Matches)
+	}
+}

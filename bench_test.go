@@ -1,0 +1,371 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§7), plus the design-decision ablations from
+// DESIGN.md. Each benchmark regenerates its experiment through
+// internal/bench and reports the headline quantities as custom metrics,
+// so `go test -bench=. -benchmem` reproduces the whole evaluation.
+// cmd/experiments prints the same rows at larger scales.
+package mithrilog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mithrilog/internal/bench"
+	"mithrilog/internal/core"
+)
+
+// benchOpts keeps the benchmark suite fast; raise via cmd/experiments for
+// sharper numbers.
+var benchOpts = bench.Options{Lines: 10000, Singles: 10, Pairs: 8, Octets: 4}
+
+var (
+	workloadsOnce sync.Once
+	workloads     []*bench.Workload
+	workloadsErr  error
+)
+
+func sharedWorkloads(b *testing.B) []*bench.Workload {
+	b.Helper()
+	workloadsOnce.Do(func() {
+		workloads, workloadsErr = bench.BuildAll(benchOpts)
+	})
+	if workloadsErr != nil {
+		b.Fatal(workloadsErr)
+	}
+	return workloads
+}
+
+// BenchmarkTable1Datasets regenerates Table 1: dataset sizes and
+// extracted template counts.
+func BenchmarkTable1Datasets(b *testing.B) {
+	var rows []bench.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Table1(benchOpts)
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Templates), "templates/"+r.Dataset)
+	}
+}
+
+// BenchmarkTable2Resources regenerates Table 2: the chip resource model.
+func BenchmarkTable2Resources(b *testing.B) {
+	var rows []bench.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Table2()
+	}
+	b.ReportMetric(float64(rows[3].LUTs), "pipeline-LUTs")
+	b.ReportMetric(rows[4].LUTPercent, "total-LUT-%")
+}
+
+// BenchmarkTable3Platforms regenerates Table 3: platform configurations.
+func BenchmarkTable3Platforms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = bench.Table3()
+	}
+}
+
+// BenchmarkTable4CompressionEfficiency regenerates Table 4: modeled
+// GB/s-per-KLUT of hardware compression implementations.
+func BenchmarkTable4CompressionEfficiency(b *testing.B) {
+	var rows []bench.Table4Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Table4()
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.GBpsPerKLUT, "GBps-per-KLUT-"+r.Algorithm)
+	}
+}
+
+// BenchmarkTable5CompressionRatio regenerates Table 5: measured
+// compression ratios of LZAH/LZRW1/LZ4/Gzip on the four datasets.
+func BenchmarkTable5CompressionRatio(b *testing.B) {
+	var rows []bench.Table5Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.Table5(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		// First dataset (BGL2) ratio as the representative metric.
+		b.ReportMetric(r.Ratios[0], "ratio-"+r.Algorithm)
+	}
+}
+
+// BenchmarkTable6BatchedThroughput regenerates Table 6: average effective
+// throughput of 1-/2-/8-query batches, software scan vs MithriLog.
+func BenchmarkTable6BatchedThroughput(b *testing.B) {
+	ws := sharedWorkloads(b)
+	var res bench.Table6Result
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = bench.Table6(ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range res.Rows {
+		if r.System == "MithriLog" && r.Batch == 8 {
+			b.ReportMetric(r.GBps[1], "mithrilog8-GBps-Liberty2")
+		}
+		if r.System == "MonetDB-like" && r.Batch == 8 {
+			b.ReportMetric(r.GBps[1], "software8-GBps-Liberty2")
+		}
+	}
+	b.ReportMetric(res.AvgImprovement[1], "improvement-Liberty2")
+}
+
+// BenchmarkTable7SplunkImprovement regenerates Table 7: end-to-end
+// improvement over the Splunk-like baseline.
+func BenchmarkTable7SplunkImprovement(b *testing.B) {
+	ws := sharedWorkloads(b)
+	var rows []bench.Table7Row
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.Table7(ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Improvement, "improvement-"+r.Dataset)
+	}
+}
+
+// BenchmarkTable8Power regenerates Table 8: the power model.
+func BenchmarkTable8Power(b *testing.B) {
+	var rows []bench.Table8Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Table8()
+	}
+	b.ReportMetric(rows[3].MithriLog, "mithrilog-watts")
+	b.ReportMetric(rows[3].Software, "software-watts")
+}
+
+// BenchmarkFigure13UsefulBits regenerates Figure 13: useful bits on the
+// tokenized datapath.
+func BenchmarkFigure13UsefulBits(b *testing.B) {
+	var rows []bench.Figure13Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Figure13(benchOpts)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.UsefulRatio*100, "useful-%-"+r.Dataset)
+	}
+}
+
+// BenchmarkFigure14FilterThroughput regenerates Figure 14: aggregate
+// filter-engine throughput per dataset.
+func BenchmarkFigure14FilterThroughput(b *testing.B) {
+	ws := sharedWorkloads(b)
+	var rows []bench.Figure14Row
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.Figure14(ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.GBps, "GBps-"+r.Dataset)
+	}
+}
+
+// BenchmarkFigure15Histogram regenerates Figure 15: the effective
+// throughput histograms for both systems.
+func BenchmarkFigure15Histogram(b *testing.B) {
+	ws := sharedWorkloads(b)[:1]
+	var rows []bench.Figure15Row
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.Figure15(ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Report histogram centroids (bucket index weighted by count).
+	for _, r := range rows {
+		sum, n := 0.0, 0
+		for bi, bk := range r.Buckets {
+			sum += float64(bi) * float64(bk.Count)
+			n += bk.Count
+		}
+		b.ReportMetric(sum/float64(n), "centroid-"+r.System)
+	}
+}
+
+// BenchmarkFigure16Scatter regenerates Figure 16: per-query elapsed time
+// on the Splunk-like baseline vs MithriLog.
+func BenchmarkFigure16Scatter(b *testing.B) {
+	ws := sharedWorkloads(b)[:1]
+	var rows []bench.Figure16Row
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.Figure16(ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var s, m float64
+	for _, p := range rows[0].Points {
+		s += p.SplunkSeconds
+		m += p.MithriLogSeconds
+	}
+	b.ReportMetric(s*1000, "splunk-total-ms")
+	b.ReportMetric(m*1000, "mithrilog-total-ms")
+}
+
+// BenchmarkAblationDatapathWidth sweeps the 8/16/32-byte datapath design
+// decision (§7.4.1).
+func BenchmarkAblationDatapathWidth(b *testing.B) {
+	var rows []bench.DatapathRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.AblationDatapathWidth(benchOpts)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.EffPerKLUT, "eff-per-KLUT-"+widthName(r.WidthBytes))
+	}
+}
+
+func widthName(w int) string {
+	switch w {
+	case 8:
+		return "8B"
+	case 16:
+		return "16B"
+	default:
+		return "32B"
+	}
+}
+
+// BenchmarkAblationHashFilterCount compares 1/2/4 hash filters per
+// pipeline (§7.4.1's two-filter decision).
+func BenchmarkAblationHashFilterCount(b *testing.B) {
+	var rows []bench.HashFilterRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.AblationHashFilterCount(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.RelativeThroughput, fmt.Sprintf("rel-throughput-%dfilters", r.Filters))
+	}
+}
+
+// BenchmarkAblationIndexHashFunctions compares one vs two index hash
+// functions (§6.2).
+func BenchmarkAblationIndexHashFunctions(b *testing.B) {
+	var rows []bench.IndexHashRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.AblationIndexHashFunctions(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].PagesFetched), "pages-1hash")
+	b.ReportMetric(float64(rows[1].PagesFetched), "pages-2hash")
+}
+
+// BenchmarkAblationLZAHNewline compares LZAH with and without newline
+// realignment (§5).
+func BenchmarkAblationLZAHNewline(b *testing.B) {
+	var rows []bench.LZAHNewlineRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.AblationLZAHNewline(benchOpts)
+	}
+	b.ReportMetric(rows[0].Ratios[1], "ratio-aligned-Liberty2")
+	b.ReportMetric(rows[1].Ratios[1], "ratio-blind-Liberty2")
+}
+
+// BenchmarkAblationIndexLayout compares the 16x16 tree index with naive
+// linked lists (§6.1).
+func BenchmarkAblationIndexLayout(b *testing.B) {
+	var rows []bench.IndexLayoutRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.AblationIndexLayout(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	names := []string{"tree16x16", "list16", "list512"}
+	for i, r := range rows {
+		b.ReportMetric(r.SimLookupMicros, "lookup-us-"+names[i])
+	}
+}
+
+// BenchmarkEndToEndSearch measures the library's real (wall-clock)
+// ingest+search path at the public API.
+func BenchmarkEndToEndSearch(b *testing.B) {
+	ws := sharedWorkloads(b)
+	w := ws[0]
+	q := w.Singles[0]
+	b.SetBytes(int64(w.RawBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.MithriLog.Search(q, core.SearchOptions{NoIndex: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionTagging runs the §8 wire-speed template tagging
+// extension over the shared workloads.
+func BenchmarkExtensionTagging(b *testing.B) {
+	ws := sharedWorkloads(b)[:1]
+	var rows []bench.TaggingRow
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.ExtensionTagging(ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].Passes), "passes")
+	b.ReportMetric(rows[0].EffectiveGBps, "GBps-per-pass")
+}
+
+// BenchmarkExtensionRegex contrasts the token engine with the software
+// regex path (§7.4.3 in system form).
+func BenchmarkExtensionRegex(b *testing.B) {
+	ws := sharedWorkloads(b)[:1]
+	var rows []bench.RegexRow
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.ExtensionRegex(ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Slowdown, "regex-slowdown")
+}
+
+// BenchmarkExtensionParsing evaluates template-extraction quality against
+// generation ground truth.
+func BenchmarkExtensionParsing(b *testing.B) {
+	var rows []bench.ParsingRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.ExtensionParsing(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Dataset == "Liberty2" {
+			b.ReportMetric(r.GroupingAccuracy, "GA-"+r.Method)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§7) on the synthetic datasets, printing the rows
+// EXPERIMENTS.md records. The -lines flag scales the datasets; larger
+// values take longer but sharpen the end-to-end comparisons.
+//
+// Usage:
+//
+//	experiments [-lines 40000] [-pairs 100] [-octets 16] [-singles 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mithrilog/internal/bench"
+)
+
+func main() {
+	lines := flag.Int("lines", 40000, "lines per dataset (BGL2 uses 1/5)")
+	singles := flag.Int("singles", 40, "single-template queries per dataset")
+	pairs := flag.Int("pairs", 100, "random 2-query OR combinations (paper: 100)")
+	octets := flag.Int("octets", 16, "random 8-query OR combinations (paper: 16)")
+	seed := flag.Int64("seed", 1, "batch sampling seed")
+	flag.Parse()
+
+	opts := bench.Options{
+		Lines:   *lines,
+		Singles: *singles,
+		Pairs:   *pairs,
+		Octets:  *octets,
+		Seed:    *seed,
+	}
+
+	out := os.Stdout
+	start := time.Now()
+	fmt.Fprintf(out, "MithriLog experiment suite (lines=%d singles=%d pairs=%d octets=%d)\n\n",
+		*lines, *singles, *pairs, *octets)
+
+	fmt.Fprintln(out, bench.FormatTable1(bench.Table1(opts)))
+	fmt.Fprintln(out, bench.FormatTable2(bench.Table2()))
+	fmt.Fprintln(out, bench.FormatTable3(bench.Table3()))
+	fmt.Fprintln(out, bench.FormatTable4(bench.Table4()))
+
+	t5, err := bench.Table5(opts)
+	if err != nil {
+		log.Fatalf("table 5: %v", err)
+	}
+	fmt.Fprintln(out, bench.FormatTable5(t5))
+
+	log.Printf("building workloads (4 datasets, all systems)...")
+	ws, err := bench.BuildAll(opts)
+	if err != nil {
+		log.Fatalf("workloads: %v", err)
+	}
+	log.Printf("workloads ready after %v", time.Since(start).Round(time.Millisecond))
+
+	t6, err := bench.Table6(ws)
+	if err != nil {
+		log.Fatalf("table 6: %v", err)
+	}
+	fmt.Fprintln(out, bench.FormatTable6(t6))
+
+	t7, err := bench.Table7(ws)
+	if err != nil {
+		log.Fatalf("table 7: %v", err)
+	}
+	fmt.Fprintln(out, bench.FormatTable7(t7))
+	fmt.Fprintln(out, bench.FormatTable8(bench.Table8()))
+
+	fmt.Fprintln(out, bench.FormatFigure13(bench.Figure13(opts)))
+
+	f14, err := bench.Figure14(ws)
+	if err != nil {
+		log.Fatalf("figure 14: %v", err)
+	}
+	fmt.Fprintln(out, bench.FormatFigure14(f14))
+
+	f15, err := bench.Figure15(ws)
+	if err != nil {
+		log.Fatalf("figure 15: %v", err)
+	}
+	fmt.Fprintln(out, bench.FormatFigure15(f15))
+
+	f16, err := bench.Figure16(ws)
+	if err != nil {
+		log.Fatalf("figure 16: %v", err)
+	}
+	fmt.Fprintln(out, bench.FormatFigure16(f16))
+
+	tg, err := bench.ExtensionTagging(ws)
+	if err != nil {
+		log.Fatalf("tagging extension: %v", err)
+	}
+	rx, err := bench.ExtensionRegex(ws)
+	if err != nil {
+		log.Fatalf("regex extension: %v", err)
+	}
+	fmt.Fprintln(out, bench.FormatExtensions(tg, rx))
+
+	pv, err := bench.ExtensionParsing(opts)
+	if err != nil {
+		log.Fatalf("parsing extension: %v", err)
+	}
+	fmt.Fprintln(out, bench.FormatParsing(pv))
+
+	hf, err := bench.AblationHashFilterCount(opts)
+	if err != nil {
+		log.Fatalf("ablation: %v", err)
+	}
+	ih, err := bench.AblationIndexHashFunctions(opts)
+	if err != nil {
+		log.Fatalf("ablation: %v", err)
+	}
+	il, err := bench.AblationIndexLayout(opts)
+	if err != nil {
+		log.Fatalf("ablation: %v", err)
+	}
+	fmt.Fprintln(out, bench.FormatAblations(
+		bench.AblationDatapathWidth(opts), hf, ih,
+		bench.AblationLZAHNewline(opts), il,
+		bench.AblationLZAHTableSize(opts),
+		bench.AblationPipelineCount(),
+		bench.AblationCuckooCapacity()))
+
+	log.Printf("experiment suite completed in %v", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,54 @@
+// Command loggen generates the synthetic HPC log datasets that stand in
+// for the paper's HPC4 logs (see internal/loggen for the substitution
+// rationale). Each dataset is written as a plain newline-separated text
+// file suitable for cmd/mithrilog and the examples.
+//
+// Usage:
+//
+//	loggen [-dir ./data] [-lines 100000] [-dataset Liberty2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mithrilog/internal/loggen"
+)
+
+func main() {
+	dir := flag.String("dir", "data", "output directory")
+	lines := flag.Int("lines", 0, "lines per dataset (0 = profile default)")
+	dataset := flag.String("dataset", "", "generate only this dataset (default: all four)")
+	seed := flag.Int64("seed", 0, "generation seed (0 = profile default)")
+	flag.Parse()
+
+	profiles := loggen.Profiles()
+	if *dataset != "" {
+		p, ok := loggen.ProfileByName(*dataset)
+		if !ok {
+			var names []string
+			for _, pp := range profiles {
+				names = append(names, pp.Name)
+			}
+			log.Fatalf("unknown dataset %q (have %s)", *dataset, strings.Join(names, ", "))
+		}
+		profiles = []loggen.Profile{p}
+	}
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range profiles {
+		ds := loggen.Generate(p, *lines, *seed)
+		path := filepath.Join(*dir, strings.ToLower(p.Name)+".log")
+		if err := os.WriteFile(path, ds.Text(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %9d lines %8.1f MB (%d templates in use)\n",
+			path, len(ds.Lines), float64(ds.SizeBytes())/1e6, ds.TrueTemplates)
+	}
+}

@@ -1,0 +1,88 @@
+// Command mithrilogd runs a MithriLog engine as an HTTP log analytics
+// service: logs stream in over POST /ingest, queries arrive over GET
+// /search and /grep, and the store can be persisted with periodic saves.
+//
+// Usage:
+//
+//	mithrilogd [-addr :8080] [-load store.mlog] [-save store.mlog] [-save-every 5m]
+//
+// Endpoints are documented in internal/server. Example session:
+//
+//	mithrilogd -addr :8080 &
+//	curl -X POST --data-binary @liberty2.log localhost:8080/ingest
+//	curl 'localhost:8080/search?q=failed+AND+NOT+pbs_mom:&limit=5'
+//	curl 'localhost:8080/stats'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"mithrilog"
+	"mithrilog/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	load := flag.String("load", "", "load a saved store at startup")
+	save := flag.String("save", "", "save the store to this path (with -save-every, periodically)")
+	saveEvery := flag.Duration("save-every", 0, "periodic save interval (0 = only on demand)")
+	flag.Parse()
+
+	var eng *mithrilog.Engine
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatalf("load: %v", err)
+		}
+		eng, err = mithrilog.Load(mithrilog.Config{}, f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("load: %v", err)
+		}
+		st := eng.Stats()
+		log.Printf("loaded %s: %d lines, %d pages", *load, st.Lines, st.DataPages)
+	} else {
+		eng = mithrilog.Open(mithrilog.Config{})
+	}
+
+	if *save != "" && *saveEvery > 0 {
+		go func() {
+			for range time.Tick(*saveEvery) {
+				if err := saveTo(eng, *save); err != nil {
+					log.Printf("periodic save: %v", err)
+				} else {
+					log.Printf("saved store to %s", *save)
+				}
+			}
+		}()
+	}
+
+	srv := server.New(eng)
+	log.Printf("mithrilogd listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// saveTo writes the store atomically via a temp file rename.
+func saveTo(eng *mithrilog.Engine, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := eng.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,70 @@
+package mithrilog_test
+
+import (
+	"fmt"
+	"log"
+
+	"mithrilog"
+)
+
+// ExampleEngine_Search demonstrates the ingest-and-query cycle with the
+// boolean token query language.
+func ExampleEngine_Search() {
+	eng := mithrilog.Open(mithrilog.Config{})
+	if err := eng.IngestLines([]string{
+		"R24 RAS KERNEL INFO instruction cache parity error corrected",
+		"R24 RAS KERNEL FATAL data TLB error interrupt",
+		"R17 RAS APP FATAL ciod: failed to read message prefix",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Search(`KERNEL AND NOT INFO`, mithrilog.SearchOptions{CollectLines: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Matches, "match:", res.Lines[0])
+	// Output: 1 match: R24 RAS KERNEL FATAL data TLB error interrupt
+}
+
+// ExampleParseQuery shows boolean expressions flattening to the engine's
+// union-of-intersections form.
+func ExampleParseQuery() {
+	q, err := mithrilog.ParseQuery(`error AND NOT (benign OR expected)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(q.String())
+	fmt.Println(q.Match("unexpected error occurred"))
+	fmt.Println(q.Match("benign error ignored"))
+	// Output:
+	// (error AND NOT benign AND NOT expected)
+	// true
+	// false
+}
+
+// ExampleExtractTemplates shows FT-tree template extraction compiling to
+// runnable queries.
+func ExampleExtractTemplates() {
+	lines := []string{
+		"worker started on host a1", "worker started on host b2",
+		"worker started on host c3", "worker started on host d4",
+		"disk failure detected sector 100", "disk failure detected sector 200",
+		"disk failure detected sector 300", "disk failure detected sector 400",
+	}
+	lib := mithrilog.ExtractTemplates(lines, mithrilog.TemplateParams{MinSupport: 3})
+	fmt.Println("templates:", lib.Len())
+	fmt.Println("distinct groups:", lib.Classify(lines[0]) != lib.Classify(lines[4]))
+	// Output:
+	// templates: 2
+	// distinct groups: true
+}
+
+// ExampleQuery_Or shows query batching — multiple queries share one
+// accelerator configuration (§4).
+func ExampleQuery_Or() {
+	a := mithrilog.MustParseQuery(`FATAL AND kernel`)
+	b := mithrilog.MustParseQuery(`panic`)
+	batch := a.Or(b)
+	fmt.Println(batch.Sets(), "intersection sets,", len(batch.Tokens()), "tokens")
+	// Output: 2 intersection sets, 3 tokens
+}

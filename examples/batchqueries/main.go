@@ -1,0 +1,81 @@
+// Batchqueries: demonstrates the §7.4 constant-throughput property —
+// MithriLog evaluates 1, 2, 4, and 8 concurrent queries (joined with OR
+// into one accelerator configuration) at essentially the same simulated
+// time, while a software scanner slows down with every added term.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mithrilog"
+	"mithrilog/internal/baseline/softscan"
+	"mithrilog/internal/loggen"
+	"mithrilog/internal/query"
+	"mithrilog/internal/storage"
+)
+
+func main() {
+	ds := loggen.Generate(loggen.Thunderbird, 40000, 0)
+	lines := make([]string, len(ds.Lines))
+	for i, l := range ds.Lines {
+		lines[i] = string(l)
+	}
+
+	eng := mithrilog.Open(mithrilog.Config{})
+	if err := eng.IngestLines(lines); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	scanner, err := softscan.Build(storage.New(storage.Config{}), ds.Lines)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Eight distinct selective queries.
+	exprs := []string{
+		`lustre AND recovery`,
+		`heartbeat AND missed`,
+		`ECC AND error`,
+		`scheduler AND restarted`,
+		`authentication AND failure`,
+		`link AND down`,
+		`NFS AND responding`,
+		`checkpoint AND latency`,
+	}
+	queries := make([]mithrilog.Query, len(exprs))
+	for i, e := range exprs {
+		queries[i] = mithrilog.MustParseQuery(e)
+	}
+
+	fmt.Printf("dataset: %s, %d lines, %.1f MB\n\n", ds.Name, len(lines), float64(ds.SizeBytes())/1e6)
+	fmt.Printf("%8s %14s %18s %16s\n", "batch", "matches", "MithriLog (sim)", "software scan")
+	for _, n := range []int{1, 2, 4, 8} {
+		batch := queries[0]
+		if n > 1 {
+			batch = batch.Or(queries[1:n]...)
+		}
+		res, err := eng.SearchQuery(batch, mithrilog.SearchOptions{NoIndex: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Software comparison: the same batch through the full-scan engine.
+		sq, err := query.Parse(batch.String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		sres, err := scanner.Scan(sq, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_ = t0
+		fmt.Printf("%8d %14d %18v %16v\n", n, res.Matches, res.SimElapsed, sres.Elapsed)
+	}
+	fmt.Println("\nMithriLog's simulated time stays flat as the batch grows — the")
+	fmt.Println("cuckoo hash evaluates all intersection sets in the same cycles —")
+	fmt.Println("while the software scanner pays one containment pass per term.")
+}

@@ -1,0 +1,112 @@
+// Compression: a tour of LZAH (§5) against LZRW1, LZ4, and Gzip on a
+// generated log — the Table 5 comparison — plus the newline-realignment
+// ablation that motivates LZAH's log-specific design.
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"log"
+	"time"
+
+	"mithrilog/internal/loggen"
+	"mithrilog/internal/lz4"
+	"mithrilog/internal/lzah"
+	"mithrilog/internal/lzrw"
+)
+
+func main() {
+	ds := loggen.Generate(loggen.Spirit2, 50000, 0)
+	src := ds.Text()
+	fmt.Printf("dataset: %s, %d lines, %.1f MB\n\n", ds.Name, len(ds.Lines), float64(len(src))/1e6)
+
+	fmt.Printf("%-22s %10s %10s %12s %12s\n", "algorithm", "ratio", "comp MB", "comp MB/s", "decomp MB/s")
+
+	run := func(name string, compress func([]byte) []byte, decompress func([]byte) []byte) {
+		t0 := time.Now()
+		comp := compress(src)
+		ct := time.Since(t0)
+		t0 = time.Now()
+		out := decompress(comp)
+		dt := time.Since(t0)
+		if !bytes.Equal(out, src) {
+			log.Fatalf("%s: round trip failed", name)
+		}
+		fmt.Printf("%-22s %9.2fx %10.2f %12.0f %12.0f\n",
+			name, float64(len(src))/float64(len(comp)), float64(len(comp))/1e6,
+			float64(len(src))/1e6/ct.Seconds(), float64(len(src))/1e6/dt.Seconds())
+	}
+
+	lzahCodec := lzah.NewCodec(lzah.Options{})
+	run("LZAH (16 KiB table)",
+		func(b []byte) []byte { return lzahCodec.Compress(nil, b) },
+		func(b []byte) []byte {
+			out, err := lzahCodec.Decompress(nil, b)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return out
+		})
+
+	blind := lzah.NewCodec(lzah.Options{DisableNewlineAlign: true})
+	run("LZAH (no NL align)",
+		func(b []byte) []byte { return blind.Compress(nil, b) },
+		func(b []byte) []byte {
+			out, err := blind.Decompress(nil, b)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return out
+		})
+
+	run("LZRW1",
+		func(b []byte) []byte { return lzrw.NewCompressor().Compress(nil, b) },
+		func(b []byte) []byte {
+			out, err := lzrw.Decompress(nil, b)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return out
+		})
+
+	run("LZ4 (block)",
+		func(b []byte) []byte { return lz4.NewCompressor().Compress(nil, b) },
+		func(b []byte) []byte {
+			out, err := lz4.Decompress(nil, b)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return out
+		})
+
+	run("Gzip (stdlib)",
+		func(b []byte) []byte {
+			var buf bytes.Buffer
+			zw := gzip.NewWriter(&buf)
+			if _, err := zw.Write(b); err != nil {
+				log.Fatal(err)
+			}
+			if err := zw.Close(); err != nil {
+				log.Fatal(err)
+			}
+			return buf.Bytes()
+		},
+		func(b []byte) []byte {
+			zr, err := gzip.NewReader(bytes.NewReader(b))
+			if err != nil {
+				log.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(zr); err != nil {
+				log.Fatal(err)
+			}
+			return buf.Bytes()
+		})
+
+	fmt.Println("\nThe hardware LZAH decoder is deterministic: one 16-byte word per")
+	fmt.Println("cycle, 3.2 GB/s at 200 MHz regardless of content (Table 4). The")
+	fmt.Println("software numbers above are functional-model speeds, not the")
+	fmt.Println("accelerator's; Table 5's *ordering* (Gzip > LZ4 > LZAH/LZRW1) is")
+	fmt.Println("what this reproduction preserves.")
+}

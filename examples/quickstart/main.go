@@ -1,0 +1,51 @@
+// Quickstart: ingest a few log lines and run boolean token queries
+// through the MithriLog engine, printing matches and the simulated
+// near-storage platform timing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mithrilog"
+)
+
+func main() {
+	eng := mithrilog.Open(mithrilog.Config{})
+
+	// A handful of lines shaped like the paper's Figure 1 excerpt.
+	lines := []string{
+		"R24-M0-NC-I:J18-U01 RAS KERNEL INFO instruction cache parity error corrected",
+		"R24-M0-N3-C:J12-U11 RAS KERNEL FATAL data TLB error interrupt",
+		"R17-M1-N2-C:J14-U01 RAS KERNEL INFO generating core.2275",
+		"R24-M0-NC-I:J18-U01 RAS APP FATAL ciod: failed to read message prefix on control stream",
+		"R02-M1-N0-C:J09-U11 RAS KERNEL INFO instruction cache parity error corrected",
+		"R63-M0-NE-I:J18-U11 RAS MMCS WARNING machine check interrupt",
+	}
+	if err := eng.IngestLines(lines); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A union-of-intersections query, exactly the form the accelerator
+	// offloads: KERNEL problems that are not routine INFO, or any ciod
+	// failure.
+	const expr = `(RAS AND KERNEL AND NOT INFO) OR (ciod: AND failed)`
+	res, err := eng.Search(expr, mithrilog.SearchOptions{CollectLines: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query: %s\n", expr)
+	fmt.Printf("matches: %d of %d lines (offloaded=%v)\n", res.Matches, len(lines), res.Offloaded)
+	for _, l := range res.Lines {
+		fmt.Println("  " + l)
+	}
+
+	st := eng.Stats()
+	fmt.Printf("\nengine: %d lines, %.2fx LZAH compression, %d data pages\n",
+		st.Lines, st.CompressionRatio, st.DataPages)
+	fmt.Printf("simulated query time on the modeled FPGA platform: %v\n", res.SimElapsed)
+}

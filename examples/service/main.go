@@ -1,0 +1,68 @@
+// Service: runs the MithriLog HTTP daemon in-process, streams a generated
+// log into it, and issues queries over the wire — the deployment shape
+// the paper's platform story implies (continuous ingestion, operators and
+// detectors querying over HTTP).
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+
+	"mithrilog"
+	"mithrilog/internal/loggen"
+	"mithrilog/internal/server"
+)
+
+func main() {
+	// Start the service on an ephemeral port.
+	eng := mithrilog.Open(mithrilog.Config{})
+	ts := httptest.NewServer(server.New(eng))
+	defer ts.Close()
+	fmt.Println("service listening at", ts.URL)
+
+	// Stream a synthetic Liberty2 log into it.
+	ds := loggen.Generate(loggen.Liberty2, 20000, 0)
+	resp, err := http.Post(ts.URL+"/ingest", "text/plain", bytes.NewReader(ds.Text()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("POST /ingest", resp)
+
+	// Boolean token search.
+	resp, err = http.Get(ts.URL + "/search?q=" + url.QueryEscape(`link AND down`) + "&limit=2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("GET /search?q=link AND down", resp)
+
+	// Regex grep.
+	resp, err = http.Get(ts.URL + "/grep?e=" + url.QueryEscape(`ladmin\d+/ladmin\d+`) + "&limit=1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("GET /grep?e=ladmin...", resp)
+
+	// Engine statistics.
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("GET /stats", resp)
+}
+
+func show(title string, resp *http.Response) {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(body) > 400 {
+		body = append(body[:400], []byte("...")...)
+	}
+	fmt.Printf("\n%s -> %s\n%s\n", title, resp.Status, bytes.TrimSpace(body))
+}

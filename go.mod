@@ -1,0 +1,3 @@
+module mithrilog
+
+go 1.22

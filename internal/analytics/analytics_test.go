@@ -1,0 +1,306 @@
+package analytics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildCountMatrix(t *testing.T) {
+	tags := [][]int{
+		{0}, {1}, nil, {0, 1}, // window 0
+		{2}, {2}, {2}, {2}, // window 1
+		{0}, // window 2 (partial)
+	}
+	m, err := BuildCountMatrix(tags, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 3 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	want := [][]float64{{2, 2, 0}, {0, 0, 4}, {1, 0, 0}}
+	for i := range want {
+		for j := range want[i] {
+			if m.At(i, j) != want[i][j] {
+				t.Fatalf("(%d,%d) = %v, want %v", i, j, m.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestBuildCountMatrixErrors(t *testing.T) {
+	if _, err := BuildCountMatrix(nil, 0, 4); err == nil {
+		t.Error("templates=0 should fail")
+	}
+	if _, err := BuildCountMatrix(nil, 3, 0); err == nil {
+		t.Error("windowLines=0 should fail")
+	}
+	if _, err := BuildCountMatrix([][]int{{5}}, 3, 4); err == nil {
+		t.Error("out-of-range template id should fail")
+	}
+}
+
+func TestTFIDFDampsUbiquitousTemplates(t *testing.T) {
+	m := NewMatrix(4, 2)
+	// Template 0 in every window; template 1 in one window only.
+	for i := 0; i < 4; i++ {
+		m.Set(i, 0, 5)
+	}
+	m.Set(2, 1, 5)
+	w := m.TFIDF()
+	if w.At(0, 0) != 0 {
+		t.Errorf("ubiquitous template should weight to zero (idf=log(1)), got %v", w.At(0, 0))
+	}
+	if w.At(2, 1) <= 0 {
+		t.Errorf("rare template should keep positive weight, got %v", w.At(2, 1))
+	}
+}
+
+func TestNormalizeRows(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 3)
+	m.Set(0, 1, 4)
+	n := m.NormalizeRows()
+	if math.Abs(n.At(0, 0)-0.6) > 1e-12 || math.Abs(n.At(0, 1)-0.8) > 1e-12 {
+		t.Fatalf("row 0: %v %v", n.At(0, 0), n.At(0, 1))
+	}
+	if n.At(1, 0) != 0 || n.At(1, 1) != 0 {
+		t.Fatal("zero row must stay zero")
+	}
+}
+
+func TestFitPCARecoversDominantDirection(t *testing.T) {
+	// Points along (1, 1) with small orthogonal noise: the first component
+	// must align with (1,1)/√2.
+	rng := rand.New(rand.NewSource(5))
+	m := NewMatrix(200, 2)
+	for i := 0; i < 200; i++ {
+		tt := rng.NormFloat64() * 10
+		noise := rng.NormFloat64() * 0.1
+		m.Set(i, 0, tt+noise)
+		m.Set(i, 1, tt-noise)
+	}
+	p, err := FitPCA(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Components[0]
+	align := math.Abs(c[0]*1/math.Sqrt2 + c[1]*1/math.Sqrt2)
+	if align < 0.999 {
+		t.Fatalf("component %v misaligned (|cos|=%v)", c, align)
+	}
+	if p.Eigenvalues[0] < 50 {
+		t.Fatalf("eigenvalue %v too small", p.Eigenvalues[0])
+	}
+}
+
+func TestPCAComponentsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMatrix(100, 5)
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 5; j++ {
+			m.Set(i, j, rng.NormFloat64()*float64(j+1))
+		}
+	}
+	p, err := FitPCA(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < len(p.Components); a++ {
+		for b := a; b < len(p.Components); b++ {
+			var dot float64
+			for i := range p.Components[a] {
+				dot += p.Components[a][i] * p.Components[b][i]
+			}
+			want := 0.0
+			if a == b {
+				want = 1.0
+			}
+			if math.Abs(dot-want) > 1e-3 {
+				t.Fatalf("components %d,%d dot = %v", a, b, dot)
+			}
+		}
+	}
+	// Eigenvalues descending.
+	for i := 1; i < len(p.Eigenvalues); i++ {
+		if p.Eigenvalues[i] > p.Eigenvalues[i-1]+1e-9 {
+			t.Fatalf("eigenvalues not descending: %v", p.Eigenvalues)
+		}
+	}
+}
+
+func TestFitPCAErrors(t *testing.T) {
+	if _, err := FitPCA(NewMatrix(1, 3), 1); err == nil {
+		t.Error("1 row should fail")
+	}
+	if _, err := FitPCA(NewMatrix(5, 3), 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := FitPCA(NewMatrix(5, 3), 2); err == nil {
+		t.Error("zero-variance matrix should fail")
+	}
+}
+
+func TestSPEShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMatrix(10, 2)
+	for i := 0; i < 10; i++ {
+		m.Set(i, 0, rng.NormFloat64())
+		m.Set(i, 1, rng.NormFloat64())
+	}
+	p, err := FitPCA(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SPE([]float64{1, 2, 3}); err == nil {
+		t.Error("wrong row width should fail")
+	}
+}
+
+func TestDetectAnomaliesFindsInjectedBurst(t *testing.T) {
+	// 50 windows of a stable template mix, one window with a burst of a
+	// normally-silent template: the detector must flag exactly that window
+	// at the top.
+	rng := rand.New(rand.NewSource(8))
+	m := NewMatrix(50, 6)
+	for i := 0; i < 50; i++ {
+		m.Set(i, 0, 100+rng.NormFloat64()*5)
+		m.Set(i, 1, 50+rng.NormFloat64()*3)
+		m.Set(i, 2, 10+rng.NormFloat64())
+	}
+	const anomalous = 33
+	m.Set(anomalous, 5, 80) // template 5 never fires elsewhere
+	anomalies, err := DetectAnomalies(m, 2, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anomalies) == 0 {
+		t.Fatal("no anomalies flagged")
+	}
+	if anomalies[0].Window != anomalous {
+		t.Fatalf("top anomaly window %d (SPE %v), want %d", anomalies[0].Window, anomalies[0].SPE, anomalous)
+	}
+}
+
+func TestDetectAnomaliesQuantileValidation(t *testing.T) {
+	m := NewMatrix(10, 2)
+	for i := 0; i < 10; i++ {
+		m.Set(i, 0, float64(i))
+	}
+	for _, q := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := DetectAnomalies(m, 1, q); err == nil {
+			t.Errorf("quantile %v should fail", q)
+		}
+	}
+}
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewMatrix(60, 2)
+	for i := 0; i < 30; i++ {
+		m.Set(i, 0, 0+rng.NormFloat64()*0.2)
+		m.Set(i, 1, 0+rng.NormFloat64()*0.2)
+	}
+	for i := 30; i < 60; i++ {
+		m.Set(i, 0, 10+rng.NormFloat64()*0.2)
+		m.Set(i, 1, 10+rng.NormFloat64()*0.2)
+	}
+	res, err := KMeans(m, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All of the first 30 in one cluster, all of the rest in the other.
+	c0 := res.Assignments[0]
+	for i := 1; i < 30; i++ {
+		if res.Assignments[i] != c0 {
+			t.Fatalf("row %d escaped cluster %d", i, c0)
+		}
+	}
+	c1 := res.Assignments[30]
+	if c1 == c0 {
+		t.Fatal("clusters collapsed")
+	}
+	for i := 31; i < 60; i++ {
+		if res.Assignments[i] != c1 {
+			t.Fatalf("row %d escaped cluster %d", i, c1)
+		}
+	}
+	if res.Inertia > 30 {
+		t.Fatalf("inertia %v too high for tight clusters", res.Inertia)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	m := NewMatrix(3, 2)
+	if _, err := KMeans(m, 0, 1); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := KMeans(m, 4, 1); err == nil {
+		t.Error("k>rows should fail")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := NewMatrix(40, 3)
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, rng.Float64())
+		}
+	}
+	a, err := KMeans(m, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(m, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("same seed must give same clustering")
+		}
+	}
+}
+
+func TestQuickSPENonNegativeAndSubspaceZero(t *testing.T) {
+	// Properties: SPE >= 0 always; points inside the principal subspace
+	// (along the dominant direction through the mean) have ~zero SPE.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMatrix(50, 3)
+		dir := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		n := norm(dir)
+		if n < 1e-6 {
+			return true
+		}
+		for i := range dir {
+			dir[i] /= n
+		}
+		for i := 0; i < 50; i++ {
+			tt := rng.NormFloat64() * 5
+			for j := 0; j < 3; j++ {
+				m.Set(i, j, tt*dir[j])
+			}
+		}
+		p, err := FitPCA(m, 1)
+		if err != nil {
+			return true // degenerate draw
+		}
+		for i := 0; i < 50; i++ {
+			spe, err := p.SPE(m.Row(i))
+			if err != nil || spe < -1e-9 {
+				return false
+			}
+			if spe > 1e-6 {
+				return false // exact subspace points must have zero residual
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

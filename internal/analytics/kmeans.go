@@ -1,0 +1,130 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+)
+
+// KMeansResult holds a clustering of matrix rows.
+type KMeansResult struct {
+	// Assignments maps each row to its cluster in [0, K).
+	Assignments []int
+	// Centroids are the final cluster centers.
+	Centroids [][]float64
+	// Inertia is the total within-cluster squared distance.
+	Inertia float64
+	// Iterations actually run before convergence.
+	Iterations int
+}
+
+// kmeansMaxIterations bounds Lloyd's algorithm.
+const kmeansMaxIterations = 200
+
+// KMeans clusters the matrix rows into k groups with Lloyd's algorithm,
+// seeded deterministically with a k-means++-style farthest-point spread.
+// Log windows with similar template mixes land in the same cluster,
+// reproducing the problem-identification workflow of [36] on MithriLog
+// output.
+func KMeans(m *Matrix, k int, seed uint64) (*KMeansResult, error) {
+	if k <= 0 || k > m.Rows {
+		return nil, fmt.Errorf("analytics: k=%d out of range 1..%d", k, m.Rows)
+	}
+	centroids := seedCentroids(m, k, seed)
+	assign := make([]int, m.Rows)
+	counts := make([]int, k)
+	res := &KMeansResult{}
+	for it := 0; it < kmeansMaxIterations; it++ {
+		res.Iterations = it + 1
+		changed := false
+		res.Inertia = 0
+		for i := 0; i < m.Rows; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				d := sqDist(m.Row(i), centroids[c])
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			res.Inertia += bestD
+		}
+		if !changed && it > 0 {
+			break
+		}
+		// Recompute centroids.
+		for c := range centroids {
+			counts[c] = 0
+			for j := range centroids[c] {
+				centroids[c][j] = 0
+			}
+		}
+		for i := 0; i < m.Rows; i++ {
+			c := assign[i]
+			counts[c]++
+			row := m.Row(i)
+			for j, v := range row {
+				centroids[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Empty cluster: reseed it at the row farthest from its
+				// centroid to keep k clusters alive.
+				centroids[c] = append([]float64(nil), m.Row(farthestRow(m, centroids, assign))...)
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] /= float64(counts[c])
+			}
+		}
+	}
+	res.Assignments = assign
+	res.Centroids = centroids
+	return res, nil
+}
+
+// seedCentroids picks k starting centers: a deterministic first pick, then
+// repeatedly the row farthest from its nearest chosen center.
+func seedCentroids(m *Matrix, k int, seed uint64) [][]float64 {
+	out := make([][]float64, 0, k)
+	first := int(seed % uint64(m.Rows))
+	out = append(out, append([]float64(nil), m.Row(first)...))
+	for len(out) < k {
+		bestRow, bestD := 0, -1.0
+		for i := 0; i < m.Rows; i++ {
+			d := math.Inf(1)
+			for _, c := range out {
+				if dd := sqDist(m.Row(i), c); dd < d {
+					d = dd
+				}
+			}
+			if d > bestD {
+				bestRow, bestD = i, d
+			}
+		}
+		out = append(out, append([]float64(nil), m.Row(bestRow)...))
+	}
+	return out
+}
+
+func farthestRow(m *Matrix, centroids [][]float64, assign []int) int {
+	bestRow, bestD := 0, -1.0
+	for i := 0; i < m.Rows; i++ {
+		if d := sqDist(m.Row(i), centroids[assign[i]]); d > bestD {
+			bestRow, bestD = i, d
+		}
+	}
+	return bestRow
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

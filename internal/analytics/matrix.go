@@ -1,0 +1,131 @@
+// Package analytics implements the higher-order log analytics the paper
+// positions downstream of MithriLog's fast extraction (§1, §8): PCA-based
+// anomaly detection over template-count windows, after Xu et al. [79],
+// and k-means clustering of windows by template mix [36]. The input is
+// the per-line template tag stream the §8 tagging extension produces, so
+// the whole path — filter, tag, window, detect — runs on engine output.
+package analytics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadShape reports dimension mismatches.
+var ErrBadShape = errors.New("analytics: dimension mismatch")
+
+// Matrix is a dense row-major windows×features count matrix.
+type Matrix struct {
+	Rows, Cols int
+	data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.Cols+j] = v }
+
+// Add increments element (i, j).
+func (m *Matrix) Add(i, j int, v float64) { m.data[i*m.Cols+j] += v }
+
+// Row returns a view of row i (mutations write through).
+func (m *Matrix) Row(i int) []float64 { return m.data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// BuildCountMatrix converts a per-line template tag stream (template IDs
+// in [0, templates)) into a windows×templates count matrix with
+// windowLines lines per window (the last window may be partial). Lines
+// with no tags contribute nothing; multi-tagged lines contribute to every
+// tagged template, matching the event-count matrix of [79].
+func BuildCountMatrix(tags [][]int, templates, windowLines int) (*Matrix, error) {
+	if templates <= 0 || windowLines <= 0 {
+		return nil, fmt.Errorf("%w: templates=%d windowLines=%d", ErrBadShape, templates, windowLines)
+	}
+	rows := (len(tags) + windowLines - 1) / windowLines
+	if rows == 0 {
+		rows = 1
+	}
+	m := NewMatrix(rows, templates)
+	for i, lineTags := range tags {
+		w := i / windowLines
+		for _, tid := range lineTags {
+			if tid < 0 || tid >= templates {
+				return nil, fmt.Errorf("%w: template id %d out of [0,%d)", ErrBadShape, tid, templates)
+			}
+			m.Add(w, tid, 1)
+		}
+	}
+	return m, nil
+}
+
+// TFIDF applies the weighting of [79]: each count is scaled by the
+// inverse document frequency of its template across windows, damping
+// templates that appear everywhere and highlighting bursts of rare ones.
+func (m *Matrix) TFIDF() *Matrix {
+	out := m.Clone()
+	for j := 0; j < m.Cols; j++ {
+		df := 0
+		for i := 0; i < m.Rows; i++ {
+			if m.At(i, j) > 0 {
+				df++
+			}
+		}
+		if df == 0 {
+			continue
+		}
+		idf := math.Log(float64(m.Rows) / float64(df))
+		for i := 0; i < m.Rows; i++ {
+			out.Set(i, j, m.At(i, j)*idf)
+		}
+	}
+	return out
+}
+
+// NormalizeRows scales every row to unit Euclidean norm (zero rows stay
+// zero), removing window-size effects before clustering.
+func (m *Matrix) NormalizeRows() *Matrix {
+	out := m.Clone()
+	for i := 0; i < m.Rows; i++ {
+		row := out.Row(i)
+		var n float64
+		for _, v := range row {
+			n += v * v
+		}
+		if n == 0 {
+			continue
+		}
+		n = math.Sqrt(n)
+		for j := range row {
+			row[j] /= n
+		}
+	}
+	return out
+}
+
+// ColumnMeans returns the per-column mean.
+func (m *Matrix) ColumnMeans() []float64 {
+	means := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(m.Rows)
+	}
+	return means
+}

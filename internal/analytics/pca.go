@@ -1,0 +1,265 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PCA holds the top-k principal components of a window×template matrix,
+// fitted with power iteration and deflation (pure Go, no BLAS).
+type PCA struct {
+	// Mean is the per-column mean removed before projection.
+	Mean []float64
+	// Components holds k orthonormal principal directions (rows).
+	Components [][]float64
+	// Eigenvalues are the corresponding variances, descending.
+	Eigenvalues []float64
+}
+
+// powerIterations bounds the per-component iteration count.
+const powerIterations = 300
+
+// powerTolerance is the convergence threshold on the eigenvector delta.
+const powerTolerance = 1e-9
+
+// FitPCA computes the top-k principal components of m's rows. k is capped
+// at min(rows, cols).
+func FitPCA(m *Matrix, k int) (*PCA, error) {
+	if m.Rows < 2 {
+		return nil, fmt.Errorf("analytics: PCA needs at least 2 rows, got %d", m.Rows)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("analytics: PCA needs k > 0")
+	}
+	if k > m.Cols {
+		k = m.Cols
+	}
+	if k > m.Rows {
+		k = m.Rows
+	}
+	mean := m.ColumnMeans()
+	// Covariance matrix (cols×cols); template counts are small-dimensional
+	// (hundreds), so the dense product is fine.
+	n := m.Cols
+	cov := make([]float64, n*n)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for a := 0; a < n; a++ {
+			da := row[a] - mean[a]
+			if da == 0 {
+				continue
+			}
+			for b := a; b < n; b++ {
+				cov[a*n+b] += da * (row[b] - mean[b])
+			}
+		}
+	}
+	scale := 1 / float64(m.Rows-1)
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			cov[a*n+b] *= scale
+			cov[b*n+a] = cov[a*n+b]
+		}
+	}
+
+	p := &PCA{Mean: mean}
+	for c := 0; c < k; c++ {
+		vec, val := powerIterate(cov, n, uint64(c)+1)
+		if val <= 0 {
+			break // remaining variance exhausted
+		}
+		p.Components = append(p.Components, vec)
+		p.Eigenvalues = append(p.Eigenvalues, val)
+		// Deflate: cov -= val * vec vecᵀ.
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				cov[a*n+b] -= val * vec[a] * vec[b]
+			}
+		}
+	}
+	if len(p.Components) == 0 {
+		return nil, fmt.Errorf("analytics: matrix has no variance")
+	}
+	return p, nil
+}
+
+// powerIterate finds the dominant eigenpair of the symmetric matrix.
+func powerIterate(cov []float64, n int, seed uint64) ([]float64, float64) {
+	v := make([]float64, n)
+	// Deterministic pseudo-random start.
+	s := seed*0x9e3779b97f4a7c15 + 0x165667b19e3779f9
+	for i := range v {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		v[i] = float64(s%1000)/1000 + 0.001
+	}
+	normalize(v)
+	next := make([]float64, n)
+	var val float64
+	for it := 0; it < powerIterations; it++ {
+		for a := 0; a < n; a++ {
+			var sum float64
+			rowA := cov[a*n : (a+1)*n]
+			for b, vb := range v {
+				sum += rowA[b] * vb
+			}
+			next[a] = sum
+		}
+		val = norm(next)
+		if val < 1e-12 {
+			return v, 0
+		}
+		for i := range next {
+			next[i] /= val
+		}
+		delta := 0.0
+		for i := range v {
+			d := next[i] - v[i]
+			delta += d * d
+		}
+		copy(v, next)
+		if delta < powerTolerance {
+			break
+		}
+	}
+	return append([]float64(nil), v...), val
+}
+
+func norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(v []float64) {
+	n := norm(v)
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// SPE returns the squared prediction error of a row: the squared norm of
+// its residual outside the principal subspace. Rows behaving like the
+// training windows have small SPE; anomalous template mixes have large
+// SPE — the detection statistic of [79].
+func (p *PCA) SPE(row []float64) (float64, error) {
+	if len(row) != len(p.Mean) {
+		return 0, fmt.Errorf("%w: row has %d cols, PCA fitted on %d", ErrBadShape, len(row), len(p.Mean))
+	}
+	centered := make([]float64, len(row))
+	for i := range row {
+		centered[i] = row[i] - p.Mean[i]
+	}
+	residual := append([]float64(nil), centered...)
+	for _, comp := range p.Components {
+		var proj float64
+		for i := range centered {
+			proj += centered[i] * comp[i]
+		}
+		for i := range residual {
+			residual[i] -= proj * comp[i]
+		}
+	}
+	var spe float64
+	for _, r := range residual {
+		spe += r * r
+	}
+	return spe, nil
+}
+
+// T2 returns the Hotelling T-squared statistic of a row: the squared
+// Mahalanobis distance *within* the principal subspace. SPE catches
+// behaviour outside the normal subspace; T2 catches abnormal magnitude
+// along the normal (or hijacked) directions — a strong burst that pulls a
+// principal component toward itself evades SPE but not T2.
+func (p *PCA) T2(row []float64) (float64, error) {
+	if len(row) != len(p.Mean) {
+		return 0, fmt.Errorf("%w: row has %d cols, PCA fitted on %d", ErrBadShape, len(row), len(p.Mean))
+	}
+	var t2 float64
+	for ci, comp := range p.Components {
+		var proj float64
+		for i := range row {
+			proj += (row[i] - p.Mean[i]) * comp[i]
+		}
+		if ev := p.Eigenvalues[ci]; ev > 1e-12 {
+			t2 += proj * proj / ev
+		}
+	}
+	return t2, nil
+}
+
+// Anomaly is one flagged window.
+type Anomaly struct {
+	Window int
+	// SPE and T2 are the window's two detection statistics.
+	SPE float64
+	T2  float64
+	// Score is the max of the statistics normalized by their thresholds;
+	// anomalies are ranked by it.
+	Score float64
+}
+
+// DetectAnomalies flags windows whose template mix deviates from the
+// dominant behaviour, combining the two standard PCA monitoring
+// statistics: SPE (residual outside the principal subspace) and Hotelling
+// T2 (abnormal magnitude within it). A window is flagged when either
+// statistic exceeds its own quantile threshold across all windows; this
+// catches both novel template mixes (SPE) and bursts strong enough to
+// hijack a principal component (T2). Anomalies are ranked by Score, the
+// larger of the two threshold-normalized statistics.
+func DetectAnomalies(m *Matrix, components int, quantile float64) ([]Anomaly, error) {
+	if quantile <= 0 || quantile >= 1 {
+		return nil, fmt.Errorf("analytics: quantile must be in (0,1), got %v", quantile)
+	}
+	p, err := FitPCA(m, components)
+	if err != nil {
+		return nil, err
+	}
+	spes := make([]float64, m.Rows)
+	t2s := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		if spes[i], err = p.SPE(m.Row(i)); err != nil {
+			return nil, err
+		}
+		if t2s[i], err = p.T2(m.Row(i)); err != nil {
+			return nil, err
+		}
+	}
+	speCut := quantileOf(spes, quantile)
+	t2Cut := quantileOf(t2s, quantile)
+	var out []Anomaly
+	for i := range spes {
+		score := 0.0
+		if speCut > 1e-12 {
+			score = spes[i] / speCut
+		}
+		if t2Cut > 1e-12 {
+			if r := t2s[i] / t2Cut; r > score {
+				score = r
+			}
+		}
+		if score > 1 {
+			out = append(out, Anomaly{Window: i, SPE: spes[i], T2: t2s[i], Score: score})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Score > out[b].Score })
+	return out, nil
+}
+
+func quantileOf(values []float64, q float64) float64 {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,90 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SpikeParams tune the EWMA rate-spike detector.
+type SpikeParams struct {
+	// Alpha is the EWMA smoothing factor in (0, 1] (default 0.3).
+	Alpha float64
+	// Threshold is the number of EWMA standard deviations a window's
+	// count must exceed its forecast by to be flagged (default 4).
+	Threshold float64
+	// MinCount suppresses spikes below this absolute count, avoiding
+	// noise on near-silent templates (default 5).
+	MinCount float64
+}
+
+func (p SpikeParams) withDefaults() SpikeParams {
+	if p.Alpha <= 0 || p.Alpha > 1 {
+		p.Alpha = 0.3
+	}
+	if p.Threshold <= 0 {
+		p.Threshold = 4
+	}
+	if p.MinCount <= 0 {
+		p.MinCount = 5
+	}
+	return p
+}
+
+// Spike is one flagged (window, template) rate anomaly.
+type Spike struct {
+	Window   int
+	Template int
+	// Count observed vs the EWMA Forecast at that window.
+	Count, Forecast float64
+	// Sigmas is the deviation in EWMA standard deviations.
+	Sigmas float64
+}
+
+// DetectSpikes runs an independent EWMA monitor per template column over
+// the window×template count matrix, flagging windows whose count jumps
+// far above the smoothed forecast. It complements the PCA detector: PCA
+// finds changed *mixes*; the EWMA monitor localizes *which* template burst
+// and when, the per-event view an operator drills into. Results are sorted
+// by descending deviation.
+func DetectSpikes(m *Matrix, p SpikeParams) ([]Spike, error) {
+	if m.Rows == 0 || m.Cols == 0 {
+		return nil, fmt.Errorf("%w: empty matrix", ErrBadShape)
+	}
+	p = p.withDefaults()
+	var out []Spike
+	for j := 0; j < m.Cols; j++ {
+		mean := m.At(0, j)
+		variance := 0.0
+		for i := 1; i < m.Rows; i++ {
+			v := m.At(i, j)
+			sd := math.Sqrt(variance)
+			if dev := v - mean; v >= p.MinCount && sd >= 0 {
+				sigmas := 0.0
+				if sd > 1e-9 {
+					sigmas = dev / sd
+				} else if dev > 0 {
+					// No variance history yet: any positive jump from a
+					// flat line is infinite sigmas; report the jump size.
+					sigmas = dev
+				}
+				if sigmas >= p.Threshold && dev >= p.MinCount {
+					out = append(out, Spike{
+						Window:   i,
+						Template: j,
+						Count:    v,
+						Forecast: mean,
+						Sigmas:   sigmas,
+					})
+				}
+			}
+			// EWMA update of mean and variance (Roberts / West).
+			diff := v - mean
+			incr := p.Alpha * diff
+			mean += incr
+			variance = (1 - p.Alpha) * (variance + diff*incr)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Sigmas > out[b].Sigmas })
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package analytics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDetectSpikesFindsBurst(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewMatrix(60, 3)
+	for i := 0; i < 60; i++ {
+		m.Set(i, 0, 50+rng.NormFloat64()*3)
+		m.Set(i, 1, 20+rng.NormFloat64()*2)
+		// Template 2 is quiet...
+		m.Set(i, 2, math0(rng.NormFloat64()))
+	}
+	// ...until a burst at window 40.
+	m.Set(40, 2, 120)
+	spikes, err := DetectSpikes(m, SpikeParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spikes) == 0 {
+		t.Fatal("burst not flagged")
+	}
+	top := spikes[0]
+	if top.Window != 40 || top.Template != 2 {
+		t.Fatalf("top spike at (%d, %d), want (40, 2): %+v", top.Window, top.Template, spikes)
+	}
+	if top.Count != 120 {
+		t.Fatalf("count %v", top.Count)
+	}
+}
+
+func math0(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func TestDetectSpikesIgnoresSteadyState(t *testing.T) {
+	m := NewMatrix(50, 2)
+	for i := 0; i < 50; i++ {
+		m.Set(i, 0, 100)
+		m.Set(i, 1, float64(i)) // smooth ramp: EWMA tracks it
+	}
+	spikes, err := DetectSpikes(m, SpikeParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spikes) != 0 {
+		t.Fatalf("steady/smooth traffic flagged: %+v", spikes)
+	}
+}
+
+func TestDetectSpikesMinCount(t *testing.T) {
+	m := NewMatrix(30, 1)
+	// A "burst" of 3 on a silent template stays under MinCount 5.
+	m.Set(20, 0, 3)
+	spikes, err := DetectSpikes(m, SpikeParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spikes) != 0 {
+		t.Fatalf("sub-threshold count flagged: %+v", spikes)
+	}
+	// The same shape with a count of 50 must be flagged.
+	m.Set(20, 0, 50)
+	spikes, err = DetectSpikes(m, SpikeParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spikes) != 1 || spikes[0].Window != 20 {
+		t.Fatalf("burst missed: %+v", spikes)
+	}
+}
+
+func TestDetectSpikesEmpty(t *testing.T) {
+	if _, err := DetectSpikes(NewMatrix(0, 0), SpikeParams{}); err == nil {
+		t.Fatal("empty matrix should fail")
+	}
+}

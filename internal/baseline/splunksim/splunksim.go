@@ -1,0 +1,250 @@
+// Package splunksim implements the software inverted-index baseline
+// standing in for Splunk in §7.5. It models the execution properties the
+// paper's end-to-end comparison depends on:
+//
+//   - events (lines) are stored in raw buckets on the simulated device
+//     and indexed by an in-memory inverted index from token to bucket;
+//   - a search intersects the posting lists of each intersection set's
+//     positive terms to find candidate buckets, then scans candidates
+//     with per-term text matching. Negative terms cannot narrow the
+//     index, so negative-heavy queries degenerate toward full scans —
+//     the cluster of slow points in Figure 16;
+//   - each search query executes on a single thread, as Splunk does; the
+//     harness divides elapsed time by the machine's hyper-thread count to
+//     model concurrent query streams, exactly the paper's amortization.
+package splunksim
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"mithrilog/internal/query"
+	"mithrilog/internal/storage"
+)
+
+// BucketLines is the number of events per storage bucket.
+const BucketLines = 512
+
+// Engine is a built index+store ready to search.
+type Engine struct {
+	dev      *storage.Device
+	buckets  []bucketMeta
+	postings map[string][]int32 // token -> sorted bucket IDs
+	rawBytes uint64
+	lines    uint64
+}
+
+type bucketMeta struct {
+	pages  []storage.PageID
+	rawLen int
+}
+
+// Build ingests lines into buckets and constructs the inverted index.
+func Build(dev *storage.Device, lines [][]byte) (*Engine, error) {
+	e := &Engine{dev: dev, postings: make(map[string][]int32)}
+	var raw bytes.Buffer
+	tokensInBucket := make(map[string]bool)
+	flush := func() error {
+		if raw.Len() == 0 {
+			return nil
+		}
+		bi := int32(len(e.buckets))
+		meta := bucketMeta{rawLen: raw.Len()}
+		data := raw.Bytes()
+		for off := 0; off < len(data); off += storage.PageSize {
+			end := off + storage.PageSize
+			if end > len(data) {
+				end = len(data)
+			}
+			id, err := dev.Append(data[off:end])
+			if err != nil {
+				return err
+			}
+			meta.pages = append(meta.pages, id)
+		}
+		e.buckets = append(e.buckets, meta)
+		for tok := range tokensInBucket {
+			e.postings[tok] = append(e.postings[tok], bi)
+			delete(tokensInBucket, tok)
+		}
+		raw.Reset()
+		return nil
+	}
+	n := 0
+	for _, line := range lines {
+		raw.Write(line)
+		raw.WriteByte('\n')
+		e.rawBytes += uint64(len(line) + 1)
+		e.lines++
+		for _, tok := range query.SplitTokens(string(line)) {
+			tokensInBucket[tok] = true
+		}
+		n++
+		if n == BucketLines {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			n = 0
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// RawBytes is the original event volume.
+func (e *Engine) RawBytes() uint64 { return e.rawBytes }
+
+// Lines is the event count.
+func (e *Engine) Lines() uint64 { return e.lines }
+
+// Buckets is the number of storage buckets.
+func (e *Engine) Buckets() int { return len(e.buckets) }
+
+// SearchResult reports one query execution.
+type SearchResult struct {
+	// Matches is the number of events satisfying the query.
+	Matches int
+	// Elapsed is the single-threaded wall-clock time.
+	Elapsed time.Duration
+	// CandidateBuckets is how many buckets survived index pruning.
+	CandidateBuckets int
+	// BytesScanned is the raw volume text-matched.
+	BytesScanned uint64
+	// IndexEffective is the fraction of buckets pruned by the index
+	// (0 = full scan, →1 = highly selective).
+	IndexEffective float64
+}
+
+// AmortizedElapsed divides elapsed time by the hyper-thread count, the
+// §7.5 upper-bound amortization in Splunk's favor (12 on the comparison
+// machine).
+func (r SearchResult) AmortizedElapsed(hyperThreads int) time.Duration {
+	if hyperThreads <= 0 {
+		hyperThreads = 12
+	}
+	return r.Elapsed / time.Duration(hyperThreads)
+}
+
+// Search executes the query on one thread: index pruning via positive
+// terms, then a text scan of candidate buckets.
+func (e *Engine) Search(q query.Query) (SearchResult, error) {
+	if err := q.Validate(); err != nil {
+		return SearchResult{}, err
+	}
+	start := time.Now()
+	candidates := e.candidateBuckets(q)
+	var res SearchResult
+	res.CandidateBuckets = len(candidates)
+	if len(e.buckets) > 0 {
+		res.IndexEffective = 1 - float64(len(candidates))/float64(len(e.buckets))
+	}
+	pageBuf := make([]byte, storage.PageSize)
+	var rawBuf []byte
+	for _, bi := range candidates {
+		meta := &e.buckets[bi]
+		rawBuf = rawBuf[:0]
+		remaining := meta.rawLen
+		for _, pid := range meta.pages {
+			if err := e.dev.Read(storage.External, pid, pageBuf); err != nil {
+				return res, fmt.Errorf("splunksim: bucket %d: %w", bi, err)
+			}
+			n := storage.PageSize
+			if n > remaining {
+				n = remaining
+			}
+			rawBuf = append(rawBuf, pageBuf[:n]...)
+			remaining -= n
+		}
+		res.BytesScanned += uint64(len(rawBuf))
+		data := rawBuf
+		for len(data) > 0 {
+			nl := bytes.IndexByte(data, '\n')
+			var line []byte
+			if nl < 0 {
+				line, data = data, nil
+			} else {
+				line, data = data[:nl], data[nl+1:]
+			}
+			if q.Match(string(line)) {
+				res.Matches++
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// candidateBuckets prunes with the inverted index: per intersection set,
+// candidates are the intersection of the positive terms' posting lists
+// (negative terms cannot prune); the query's candidates are the union
+// across sets. A set with no positive terms forces a full scan.
+func (e *Engine) candidateBuckets(q query.Query) []int32 {
+	all := func() []int32 {
+		out := make([]int32, len(e.buckets))
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	union := make(map[int32]bool)
+	for _, set := range q.Sets {
+		var positives [][]int32
+		for _, t := range set.Terms {
+			if !t.Negated {
+				positives = append(positives, e.postings[t.Token])
+			}
+		}
+		if len(positives) == 0 {
+			// Pure-negative set: the index cannot help at all (§7.5).
+			return all()
+		}
+		cand := intersectSorted(positives)
+		for _, bi := range cand {
+			union[bi] = true
+		}
+	}
+	out := make([]int32, 0, len(union))
+	for bi := range union {
+		out = append(out, bi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// intersectSorted intersects several sorted posting lists, smallest first.
+func intersectSorted(lists [][]int32) []int32 {
+	if len(lists) == 0 {
+		return nil
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	out := append([]int32(nil), lists[0]...)
+	for _, l := range lists[1:] {
+		if len(out) == 0 {
+			return nil
+		}
+		out = intersect2(out, l)
+	}
+	return out
+}
+
+func intersect2(a, b []int32) []int32 {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

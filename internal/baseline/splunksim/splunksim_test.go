@@ -1,0 +1,161 @@
+package splunksim
+
+import (
+	"testing"
+	"time"
+
+	"mithrilog/internal/loggen"
+	"mithrilog/internal/query"
+	"mithrilog/internal/storage"
+)
+
+func buildSmall(t testing.TB) (*Engine, *loggen.Dataset) {
+	t.Helper()
+	// Liberty2's long bursts cluster rare templates into few buckets,
+	// which is what gives the inverted index something to prune.
+	ds := loggen.Generate(loggen.Liberty2, 15000, 0)
+	dev := storage.New(storage.Config{})
+	e, err := Build(dev, ds.Lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, ds
+}
+
+func TestBuildAccounting(t *testing.T) {
+	e, ds := buildSmall(t)
+	if e.Lines() != uint64(len(ds.Lines)) || e.RawBytes() != uint64(ds.SizeBytes()) {
+		t.Fatalf("accounting: %d lines, %d bytes", e.Lines(), e.RawBytes())
+	}
+	if e.Buckets() != (len(ds.Lines)+BucketLines-1)/BucketLines {
+		t.Fatalf("buckets = %d", e.Buckets())
+	}
+}
+
+func TestSearchAgreesWithReference(t *testing.T) {
+	e, ds := buildSmall(t)
+	for _, qs := range []string{
+		`RAS AND KERNEL`,
+		`FATAL AND NOT INFO`,
+		`(TLB AND error) OR (machine AND check)`,
+		`NOT RAS`,
+		`missingtoken AND RAS`,
+	} {
+		q := query.MustParse(qs)
+		want := 0
+		for _, l := range ds.Lines {
+			if q.Match(string(l)) {
+				want++
+			}
+		}
+		res, err := e.Search(q)
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		if res.Matches != want {
+			t.Errorf("%s: search=%d ref=%d", qs, res.Matches, want)
+		}
+	}
+}
+
+func TestIndexPrunesSelectiveQueries(t *testing.T) {
+	e, _ := buildSmall(t)
+	// A rare, bursty token should prune many buckets.
+	res, err := e.Search(query.MustParse(`torus AND receiver`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IndexEffective < 0.2 {
+		t.Errorf("rare-token query pruned only %.0f%%", res.IndexEffective*100)
+	}
+}
+
+func TestNegativeTermsDefeatIndex(t *testing.T) {
+	// The §7.5 effect: a pure-negative set forces a full scan.
+	e, _ := buildSmall(t)
+	res, err := e.Search(query.MustParse(`NOT pbs_mom:`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CandidateBuckets != e.Buckets() {
+		t.Fatalf("pure-negative query should scan all %d buckets, got %d",
+			e.Buckets(), res.CandidateBuckets)
+	}
+	if res.IndexEffective != 0 {
+		t.Fatalf("index effectiveness should be zero, got %v", res.IndexEffective)
+	}
+	// A positive+negative query can still prune via the positive term.
+	res2, err := e.Search(query.MustParse(`torus AND NOT pbs_mom:`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CandidateBuckets >= res.CandidateBuckets {
+		t.Error("positive term should restore pruning")
+	}
+}
+
+func TestAmortizedElapsed(t *testing.T) {
+	r := SearchResult{Elapsed: 12 * time.Second}
+	if r.AmortizedElapsed(12) != time.Second {
+		t.Fatal("amortization by 12")
+	}
+	if r.AmortizedElapsed(0) != time.Second {
+		t.Fatal("default hyper-thread count should be 12")
+	}
+}
+
+func TestIntersectSorted(t *testing.T) {
+	got := intersectSorted([][]int32{{1, 3, 5, 7}, {3, 4, 5}, {5, 3}})
+	_ = got
+	// Note: lists must be sorted; the third is deliberately unsorted to
+	// document the contract — rebuild properly:
+	got = intersectSorted([][]int32{{1, 3, 5, 7}, {3, 4, 5}, {3, 5}})
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("intersect = %v", got)
+	}
+	if res := intersectSorted(nil); res != nil {
+		t.Fatal("empty input")
+	}
+	if res := intersectSorted([][]int32{{1, 2}, nil}); len(res) != 0 {
+		t.Fatalf("empty list should kill intersection: %v", res)
+	}
+}
+
+func TestSearchInvalidQuery(t *testing.T) {
+	e, _ := buildSmall(t)
+	if _, err := e.Search(query.Query{}); err == nil {
+		t.Fatal("empty query should fail validation")
+	}
+}
+
+func BenchmarkSearchSelective(b *testing.B) {
+	ds := loggen.Generate(loggen.BGL2, 4000, 0)
+	dev := storage.New(storage.Config{})
+	e, err := Build(dev, ds.Lines)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := query.MustParse(`torus AND receiver`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Search(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchNegativeHeavy(b *testing.B) {
+	ds := loggen.Generate(loggen.BGL2, 4000, 0)
+	dev := storage.New(storage.Config{})
+	e, err := Build(dev, ds.Lines)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := query.MustParse(`NOT pbs_mom:`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Search(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

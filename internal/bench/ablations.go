@@ -1,0 +1,357 @@
+package bench
+
+import (
+	"fmt"
+
+	"mithrilog/internal/cuckoo"
+	"mithrilog/internal/filter"
+	"mithrilog/internal/hwsim"
+	"mithrilog/internal/index"
+	"mithrilog/internal/loggen"
+	"mithrilog/internal/lzah"
+	"mithrilog/internal/query"
+	"mithrilog/internal/storage"
+)
+
+// DatapathRow quantifies the §7.4.1 datapath-width design decision: wider
+// datapaths waste more bits on padding but move more bytes per cycle;
+// resources scale with width. 16 bytes is the paper's sweet spot.
+type DatapathRow struct {
+	WidthBytes int
+	// UsefulRatio on the tokenized datapath at this width.
+	UsefulRatio float64
+	// EffectiveBytesPerCycle = width × useful ratio ÷ amplification-aware
+	// duplication — the throughput a single hash filter sees.
+	EffectiveBytesPerCycle float64
+	// PipelineLUTs from the scaled resource model.
+	PipelineLUTs int
+	// BytesPerCycleSTimesKLUT is the figure of merit (effective bytes per
+	// cycle per thousand LUTs).
+	EffPerKLUT float64
+}
+
+// AblationDatapathWidth sweeps the datapath width over a dataset sample.
+func AblationDatapathWidth(opts Options) []DatapathRow {
+	opts = opts.withDefaults()
+	ds := loggen.Generate(loggen.Liberty2, opts.linesFor(loggen.Liberty2), 0)
+	var out []DatapathRow
+	for _, width := range []int{8, 16, 32} {
+		// Token statistics at this width: words needed per token and the
+		// padding share. The tokenizer model is fixed at 16 B words, so
+		// compute the word statistics directly.
+		var useful, emitted uint64
+		for _, line := range ds.Lines {
+			for _, tok := range query.SplitTokens(string(line)) {
+				n := len(tok)
+				words := (n + width - 1) / width
+				if words == 0 {
+					words = 1
+				}
+				useful += uint64(n)
+				emitted += uint64(words * width)
+			}
+		}
+		ratio := float64(useful) / float64(emitted)
+		r := hwsim.ScaledPipelineResources(width)
+		eff := float64(width) * ratio
+		out = append(out, DatapathRow{
+			WidthBytes:             width,
+			UsefulRatio:            ratio,
+			EffectiveBytesPerCycle: eff,
+			PipelineLUTs:           r.LUTs,
+			EffPerKLUT:             eff / (float64(r.LUTs) / 1000),
+		})
+	}
+	return out
+}
+
+// HashFilterRow quantifies the two-hash-filters-per-pipeline decision:
+// with one filter the tokenized stream (≈2x amplified) outruns a single
+// one-word-per-cycle consumer.
+type HashFilterRow struct {
+	Filters int
+	// PipelineCycles for the same workload.
+	PipelineCycles uint64
+	// RelativeThroughput vs the 2-filter configuration.
+	RelativeThroughput float64
+}
+
+// AblationHashFilterCount compares 1 vs 2 vs 4 hash filters per pipeline.
+func AblationHashFilterCount(opts Options) ([]HashFilterRow, error) {
+	opts = opts.withDefaults()
+	ds := loggen.Generate(loggen.Liberty2, opts.linesFor(loggen.Liberty2)/4, 0)
+	block := ds.Text()
+	q := query.MustParse(`link AND down`)
+	var rows []HashFilterRow
+	var base uint64
+	for _, nf := range []int{1, 2, 4} {
+		p := filter.NewPipeline(filter.PipelineConfig{HashFilters: nf})
+		if err := p.Configure(q); err != nil {
+			return nil, err
+		}
+		if _, err := p.FilterBlock(block); err != nil {
+			return nil, err
+		}
+		cycles := p.Stats().Cycles
+		rows = append(rows, HashFilterRow{Filters: nf, PipelineCycles: cycles})
+		if nf == 2 {
+			base = cycles
+		}
+	}
+	for i := range rows {
+		rows[i].RelativeThroughput = float64(base) / float64(rows[i].PipelineCycles)
+	}
+	return rows, nil
+}
+
+// IndexHashRow quantifies §6.2: two hash functions spread hot tokens so
+// the worst-case pages fetched for a query token shrinks.
+type IndexHashRow struct {
+	HashFunctions int
+	// PagesFetched for a hot token's lookup.
+	PagesFetched int
+}
+
+// AblationIndexHashFunctions compares one vs two index hash functions by
+// forcing a hot token to share a bucket with a very common token.
+func AblationIndexHashFunctions(opts Options) ([]IndexHashRow, error) {
+	// With a single hash function (simulated by a 1-bucket index), a rare
+	// token inherits every hot token's pages. With two hash functions and
+	// balancing, its two buckets stay smaller.
+	devA := storage.New(storage.Config{})
+	one := index.New(devA, index.Params{Buckets: 1})
+	devB := storage.New(storage.Config{})
+	two := index.New(devB, index.Params{Buckets: 1024})
+	for p := storage.PageID(0); p < 2000; p++ {
+		if err := one.Add("hot", p); err != nil {
+			return nil, err
+		}
+		if err := two.Add("hot", p); err != nil {
+			return nil, err
+		}
+	}
+	if err := one.Add("rare", 2000); err != nil {
+		return nil, err
+	}
+	if err := two.Add("rare", 2000); err != nil {
+		return nil, err
+	}
+	r1, err := one.Lookup("rare")
+	if err != nil {
+		return nil, err
+	}
+	r2, err := two.Lookup("rare")
+	if err != nil {
+		return nil, err
+	}
+	return []IndexHashRow{
+		{HashFunctions: 1, PagesFetched: len(r1.Pages)},
+		{HashFunctions: 2, PagesFetched: len(r2.Pages)},
+	}, nil
+}
+
+// LZAHNewlineRow quantifies the §5 newline-realignment design decision.
+type LZAHNewlineRow struct {
+	Mode string
+	// Ratio per dataset, in Profiles() order.
+	Ratios []float64
+}
+
+// AblationLZAHNewline compares LZAH with and without newline realignment.
+func AblationLZAHNewline(opts Options) []LZAHNewlineRow {
+	opts = opts.withDefaults()
+	rows := []LZAHNewlineRow{{Mode: "newline-aligned"}, {Mode: "fixed-stride"}}
+	for _, p := range loggen.Profiles() {
+		src := loggen.Generate(p, opts.linesFor(p), 0).Text()
+		a := lzah.NewCodec(lzah.Options{})
+		b := lzah.NewCodec(lzah.Options{DisableNewlineAlign: true})
+		rows[0].Ratios = append(rows[0].Ratios, lzah.Ratio(len(src), len(a.Compress(nil, src))))
+		rows[1].Ratios = append(rows[1].Ratios, lzah.Ratio(len(src), len(b.Compress(nil, src))))
+	}
+	return rows
+}
+
+// IndexLayoutRow quantifies §6.1: tree-of-lists vs naive linked list.
+type IndexLayoutRow struct {
+	Layout string
+	// MemoryBytes is the ingest-time footprint.
+	MemoryBytes int
+	// DependentHops for a hot-token lookup (latency-bound accesses).
+	DependentHops int
+	// SimLookupMicros is the simulated lookup time in microseconds.
+	SimLookupMicros float64
+}
+
+// AblationIndexLayout contrasts the 16×16 tree index with naive lists at
+// two node sizes (small = latency-bound, large = memory-hungry).
+func AblationIndexLayout(opts Options) ([]IndexLayoutRow, error) {
+	const pages = 20000
+	const buckets = 1024
+	feed := func(add func(string, storage.PageID) error) error {
+		for p := storage.PageID(0); p < pages; p++ {
+			if err := add(fmt.Sprintf("t%d", p%50), p); err != nil {
+				return err
+			}
+		}
+		return add("hot", 0)
+	}
+
+	devT := storage.New(storage.Config{})
+	tree := index.New(devT, index.Params{Buckets: buckets})
+	if err := feed(tree.Add); err != nil {
+		return nil, err
+	}
+	for p := storage.PageID(0); p < 4096; p++ {
+		if err := tree.Add("hot", p); err != nil {
+			return nil, err
+		}
+	}
+	if err := tree.Flush(); err != nil {
+		return nil, err
+	}
+	tres, err := tree.Lookup("hot")
+	if err != nil {
+		return nil, err
+	}
+
+	buildList := func(nodeEntries int) (*index.ListIndex, index.ListLookupResult, error) {
+		dev := storage.New(storage.Config{})
+		li := index.NewList(dev, index.ListParams{Buckets: buckets, NodeEntries: nodeEntries})
+		if err := feed(li.Add); err != nil {
+			return nil, index.ListLookupResult{}, err
+		}
+		for p := storage.PageID(0); p < 4096; p++ {
+			if err := li.Add("hot", p); err != nil {
+				return nil, index.ListLookupResult{}, err
+			}
+		}
+		if err := li.Flush(); err != nil {
+			return nil, index.ListLookupResult{}, err
+		}
+		res, err := li.Lookup("hot")
+		return li, res, err
+	}
+
+	smallList, sres, err := buildList(16)
+	if err != nil {
+		return nil, err
+	}
+	bigList, bres, err := buildList(512)
+	if err != nil {
+		return nil, err
+	}
+
+	return []IndexLayoutRow{
+		{
+			Layout:          "tree 16x16",
+			MemoryBytes:     tree.MemoryFootprint(),
+			DependentHops:   tres.RootHops,
+			SimLookupMicros: float64(tree.SimulatedLookupTime(tres).Microseconds()),
+		},
+		{
+			Layout:          "list (16-entry nodes)",
+			MemoryBytes:     smallList.MemoryFootprint(),
+			DependentHops:   sres.NodeHops,
+			SimLookupMicros: float64(smallList.SimulatedLookupTime(sres).Microseconds()),
+		},
+		{
+			Layout:          "list (512-entry nodes)",
+			MemoryBytes:     bigList.MemoryFootprint(),
+			DependentHops:   bres.NodeHops,
+			SimLookupMicros: float64(bigList.SimulatedLookupTime(bres).Microseconds()),
+		},
+	}, nil
+}
+
+// CuckooCapacityRow reports offload capacity: how many random template
+// queries can be ORed into one accelerator configuration before cuckoo
+// placement fails.
+type CuckooCapacityRow struct {
+	Tokens    int
+	Succeeded bool
+}
+
+// AblationCuckooCapacity sweeps query token counts against the 256-row
+// table (placement should succeed comfortably to ~128 tokens, the 0.5
+// load factor).
+func AblationCuckooCapacity() []CuckooCapacityRow {
+	var out []CuckooCapacityRow
+	for _, n := range []int{32, 64, 96, 128, 160, 192, 224, 256} {
+		var terms []query.Term
+		for i := 0; i < n; i++ {
+			terms = append(terms, query.NewTerm(fmt.Sprintf("token%03d", i)))
+		}
+		_, err := cuckoo.Compile(query.Single(terms...), cuckoo.Config{})
+		out = append(out, CuckooCapacityRow{Tokens: n, Succeeded: err == nil})
+	}
+	return out
+}
+
+// LZAHTableRow sweeps the compression hash table size (§7.3.1 uses a
+// "modestly sized 16 KB" table): bigger tables find more matches but cost
+// more Block RAM.
+type LZAHTableRow struct {
+	TableBytes int
+	// Ratio per dataset, in Profiles() order.
+	Ratios []float64
+}
+
+// AblationLZAHTableSize measures compression ratio as the hash table
+// grows from 1 KiB to 64 KiB.
+func AblationLZAHTableSize(opts Options) []LZAHTableRow {
+	opts = opts.withDefaults()
+	sizes := []int{1 << 10, 4 << 10, 16 << 10, 64 << 10}
+	rows := make([]LZAHTableRow, len(sizes))
+	for i, sz := range sizes {
+		rows[i] = LZAHTableRow{TableBytes: sz}
+	}
+	for _, p := range loggen.Profiles() {
+		src := loggen.Generate(p, opts.linesFor(p), 0).Text()
+		for i, sz := range sizes {
+			c := lzah.NewCodec(lzah.Options{TableBytes: sz})
+			rows[i].Ratios = append(rows[i].Ratios, lzah.Ratio(len(src), len(c.Compress(nil, src))))
+		}
+	}
+	return rows
+}
+
+// PipelineCountRow sweeps the number of filter pipelines: throughput
+// scales until a bound (decompressor emit, storage supply, or the chip)
+// binds — the §4/§7.2 sizing decision that picked four.
+type PipelineCountRow struct {
+	Pipelines int
+	// GBps is the modeled aggregate filter throughput for a typical
+	// dataset (1.1 cycles/word work rate, 3.3x compression).
+	GBps float64
+	// LUTs is the busiest board's utilization at this count.
+	LUTs int
+	// FitsPrototype reports whether the count fits the 2x VC707 budget
+	// after the fixed infrastructure (PCIe, flash, Aurora) is placed.
+	FitsPrototype bool
+}
+
+// AblationPipelineCount sweeps 1..8 pipelines through the system model.
+// Chip accounting is per board: each VC707 carries the fixed
+// infrastructure (PCIe, flash controllers, Aurora — Table 2's total minus
+// its two pipelines) plus ceil(n/2) pipelines; the prototype has two
+// boards.
+func AblationPipelineCount() []PipelineCountRow {
+	infraPerBoard := hwsim.TotalResources.LUTs - 2*hwsim.PipelineResources.LUTs
+	var out []PipelineCountRow
+	for n := 1; n <= 8; n++ {
+		sys := hwsim.SystemConfig{Pipelines: n}
+		// Typical filter-bound workload: 1.1 cycles per 16-byte word.
+		rawBytes := uint64(16_000_000)
+		cycles := uint64(1_100_000)
+		gbps := sys.EffectiveFilterThroughput(rawBytes, cycles, 3.3)
+		perBoard := (n + 1) / 2
+		lutsPerBoard := infraPerBoard + perBoard*hwsim.PipelineResources.LUTs
+		out = append(out, PipelineCountRow{
+			Pipelines:     n,
+			GBps:          gbps / 1e9,
+			LUTs:          lutsPerBoard,
+			FitsPrototype: lutsPerBoard <= hwsim.VC707.LUTs,
+		})
+	}
+	return out
+}

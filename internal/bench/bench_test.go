@@ -1,0 +1,423 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"mithrilog/internal/loggen"
+)
+
+// tinyOpts keeps harness tests fast.
+var tinyOpts = Options{Lines: 4000, Singles: 6, Pairs: 4, Octets: 2}
+
+func buildTiny(t *testing.T) []*Workload {
+	t.Helper()
+	ws, err := BuildAll(tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ws
+}
+
+func TestWorkloadConstruction(t *testing.T) {
+	ws := buildTiny(t)
+	if len(ws) != 4 {
+		t.Fatalf("workloads = %d", len(ws))
+	}
+	for _, w := range ws {
+		if w.MithriLog.Lines() == 0 || w.SoftScan.Lines() == 0 || w.Splunk.Lines() == 0 {
+			t.Fatalf("%s: empty system", w.Profile.Name)
+		}
+		if w.Library.Len() == 0 {
+			t.Fatalf("%s: no templates", w.Profile.Name)
+		}
+		if len(w.Singles) == 0 || len(w.Pairs) != 4 || len(w.Octets) != 2 {
+			t.Fatalf("%s: query workload %d/%d/%d", w.Profile.Name, len(w.Singles), len(w.Pairs), len(w.Octets))
+		}
+		for _, q := range w.AllQueries() {
+			if err := q.Validate(); err != nil {
+				t.Fatalf("%s: invalid query %s: %v", w.Profile.Name, q, err)
+			}
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1(tinyOpts)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Templates < 10 {
+			t.Errorf("%s: only %d templates", r.Dataset, r.Templates)
+		}
+		if r.Lines == 0 || r.SizeMB <= 0 {
+			t.Errorf("%s: empty", r.Dataset)
+		}
+	}
+	// BGL2 stays the smallest, as in Table 1.
+	if rows[0].Lines >= rows[1].Lines {
+		t.Error("BGL2 should be the small dataset")
+	}
+	if !strings.Contains(FormatTable1(rows), "BGL2") {
+		t.Error("format")
+	}
+}
+
+func TestTables2348(t *testing.T) {
+	if len(Table2()) != 5 {
+		t.Error("table 2 rows")
+	}
+	if len(Table3()) != 2 {
+		t.Error("table 3 rows")
+	}
+	t4 := Table4()
+	if len(t4) != 4 || t4[3].Algorithm != "LZAH" {
+		t.Errorf("table 4: %+v", t4)
+	}
+	t8 := Table8()
+	if t8[3].MithriLog != 150 || t8[3].Software != 170 {
+		t.Errorf("table 8 totals: %+v", t8[3])
+	}
+	for _, s := range []string{
+		FormatTable2(Table2()), FormatTable3(Table3()),
+		FormatTable4(Table4()), FormatTable8(Table8()),
+	} {
+		if len(s) == 0 {
+			t.Error("empty format output")
+		}
+	}
+}
+
+func TestTable5Shapes(t *testing.T) {
+	rows, err := Table5(tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string][]float64{}
+	for _, r := range rows {
+		if len(r.Ratios) != 4 {
+			t.Fatalf("%s: %d ratios", r.Algorithm, len(r.Ratios))
+		}
+		byName[r.Algorithm] = r.Ratios
+	}
+	// Table 5 ordering: Gzip > LZ4 > LZAH on every dataset (LZRW1 and
+	// LZAH trade places by dataset in the paper too).
+	for i := range byName["LZAH"] {
+		if !(byName["Gzip"][i] > byName["LZ4"][i]) {
+			t.Errorf("dataset %d: gzip (%.2f) should beat lz4 (%.2f)", i, byName["Gzip"][i], byName["LZ4"][i])
+		}
+		if !(byName["LZ4"][i] > byName["LZAH"][i]) {
+			t.Errorf("dataset %d: lz4 (%.2f) should beat lzah (%.2f)", i, byName["LZ4"][i], byName["LZAH"][i])
+		}
+		if byName["LZAH"][i] < 1.5 {
+			t.Errorf("dataset %d: lzah ratio %.2f too low", i, byName["LZAH"][i])
+		}
+	}
+	_ = FormatTable5(rows)
+}
+
+func TestTable6Shapes(t *testing.T) {
+	ws := buildTiny(t)
+	res, err := Table6(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Find rows by system/batch.
+	get := func(system string, batch int) Table6Row {
+		for _, r := range res.Rows {
+			if r.System == system && r.Batch == batch {
+				return r
+			}
+		}
+		t.Fatalf("row %s%d missing", system, batch)
+		return Table6Row{}
+	}
+	m1 := get("MithriLog", 1)
+	m8 := get("MithriLog", 8)
+	s1 := get("MonetDB-like", 1)
+	for di := range m1.GBps {
+		// MithriLog throughput is flat across batch sizes and beats the
+		// software scan.
+		flat := m8.GBps[di] / m1.GBps[di]
+		if flat < 0.6 || flat > 1.6 {
+			t.Errorf("dataset %d: MithriLog not flat: %v vs %v", di, m1.GBps[di], m8.GBps[di])
+		}
+		if m1.GBps[di] < s1.GBps[di] {
+			t.Errorf("dataset %d: MithriLog (%.2f) below software (%.2f)", di, m1.GBps[di], s1.GBps[di])
+		}
+	}
+	for _, imp := range res.AvgImprovement {
+		if imp <= 1 {
+			t.Errorf("improvement %.2fx should exceed 1", imp)
+		}
+	}
+	_ = FormatTable6(res)
+}
+
+func TestTable7Shapes(t *testing.T) {
+	ws := buildTiny(t)
+	rows, err := Table7(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Improvement <= 0 {
+			t.Errorf("%s: improvement %.2f", r.Dataset, r.Improvement)
+		}
+	}
+	_ = FormatTable7(rows)
+}
+
+func TestFigure13Band(t *testing.T) {
+	rows := Figure13(tinyOpts)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.UsefulRatio < 0.35 || r.UsefulRatio > 0.75 {
+			t.Errorf("%s: useful ratio %.3f outside band", r.Dataset, r.UsefulRatio)
+		}
+	}
+	_ = FormatFigure13(rows)
+}
+
+func TestFigure14Band(t *testing.T) {
+	ws := buildTiny(t)
+	rows, err := Figure14(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.StorageBound {
+			// Storage-bound dataset (BGL2 in the paper): throughput must
+			// sit at the supply cap (internal BW × compression ratio).
+			if r.GBps > r.StorageBoundGBps+0.01 || r.GBps < r.StorageBoundGBps*0.95 {
+				t.Errorf("%s: %.2f GB/s not at the %.2f GB/s storage bound", r.Dataset, r.GBps, r.StorageBoundGBps)
+			}
+			continue
+		}
+		// Filter-bound datasets: the Figure 14 band, 10.5-12.8 GB/s.
+		if r.GBps < 9 || r.GBps > 12.81 {
+			t.Errorf("%s: %.2f GB/s outside the Figure 14 band", r.Dataset, r.GBps)
+		}
+	}
+	_ = FormatFigure14(rows)
+}
+
+func TestFigure15Shapes(t *testing.T) {
+	ws := buildTiny(t)[:1] // one dataset keeps the test quick
+	rows, err := Figure15(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// MithriLog's histogram mass must sit in higher buckets than the
+	// software engine's.
+	meanBucket := func(r Figure15Row) float64 {
+		sum, n := 0.0, 0
+		for i, b := range r.Buckets {
+			sum += float64(i) * float64(b.Count)
+			n += b.Count
+		}
+		return sum / float64(n)
+	}
+	if meanBucket(rows[1]) <= meanBucket(rows[0]) {
+		t.Errorf("MithriLog histogram (%v) not right of software (%v)", meanBucket(rows[1]), meanBucket(rows[0]))
+	}
+	_ = FormatFigure15(rows)
+}
+
+func TestFigure16Shapes(t *testing.T) {
+	// The Table 7 / Figure 16 advantage comes from heavy queries over
+	// enough data that single-threaded text scanning dominates; at toy
+	// scales the fixed flash latency of MithriLog's in-storage index can
+	// exceed an in-memory baseline's whole runtime. Build one dataset at
+	// a realistic (but still quick) scale.
+	w, err := BuildWorkload(loggen.Liberty2, Options{Lines: 40000, Singles: 15, Pairs: 8, Octets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Figure16([]*Workload{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(rows[0].Points) == 0 {
+		t.Fatal("no points")
+	}
+	// On total time MithriLog must win.
+	var s, m float64
+	for _, p := range rows[0].Points {
+		s += p.SplunkSeconds
+		m += p.MithriLogSeconds
+	}
+	if m >= s {
+		t.Errorf("MithriLog total %.4fs not below Splunk %.4fs", m, s)
+	}
+	_ = FormatFigure16(rows)
+}
+
+func TestAblations(t *testing.T) {
+	dp := AblationDatapathWidth(tinyOpts)
+	if len(dp) != 3 {
+		t.Fatal("datapath rows")
+	}
+	// Wider datapath => lower useful ratio (more padding).
+	if !(dp[0].UsefulRatio > dp[1].UsefulRatio && dp[1].UsefulRatio > dp[2].UsefulRatio) {
+		t.Errorf("useful ratio not monotone: %+v", dp)
+	}
+
+	hf, err := AblationHashFilterCount(tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One filter must be slower (more cycles) than two.
+	if hf[0].PipelineCycles <= hf[1].PipelineCycles {
+		t.Errorf("1 filter (%d cycles) should exceed 2 filters (%d)", hf[0].PipelineCycles, hf[1].PipelineCycles)
+	}
+
+	ih, err := AblationIndexHashFunctions(tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ih[1].PagesFetched >= ih[0].PagesFetched {
+		t.Errorf("two hash functions should fetch fewer pages: %+v", ih)
+	}
+
+	nl := AblationLZAHNewline(tinyOpts)
+	for i := range nl[0].Ratios {
+		if nl[0].Ratios[i] <= nl[1].Ratios[i] {
+			t.Errorf("dataset %d: newline alignment should improve ratio (%.2f vs %.2f)",
+				i, nl[0].Ratios[i], nl[1].Ratios[i])
+		}
+	}
+
+	il, err := AblationIndexLayout(tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tree needs far fewer dependent hops than the small-node list and far
+	// less memory than the big-node list.
+	if il[0].DependentHops >= il[1].DependentHops {
+		t.Errorf("tree hops %d should be below small-list hops %d", il[0].DependentHops, il[1].DependentHops)
+	}
+	if il[0].MemoryBytes >= il[2].MemoryBytes {
+		t.Errorf("tree memory %d should be below big-list memory %d", il[0].MemoryBytes, il[2].MemoryBytes)
+	}
+
+	cc := AblationCuckooCapacity()
+	if !cc[0].Succeeded || !cc[3].Succeeded {
+		t.Errorf("placement should succeed through 128 tokens: %+v", cc)
+	}
+	if cc[len(cc)-1].Succeeded {
+		t.Error("256 tokens into 256 rows should fail placement")
+	}
+
+	_ = FormatAblations(dp, hf, ih, nl, il, AblationLZAHTableSize(tinyOpts), AblationPipelineCount(), cc)
+}
+
+func TestExtensions(t *testing.T) {
+	ws := buildTiny(t)[:2]
+	tg, err := ExtensionTagging(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tg {
+		if r.Passes != (r.Templates+7)/8 {
+			t.Errorf("%s: passes %d for %d templates", r.Dataset, r.Passes, r.Templates)
+		}
+		if r.Lines == 0 || r.SimElapsed <= 0 {
+			t.Errorf("%s: empty tagging result %+v", r.Dataset, r)
+		}
+	}
+	rx, err := ExtensionRegex(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rx {
+		if !r.MatchesAgree {
+			t.Errorf("%s: regex and token paths disagree", r.Dataset)
+		}
+		if r.Slowdown <= 1 {
+			t.Errorf("%s: regex path should be slower (%.2fx)", r.Dataset, r.Slowdown)
+		}
+	}
+	if s := FormatExtensions(tg, rx); len(s) == 0 {
+		t.Error("format")
+	}
+}
+
+func TestExtensionParsing(t *testing.T) {
+	rows, err := ExtensionParsing(tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.GroupingAccuracy < 0 || r.GroupingAccuracy > 1 || r.F1 < 0 || r.F1 > 1 {
+			t.Errorf("%s/%s: metrics out of range %+v", r.Dataset, r.Method, r)
+		}
+		if r.Groups == 0 {
+			t.Errorf("%s/%s: no groups", r.Dataset, r.Method)
+		}
+		// All methods should achieve non-trivial pairwise agreement on
+		// synthetic data with clean templates.
+		if r.F1 < 0.1 {
+			t.Errorf("%s/%s: F1 %.3f implausibly low", r.Dataset, r.Method, r.F1)
+		}
+	}
+	if s := FormatParsing(rows); len(s) == 0 {
+		t.Error("format")
+	}
+}
+
+func TestAblationLZAHTableSize(t *testing.T) {
+	rows := AblationLZAHTableSize(tinyOpts)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Ratio must be monotone non-decreasing in table size on every dataset.
+	for d := 0; d < 4; d++ {
+		for i := 1; i < len(rows); i++ {
+			if rows[i].Ratios[d]+0.05 < rows[i-1].Ratios[d] {
+				t.Errorf("dataset %d: ratio fell from %.2f to %.2f as table grew",
+					d, rows[i-1].Ratios[d], rows[i].Ratios[d])
+			}
+		}
+	}
+}
+
+func TestAblationPipelineCount(t *testing.T) {
+	rows := AblationPipelineCount()
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Throughput grows with pipelines until a bound binds.
+	if rows[3].GBps <= rows[0].GBps {
+		t.Error("scaling broken")
+	}
+	// The prototype's 4 pipelines fit the 2x VC707 budget; 8 do not.
+	if !rows[3].FitsPrototype {
+		t.Error("4 pipelines must fit the prototype budget")
+	}
+	if rows[7].FitsPrototype {
+		t.Error("8 pipelines must exceed the prototype budget")
+	}
+	// Beyond the storage bound, extra pipelines stop helping.
+	if rows[7].GBps > rows[5].GBps*1.2 {
+		t.Errorf("throughput should saturate: %v vs %v", rows[7].GBps, rows[5].GBps)
+	}
+}

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"time"
+
+	"mithrilog/internal/core"
+	"mithrilog/internal/drain"
+	"mithrilog/internal/ftree"
+	"mithrilog/internal/loggen"
+	"mithrilog/internal/parseval"
+)
+
+// TaggingRow reports the §8 template-tagging extension on one dataset:
+// the whole store is scanned once per group of 8 templates, so tagging
+// cost grows with ceil(templates/8) passes while each pass runs at the
+// filter engines' wire speed.
+type TaggingRow struct {
+	Dataset   string
+	Templates int
+	Passes    int
+	Lines     uint64
+	Untagged  uint64
+	// SimElapsed is the simulated total tagging time.
+	SimElapsed time.Duration
+	// EffectiveGBps is raw dataset volume × passes / simulated time — the
+	// per-pass streaming rate achieved.
+	EffectiveGBps float64
+}
+
+// ExtensionTagging tags each workload's dataset with its own template
+// library and reports the per-dataset cost profile.
+func ExtensionTagging(ws []*Workload) ([]TaggingRow, error) {
+	var out []TaggingRow
+	for _, w := range ws {
+		tagger, err := w.MithriLog.NewTagger(w.Library.Queries())
+		if err != nil {
+			return nil, err
+		}
+		res, err := tagger.Run(false)
+		if err != nil {
+			return nil, err
+		}
+		row := TaggingRow{
+			Dataset:    w.Profile.Name,
+			Templates:  w.Library.Len(),
+			Passes:     res.Passes,
+			Lines:      res.Lines,
+			Untagged:   res.Untagged,
+			SimElapsed: res.SimElapsed,
+		}
+		if res.SimElapsed > 0 {
+			row.EffectiveGBps = float64(w.RawBytes()) * float64(res.Passes) /
+				res.SimElapsed.Seconds() / 1e9
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RegexRow contrasts the token engine against the software regex path
+// for an equivalent single-token query — the system-level form of the
+// §7.4.3 token-engine-vs-regex-accelerator argument.
+type RegexRow struct {
+	Dataset string
+	// TokenSim and RegexSim are the simulated query times.
+	TokenSim, RegexSim time.Duration
+	// Slowdown is RegexSim / TokenSim.
+	Slowdown float64
+	// MatchesAgree records that both paths returned the same line count.
+	MatchesAgree bool
+}
+
+// ExtensionRegex runs the literal pattern "FATAL" through both paths.
+func ExtensionRegex(ws []*Workload) ([]RegexRow, error) {
+	var out []RegexRow
+	for _, w := range ws {
+		tok, err := w.MithriLog.Search(mustParse(`FATAL`), core.SearchOptions{NoIndex: true})
+		if err != nil {
+			return nil, err
+		}
+		rexRes, err := w.MithriLog.SearchRegex(`FATAL`, false)
+		if err != nil {
+			return nil, err
+		}
+		row := RegexRow{
+			Dataset:      w.Profile.Name,
+			TokenSim:     tok.SimElapsed,
+			RegexSim:     rexRes.SimElapsed,
+			MatchesAgree: tok.Matches == rexRes.Matches,
+		}
+		if tok.SimElapsed > 0 {
+			row.Slowdown = float64(rexRes.SimElapsed) / float64(tok.SimElapsed)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// ParsingRow compares template-extraction methods against generation
+// ground truth, using the Grouping Accuracy / pairwise F1 methodology of
+// the log parsing benchmarks the paper cites [86].
+type ParsingRow struct {
+	Dataset string
+	Method  string
+	// Groups discovered vs TrueTemplates generated.
+	Groups, TrueTemplates int
+	// GroupingAccuracy and F1 against ground truth.
+	GroupingAccuracy, F1 float64
+}
+
+// ExtensionParsing evaluates FT-tree, the prefix tree, and Drain on each
+// dataset's ground-truth template labels.
+func ExtensionParsing(opts Options) ([]ParsingRow, error) {
+	opts = opts.withDefaults()
+	var out []ParsingRow
+	for _, p := range loggen.Profiles() {
+		ds := loggen.Generate(p, opts.linesFor(p), 0)
+
+		// FT-tree.
+		ft := ftree.Extract(ds.Lines, ftree.Params{MaxChildren: 40, MinSupport: 5, MaxDepth: 12})
+		ftPred := make([]int, len(ds.Lines))
+		for i, l := range ds.Lines {
+			ftPred[i] = ft.Classify(string(l))
+		}
+		r, err := parseval.Evaluate(ftPred, ds.TemplateIDs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ParsingRow{
+			Dataset: p.Name, Method: "FT-tree", Groups: ft.Len(),
+			TrueTemplates: ds.TrueTemplates, GroupingAccuracy: r.GroupingAccuracy, F1: r.F1,
+		})
+
+		// Prefix tree.
+		pt := ftree.ExtractPrefix(ds.Lines, ftree.PrefixParams{MaxChildren: 40, MinSupport: 5, MaxDepth: 12})
+		ptPred := make([]int, len(ds.Lines))
+		for i, l := range ds.Lines {
+			ptPred[i] = pt.Classify(string(l))
+		}
+		r, err = parseval.Evaluate(ptPred, ds.TemplateIDs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ParsingRow{
+			Dataset: p.Name, Method: "prefix-tree", Groups: pt.Len(),
+			TrueTemplates: ds.TrueTemplates, GroupingAccuracy: r.GroupingAccuracy, F1: r.F1,
+		})
+
+		// Drain (similarity 0.8: these logs carry long shared prefixes).
+		dr := drain.New(drain.Params{SimilarityThreshold: 0.8})
+		drPred := make([]int, len(ds.Lines))
+		for i, l := range ds.Lines {
+			drPred[i] = dr.Train(string(l)).ID
+		}
+		r, err = parseval.Evaluate(drPred, ds.TemplateIDs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ParsingRow{
+			Dataset: p.Name, Method: "Drain", Groups: dr.Len(),
+			TrueTemplates: ds.TrueTemplates, GroupingAccuracy: r.GroupingAccuracy, F1: r.F1,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"mithrilog/internal/core"
+	"mithrilog/internal/hwsim"
+	"mithrilog/internal/loggen"
+	"mithrilog/internal/tokenizer"
+)
+
+// Figure13Row mirrors Figure 13: the fraction of useful (non-padding)
+// bits on the tokenized datapath per dataset.
+type Figure13Row struct {
+	Dataset     string
+	UsefulRatio float64
+}
+
+// Figure13 tokenizes each dataset through the hardware tokenizer model
+// and reports the useful-bit ratio.
+func Figure13(opts Options) []Figure13Row {
+	opts = opts.withDefaults()
+	var out []Figure13Row
+	for _, p := range loggen.Profiles() {
+		ds := loggen.Generate(p, opts.linesFor(p), 0)
+		tk := tokenizer.New(tokenizer.DefaultBytesPerCycle)
+		var words []tokenizer.Word
+		for _, l := range ds.Lines {
+			words = tk.TokenizeLine(words[:0], l)
+		}
+		out = append(out, Figure13Row{Dataset: p.Name, UsefulRatio: tk.Stats().UsefulBitRatio()})
+	}
+	return out
+}
+
+// Figure14Row mirrors Figure 14: aggregate filter-engine throughput per
+// dataset, with the bound that limits it.
+type Figure14Row struct {
+	Dataset string
+	// GBps is the effective filter throughput at the modeled platform.
+	GBps float64
+	// StorageBoundGBps is the storage-supply cap (internal BW × ratio).
+	StorageBoundGBps float64
+	// StorageBound reports whether the dataset is supply-limited (BGL2 in
+	// the paper) rather than filter-limited.
+	StorageBound bool
+	// CompressionRatio achieved on this dataset.
+	CompressionRatio float64
+}
+
+// Figure14 runs a full-scan query through each workload's engine and
+// derives the aggregate filter throughput from the functional cycle
+// counts and compression ratio.
+func Figure14(ws []*Workload) ([]Figure14Row, error) {
+	sys := hwsim.SystemConfig{}.WithDefaults()
+	var out []Figure14Row
+	for _, w := range ws {
+		// A simple always-scanning query exercises the full pipeline.
+		q := w.Singles[0]
+		res, err := w.MithriLog.Search(q, core.SearchOptions{NoIndex: true})
+		if err != nil {
+			return nil, err
+		}
+		ratio := w.MithriLog.CompressionRatio()
+		// Per-pipeline work: the busiest pipeline's cycles over its share
+		// of the scanned text.
+		perPipeRaw := res.ScannedRawBytes / uint64(sys.Pipelines)
+		gbps := sys.EffectiveFilterThroughput(perPipeRaw, res.MaxPipelineCycles, ratio)
+		bound := sys.StorageBoundThroughput(ratio)
+		out = append(out, Figure14Row{
+			Dataset:          w.Profile.Name,
+			GBps:             gbps / 1e9,
+			StorageBoundGBps: bound / 1e9,
+			StorageBound:     bound < sys.DecompressorBound(),
+			CompressionRatio: ratio,
+		})
+	}
+	return out, nil
+}
+
+// HistogramBucket is one bar of the Figure 15 histogram.
+type HistogramBucket struct {
+	// Lo and Hi bound the effective-throughput bucket in GB/s; the last
+	// bucket's Hi is +Inf (rendered as "N+").
+	Lo, Hi float64
+	Count  int
+}
+
+// Figure15Row is one system's histogram for one dataset.
+type Figure15Row struct {
+	Dataset string
+	System  string
+	Buckets []HistogramBucket
+}
+
+// Figure15Edges are the non-linear bucket edges (GB/s), mirroring the
+// paper's non-linear x-axis.
+var Figure15Edges = []float64{0, 0.1, 0.25, 0.5, 1, 2, 4, 8, 12, 16}
+
+// Figure15 builds effective-throughput histograms over all queries for
+// both systems.
+func Figure15(ws []*Workload) ([]Figure15Row, error) {
+	var out []Figure15Row
+	for _, w := range ws {
+		softBuckets := newBuckets()
+		mithBuckets := newBuckets()
+		for _, q := range w.AllQueries() {
+			sres, err := w.SoftScan.Scan(q, 0)
+			if err != nil {
+				return nil, err
+			}
+			addToBucket(softBuckets, sres.EffectiveThroughput(w.RawBytes())/1e9)
+
+			mres, err := w.MithriLog.Search(q, core.SearchOptions{NoIndex: true})
+			if err != nil {
+				return nil, err
+			}
+			addToBucket(mithBuckets, mres.EffectiveThroughput(w.RawBytes())/1e9)
+		}
+		out = append(out,
+			Figure15Row{Dataset: w.Profile.Name, System: "MonetDB-like", Buckets: softBuckets},
+			Figure15Row{Dataset: w.Profile.Name, System: "MithriLog", Buckets: mithBuckets},
+		)
+	}
+	return out, nil
+}
+
+func newBuckets() []HistogramBucket {
+	out := make([]HistogramBucket, len(Figure15Edges))
+	for i := range out {
+		out[i].Lo = Figure15Edges[i]
+		if i+1 < len(Figure15Edges) {
+			out[i].Hi = Figure15Edges[i+1]
+		} else {
+			out[i].Hi = -1 // open-ended
+		}
+	}
+	return out
+}
+
+func addToBucket(buckets []HistogramBucket, gbps float64) {
+	for i := len(buckets) - 1; i >= 0; i-- {
+		if gbps >= buckets[i].Lo {
+			buckets[i].Count++
+			return
+		}
+	}
+	buckets[0].Count++
+}
+
+// ScatterPoint is one query on the Figure 16 scatter plot.
+type ScatterPoint struct {
+	// SplunkSeconds is the amortized (÷12) single-thread time.
+	SplunkSeconds float64
+	// MithriLogSeconds is the simulated end-to-end time.
+	MithriLogSeconds float64
+	// NegativeHeavy marks queries whose sets are mostly negative terms —
+	// the cluster the paper highlights at the slow edge.
+	NegativeHeavy bool
+}
+
+// Figure16Row is one dataset's scatter data.
+type Figure16Row struct {
+	Dataset string
+	Points  []ScatterPoint
+}
+
+// Figure16 runs every query end-to-end on both systems (indexes on).
+func Figure16(ws []*Workload) ([]Figure16Row, error) {
+	var out []Figure16Row
+	for _, w := range ws {
+		row := Figure16Row{Dataset: w.Profile.Name}
+		for _, q := range w.AllQueries() {
+			sres, err := w.Splunk.Search(q)
+			if err != nil {
+				return nil, err
+			}
+			mres, err := w.MithriLog.Search(q, core.SearchOptions{})
+			if err != nil {
+				return nil, err
+			}
+			neg, pos := 0, 0
+			for _, s := range q.Sets {
+				neg += s.Negatives()
+				pos += s.Positives()
+			}
+			row.Points = append(row.Points, ScatterPoint{
+				SplunkSeconds:    sres.AmortizedElapsed(HyperThreads).Seconds(),
+				MithriLogSeconds: mres.SimElapsed.Seconds(),
+				NegativeHeavy:    neg > pos,
+			})
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

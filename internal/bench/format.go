@@ -1,0 +1,296 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mithrilog/internal/loggen"
+)
+
+// datasetHeader renders the dataset column headers.
+func datasetHeader() string {
+	names := make([]string, 0, 4)
+	for _, p := range loggen.Profiles() {
+		names = append(names, fmt.Sprintf("%12s", p.Name))
+	}
+	return strings.Join(names, "")
+}
+
+// FormatTable1 renders Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: datasets (scaled-down synthetic equivalents)\n")
+	fmt.Fprintf(&sb, "%-12s %12s %12s %12s\n", "Dataset", "Lines", "Size (MB)", "Templates")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %12d %12.1f %12d\n", r.Dataset, r.Lines, r.SizeMB, r.Templates)
+	}
+	return sb.String()
+}
+
+// FormatTable2 renders Table 2.
+func FormatTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: chip resource utilization (VC707, paper-measured model)\n")
+	fmt.Fprintf(&sb, "%-14s %18s %16s %14s\n", "Module", "LUTs", "RAMB36", "RAMB18")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %10d (%4.1f%%) %9d (%4.1f%%) %7d (%4.1f%%)\n",
+			r.Module, r.LUTs, r.LUTPercent, r.RAMB36, r.RAMB36Pct, r.RAMB18, r.RAMB18Pct)
+	}
+	return sb.String()
+}
+
+// FormatTable3 renders Table 3.
+func FormatTable3(rows []Table3Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: compared platforms\n")
+	fmt.Fprintf(&sb, "%-12s %-40s %-40s\n", "Platform", "Computation", "Storage Bandwidth")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %-40s %-40s\n", r.Platform, r.Computation, r.StorageBandwidth)
+	}
+	return sb.String()
+}
+
+// FormatTable4 renders Table 4.
+func FormatTable4(rows []Table4Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 4: compression accelerator resource efficiency\n")
+	fmt.Fprintf(&sb, "%-10s %8s %8s %12s %-10s\n", "Algorithm", "GB/s", "KLUT", "GB/s/KLUT", "Source")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %8.3f %8.2f %12.3f %-10s\n", r.Algorithm, r.GBps, r.KLUTs, r.GBpsPerKLUT, r.Source)
+	}
+	return sb.String()
+}
+
+// FormatTable5 renders Table 5.
+func FormatTable5(rows []Table5Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 5: compression effectiveness (measured on synthetic datasets)\n")
+	fmt.Fprintf(&sb, "%-8s%s\n", "", datasetHeader())
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s", r.Algorithm)
+		for _, v := range r.Ratios {
+			fmt.Fprintf(&sb, "%11.2fx", v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FormatTable6 renders Table 6.
+func FormatTable6(res Table6Result) string {
+	var sb strings.Builder
+	sb.WriteString("Table 6: average effective throughput of batched queries (GB/s)\n")
+	fmt.Fprintf(&sb, "%-16s%s\n", "System", datasetHeader())
+	for _, r := range res.Rows {
+		fmt.Fprintf(&sb, "%-16s", fmt.Sprintf("%s%d", r.System, r.Batch))
+		for _, v := range r.GBps {
+			fmt.Fprintf(&sb, "%12.2f", v)
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%-16s", "Avg. improve.")
+	for _, v := range res.AvgImprovement {
+		fmt.Fprintf(&sb, "%11.2fx", v)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// FormatTable7 renders Table 7.
+func FormatTable7(rows []Table7Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 7: average performance improvement over the Splunk-like baseline\n")
+	fmt.Fprintf(&sb, "%-12s %14s %16s %16s\n", "Dataset", "Improvement", "Splunk total", "MithriLog total")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %13.2fx %16s %16s\n", r.Dataset, r.Improvement, r.SplunkTotal, r.MithriLogTotal)
+	}
+	return sb.String()
+}
+
+// FormatTable8 renders Table 8.
+func FormatTable8(rows []Table8Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 8: power consumption breakdown (paper-measured model)\n")
+	fmt.Fprintf(&sb, "%-22s %10s %10s\n", "Component", "MithriLog", "Software")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-22s %10.0f %10.0f\n", r.Component, r.MithriLog, r.Software)
+	}
+	return sb.String()
+}
+
+// FormatFigure13 renders Figure 13 as a bar list.
+func FormatFigure13(rows []Figure13Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 13: useful bits in the tokenized datapath\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %5.1f%%  %s\n", r.Dataset, r.UsefulRatio*100, bar(r.UsefulRatio, 1.0, 40))
+	}
+	return sb.String()
+}
+
+// FormatFigure14 renders Figure 14.
+func FormatFigure14(rows []Figure14Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 14: total filter-engine effective throughput (simulated)\n")
+	for _, r := range rows {
+		limit := "filter-bound"
+		if r.StorageBound {
+			limit = fmt.Sprintf("storage-bound (%.2f GB/s cap)", r.StorageBoundGBps)
+		}
+		fmt.Fprintf(&sb, "%-12s %6.2f GB/s  %s  [ratio %.2fx, %s]\n",
+			r.Dataset, r.GBps, bar(r.GBps, 13, 40), r.CompressionRatio, limit)
+	}
+	return sb.String()
+}
+
+// FormatFigure15 renders the histograms.
+func FormatFigure15(rows []Figure15Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 15: effective throughput histogram (queries per bucket, GB/s)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s / %s\n", r.Dataset, r.System)
+		for _, b := range r.Buckets {
+			if b.Count == 0 {
+				continue
+			}
+			hi := fmt.Sprintf("%g", b.Hi)
+			if b.Hi < 0 {
+				hi = "inf"
+			}
+			fmt.Fprintf(&sb, "  [%6g, %6s) %4d %s\n", b.Lo, hi, b.Count, strings.Repeat("#", b.Count))
+		}
+	}
+	return sb.String()
+}
+
+// FormatFigure16 renders the scatter as per-dataset summaries plus the
+// raw points (for external plotting).
+func FormatFigure16(rows []Figure16Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 16: per-query elapsed time, Splunk-like (amortized /12) vs MithriLog (simulated)\n")
+	for _, r := range rows {
+		var sMax, mMax, sSum, mSum float64
+		negSlow := 0
+		for _, p := range r.Points {
+			sSum += p.SplunkSeconds
+			mSum += p.MithriLogSeconds
+			if p.SplunkSeconds > sMax {
+				sMax = p.SplunkSeconds
+			}
+			if p.MithriLogSeconds > mMax {
+				mMax = p.MithriLogSeconds
+			}
+			if p.NegativeHeavy {
+				negSlow++
+			}
+		}
+		n := float64(len(r.Points))
+		fmt.Fprintf(&sb, "%-12s %3d queries  splunk avg/max %.4fs/%.4fs  mithrilog avg/max %.6fs/%.6fs  neg-heavy %d\n",
+			r.Dataset, len(r.Points), sSum/n, sMax, mSum/n, mMax, negSlow)
+	}
+	return sb.String()
+}
+
+// FormatAblations renders the design-decision benches.
+func FormatAblations(dp []DatapathRow, hf []HashFilterRow, ih []IndexHashRow, nl []LZAHNewlineRow, il []IndexLayoutRow, ts []LZAHTableRow, pc []PipelineCountRow, cc []CuckooCapacityRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: datapath width (token statistics + resource model)\n")
+	fmt.Fprintf(&sb, "%8s %12s %14s %14s %12s\n", "Width", "Useful", "EffB/cycle", "PipelineLUTs", "Eff/KLUT")
+	for _, r := range dp {
+		fmt.Fprintf(&sb, "%7dB %11.1f%% %14.2f %14d %12.3f\n", r.WidthBytes, r.UsefulRatio*100, r.EffectiveBytesPerCycle, r.PipelineLUTs, r.EffPerKLUT)
+	}
+	sb.WriteString("\nAblation: hash filters per pipeline\n")
+	fmt.Fprintf(&sb, "%8s %16s %12s\n", "Filters", "PipelineCycles", "RelThroughput")
+	for _, r := range hf {
+		fmt.Fprintf(&sb, "%8d %16d %11.2fx\n", r.Filters, r.PipelineCycles, r.RelativeThroughput)
+	}
+	sb.WriteString("\nAblation: index hash functions (hot-token bucket sharing)\n")
+	for _, r := range ih {
+		fmt.Fprintf(&sb, "  %d hash function(s): %d pages fetched for a rare token\n", r.HashFunctions, r.PagesFetched)
+	}
+	sb.WriteString("\nAblation: LZAH newline realignment\n")
+	fmt.Fprintf(&sb, "%-18s%s\n", "Mode", datasetHeader())
+	for _, r := range nl {
+		fmt.Fprintf(&sb, "%-18s", r.Mode)
+		for _, v := range r.Ratios {
+			fmt.Fprintf(&sb, "%11.2fx", v)
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("\nAblation: index layout (hot-token lookup)\n")
+	fmt.Fprintf(&sb, "%-24s %14s %10s %14s\n", "Layout", "MemoryBytes", "Hops", "SimLookup(us)")
+	for _, r := range il {
+		fmt.Fprintf(&sb, "%-24s %14d %10d %14.1f\n", r.Layout, r.MemoryBytes, r.DependentHops, r.SimLookupMicros)
+	}
+	sb.WriteString("\nAblation: LZAH hash table size\n")
+	fmt.Fprintf(&sb, "%-18s%s\n", "Table", datasetHeader())
+	for _, r := range ts {
+		fmt.Fprintf(&sb, "%-18s", fmt.Sprintf("%d KiB", r.TableBytes/1024))
+		for _, v := range r.Ratios {
+			fmt.Fprintf(&sb, "%11.2fx", v)
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("\nAblation: pipeline count (per-board LUTs vs modeled GB/s)\n")
+	for _, r := range pc {
+		fits := "fits"
+		if !r.FitsPrototype {
+			fits = "exceeds VC707"
+		}
+		fmt.Fprintf(&sb, "  %d pipelines: %6.2f GB/s, %7d LUTs/board (%s)\n", r.Pipelines, r.GBps, r.LUTs, fits)
+	}
+	sb.WriteString("\nAblation: cuckoo offload capacity (256-row table)\n")
+	for _, r := range cc {
+		status := "ok"
+		if !r.Succeeded {
+			status = "placement failed (software fallback)"
+		}
+		fmt.Fprintf(&sb, "  %3d tokens: %s\n", r.Tokens, status)
+	}
+	return sb.String()
+}
+
+// FormatExtensions renders the §8 extension experiments.
+func FormatExtensions(tg []TaggingRow, rx []RegexRow) string {
+	var sb strings.Builder
+	sb.WriteString("Extension: wire-speed template tagging (§8)\n")
+	fmt.Fprintf(&sb, "%-12s %10s %8s %10s %10s %14s %12s\n",
+		"Dataset", "Templates", "Passes", "Lines", "Untagged", "SimElapsed", "GB/s/pass")
+	for _, r := range tg {
+		fmt.Fprintf(&sb, "%-12s %10d %8d %10d %10d %14s %12.2f\n",
+			r.Dataset, r.Templates, r.Passes, r.Lines, r.Untagged,
+			r.SimElapsed.Round(time.Microsecond).String(), r.EffectiveGBps)
+	}
+	sb.WriteString("\nExtension: token engine vs software regex path (§7.4.3, §8)\n")
+	fmt.Fprintf(&sb, "%-12s %14s %14s %10s %8s\n", "Dataset", "Token (sim)", "Regex (sim)", "Slowdown", "Agree")
+	for _, r := range rx {
+		fmt.Fprintf(&sb, "%-12s %14s %14s %9.1fx %8v\n",
+			r.Dataset, r.TokenSim.Round(time.Microsecond), r.RegexSim.Round(time.Microsecond),
+			r.Slowdown, r.MatchesAgree)
+	}
+	return sb.String()
+}
+
+// FormatParsing renders the template-extraction quality comparison.
+func FormatParsing(rows []ParsingRow) string {
+	var sb strings.Builder
+	sb.WriteString("Extension: template extraction quality vs ground truth [86]\n")
+	fmt.Fprintf(&sb, "%-12s %-12s %8s %8s %14s %8s\n", "Dataset", "Method", "Groups", "True", "GroupAccuracy", "F1")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %-12s %8d %8d %14.3f %8.3f\n",
+			r.Dataset, r.Method, r.Groups, r.TrueTemplates, r.GroupingAccuracy, r.F1)
+	}
+	return sb.String()
+}
+
+func bar(v, max float64, width int) string {
+	if v < 0 {
+		v = 0
+	}
+	n := int(v / max * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("█", n) + strings.Repeat("·", width-n)
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"mithrilog/internal/loggen"
+	"mithrilog/internal/query"
+)
+
+func TestConcurrentSearches(t *testing.T) {
+	ds := loggen.Generate(loggen.BGL2, 2000, 0)
+	e := buildEngine(t, ds.Lines)
+	queries := []query.Query{
+		query.MustParse(`FATAL`),
+		query.MustParse(`parity AND error`),
+		query.MustParse(`NOT RAS`),
+		query.MustParse(`(TLB AND data) OR (machine AND check)`),
+	}
+	// Reference counts.
+	want := make([]int, len(queries))
+	for i, q := range queries {
+		want[i] = refCount(ds.Lines, q)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				qi := (w + i) % len(queries)
+				res, err := e.Search(queries[qi], SearchOptions{NoIndex: i%2 == 0})
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if res.Matches != want[qi] {
+					t.Errorf("worker %d query %d: %d != %d", w, qi, res.Matches, want[qi])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestConcurrentIngestAndSearch(t *testing.T) {
+	e := NewEngine(Config{})
+	if err := e.Ingest([][]byte{[]byte("seed alpha line")}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := e.Ingest([][]byte{[]byte("alpha streaming line")}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, err := e.Search(query.MustParse(`alpha`), SearchOptions{}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Search(query.MustParse(`alpha`), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 51 {
+		t.Fatalf("final matches = %d", res.Matches)
+	}
+}

@@ -1,0 +1,387 @@
+// Package core assembles the MithriLog system (§3): a simulated SSD with
+// near-storage filter pipelines behind its internal link, LZAH-compressed
+// data pages, and the in-storage inverted index. The Engine exposes the
+// paper's two host-visible operations — ingest and query — and reports
+// both functional results and the simulated platform timing from which
+// the §7 figures are reproduced.
+//
+// Ingest path: lines are batched into page groups, LZAH-compressed so
+// each group fits one 4 KiB storage page, written to the device, and the
+// group's distinct tokens are fed to the inverted index.
+//
+// Query path: the host compiles the query into the accelerator's cuckoo
+// tables (falling back to host-side evaluation if compilation fails),
+// consults the index for candidate pages, and streams those pages through
+// the near-storage pipelines: each page crosses the internal link, is
+// decompressed at one word per cycle, tokenized, and hash-filtered; only
+// matching lines cross the external link to the host.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"mithrilog/internal/filter"
+	"mithrilog/internal/hwsim"
+	"mithrilog/internal/index"
+	"mithrilog/internal/lzah"
+	"mithrilog/internal/storage"
+)
+
+// Config assembles an Engine.
+type Config struct {
+	// Storage configures the simulated SSD.
+	Storage storage.Config
+	// System configures the accelerator envelope (pipelines, clock).
+	System hwsim.SystemConfig
+	// Pipeline configures each filter pipeline.
+	Pipeline filter.PipelineConfig
+	// Index configures the inverted index.
+	Index index.Params
+	// Compression configures the LZAH codec.
+	Compression lzah.Options
+	// MaxLineBytes rejects pathologically long lines at ingest; lines
+	// must compress into a single page (default 3500).
+	MaxLineBytes int
+}
+
+func (c Config) withDefaults() Config {
+	c.System = c.System.WithDefaults()
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = 3500
+	}
+	return c
+}
+
+// ErrLineTooLong reports an ingest line exceeding MaxLineBytes.
+var ErrLineTooLong = errors.New("core: line too long for a single data page")
+
+// ErrNothingIngested reports a query against an empty engine.
+var ErrNothingIngested = errors.New("core: no data ingested")
+
+// Engine is a MithriLog instance. All exported methods are safe for
+// concurrent use: queries serialize on the accelerator, as they do in
+// hardware — concurrency is expressed by batching queries with OR (§4),
+// not by time-slicing the pipelines.
+type Engine struct {
+	mu  sync.Mutex
+	cfg Config
+
+	dev   *storage.Device
+	ix    *index.Index
+	codec *lzah.Codec // ingest-side compressor
+
+	pipelines []*filter.Pipeline
+	decoders  []*lzah.Codec // per-pipeline near-storage decompressors
+
+	dataPages []storage.PageID
+	rawBytes  uint64
+	compBytes uint64
+	lineCount uint64
+
+	// ingest batching state
+	pending      [][]byte
+	pendingBytes int
+	ratioGuess   float64
+
+	// ingest profiling (wall time per stage)
+	profile IngestProfile
+}
+
+// IngestProfile breaks down where ingest wall time goes; the paper's
+// ingest-path requirement is that indexing keeps up with storage (§6).
+type IngestProfile struct {
+	// CompressTime is host wall time spent in LZAH compression.
+	CompressTime time.Duration
+	// IndexTime is host wall time spent inserting tokens into the index.
+	IndexTime time.Duration
+	// PagesWritten and TokensIndexed count the work done.
+	PagesWritten  uint64
+	TokensIndexed uint64
+}
+
+// NewEngine builds an empty MithriLog system.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	dev := storage.New(cfg.Storage)
+	e := &Engine{
+		cfg:        cfg,
+		dev:        dev,
+		ix:         index.New(dev, cfg.Index),
+		codec:      lzah.NewCodec(cfg.Compression),
+		ratioGuess: 3.0,
+	}
+	for i := 0; i < cfg.System.Pipelines; i++ {
+		e.pipelines = append(e.pipelines, filter.NewPipeline(cfg.Pipeline))
+		e.decoders = append(e.decoders, lzah.NewCodec(cfg.Compression))
+	}
+	return e
+}
+
+// Device exposes the simulated SSD (for stats and benchmarks).
+func (e *Engine) Device() *storage.Device { return e.dev }
+
+// Index exposes the inverted index (for stats and snapshots).
+func (e *Engine) Index() *index.Index { return e.ix }
+
+// RawBytes is the total uncompressed text ingested (incl. newlines).
+func (e *Engine) RawBytes() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rawBytes
+}
+
+// CompressedBytes is the total compressed volume in data pages.
+func (e *Engine) CompressedBytes() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.compBytes
+}
+
+// Lines is the ingested line count.
+func (e *Engine) Lines() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lineCount
+}
+
+// DataPages is the number of data pages written.
+func (e *Engine) DataPages() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.dataPages)
+}
+
+// CompressionRatio is raw/compressed over all ingested data.
+func (e *Engine) CompressionRatio() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.compBytes == 0 {
+		return 0
+	}
+	return float64(e.rawBytes) / float64(e.compBytes)
+}
+
+// IndexMemoryFootprint reports the inverted index's resident bytes under
+// the engine lock (the index itself is single-writer).
+func (e *Engine) IndexMemoryFootprint() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ix.MemoryFootprint()
+}
+
+// Ingest appends log lines (without trailing newlines) to the store.
+// Lines are buffered and flushed page-by-page; call Flush (or TakeSnapshot)
+// to force out the final partial page.
+func (e *Engine) Ingest(lines [][]byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ingestLocked(lines)
+}
+
+func (e *Engine) ingestLocked(lines [][]byte) error {
+	for _, line := range lines {
+		if len(line) > e.cfg.MaxLineBytes {
+			return fmt.Errorf("%w: %d bytes", ErrLineTooLong, len(line))
+		}
+		e.pending = append(e.pending, line)
+		e.pendingBytes += len(line) + 1
+		// Flush when the batch should roughly fill a page at the current
+		// compression ratio estimate.
+		if float64(e.pendingBytes) >= e.ratioGuess*float64(storage.PageSize) {
+			if err := e.flushPending(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush writes any buffered lines into a final (possibly underfull) data
+// page and flushes the index.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.flushLocked()
+}
+
+func (e *Engine) flushLocked() error {
+	for len(e.pending) > 0 {
+		if err := e.flushPending(); err != nil {
+			return err
+		}
+	}
+	return e.ix.Flush()
+}
+
+// TakeSnapshot flushes and records a time boundary for range queries.
+func (e *Engine) TakeSnapshot(ts time.Time) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.flushLocked(); err != nil {
+		return err
+	}
+	return e.ix.TakeSnapshot(ts)
+}
+
+// flushPending compresses the largest prefix of pending lines that fits a
+// page, writes it, and indexes its tokens.
+func (e *Engine) flushPending() error {
+	if len(e.pending) == 0 {
+		return nil
+	}
+	n := len(e.pending)
+	var comp []byte
+	for {
+		comp = e.compressGroup(e.pending[:n])
+		if len(comp) <= storage.PageSize {
+			break
+		}
+		// Shrink proportionally to the overflow; always make progress.
+		n = n * storage.PageSize / len(comp)
+		if n < 1 {
+			n = 1
+		}
+		if n == 1 {
+			comp = e.compressGroup(e.pending[:1])
+			if len(comp) > storage.PageSize {
+				return fmt.Errorf("%w: single line compresses to %d bytes", ErrLineTooLong, len(comp))
+			}
+			break
+		}
+	}
+	group := e.pending[:n]
+	id, err := e.dev.Append(comp)
+	if err != nil {
+		return err
+	}
+	e.dataPages = append(e.dataPages, id)
+	e.profile.PagesWritten++
+	raw := 0
+	indexStart := time.Now()
+	seen := make(map[string]bool)
+	for _, line := range group {
+		raw += len(line) + 1
+		for _, tok := range splitTokens(line) {
+			if !seen[tok] {
+				seen[tok] = true
+				if err := e.ix.Add(tok, id); err != nil {
+					return err
+				}
+				e.profile.TokensIndexed++
+			}
+		}
+	}
+	e.profile.IndexTime += time.Since(indexStart)
+	e.rawBytes += uint64(raw)
+	e.compBytes += uint64(len(comp))
+	e.lineCount += uint64(n)
+	// Update the ratio estimate for future batch sizing.
+	if len(comp) > 0 {
+		e.ratioGuess = 0.5*e.ratioGuess + 0.5*float64(raw)/float64(len(comp))
+		if e.ratioGuess < 0.5 {
+			e.ratioGuess = 0.5
+		}
+	}
+	e.pending = e.pending[n:]
+	e.pendingBytes -= raw
+	if len(e.pending) == 0 {
+		e.pending = nil
+		e.pendingBytes = 0
+	}
+	return nil
+}
+
+// compressGroup LZAH-compresses a line group (newline separated).
+func (e *Engine) compressGroup(lines [][]byte) []byte {
+	var raw []byte
+	for _, l := range lines {
+		raw = append(raw, l...)
+		raw = append(raw, '\n')
+	}
+	start := time.Now()
+	out := e.codec.Compress(nil, raw)
+	e.profile.CompressTime += time.Since(start)
+	return out
+}
+
+// Profile returns the accumulated ingest-stage profile.
+func (e *Engine) Profile() IngestProfile {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.profile
+}
+
+// splitTokens tokenizes a line byte slice without converting to string
+// (the allocation shows up at ingest scale).
+func splitTokens(line []byte) []string {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			i++
+		}
+		if i > start {
+			out = append(out, string(line[start:i]))
+		}
+	}
+	return out
+}
+
+// Export streams the entire store's decompressed text to w, modeling §3's
+// second accelerator configuration: pages are decompressed near storage
+// and the decompressed text crosses the PCIe link. The simulated time is
+// therefore bounded by the slower of the internal compressed stream and
+// the external decompressed stream.
+func (e *Engine) Export(w io.Writer) (ExportResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var res ExportResult
+	if err := e.flushLocked(); err != nil {
+		return res, err
+	}
+	start := time.Now()
+	var rawBuf []byte
+	for _, pid := range e.dataPages {
+		page, err := e.dev.View(storage.Internal, pid)
+		if err != nil {
+			return res, err
+		}
+		rawBuf, err = e.decoders[0].Decompress(rawBuf[:0], page)
+		if err != nil {
+			return res, err
+		}
+		n, err := w.Write(rawBuf)
+		res.RawBytes += uint64(n)
+		if err != nil {
+			return res, err
+		}
+	}
+	internal := e.dev.TransferTime(storage.Internal, e.compBytes)
+	external := e.dev.TransferTime(storage.External, res.RawBytes)
+	if internal > external {
+		res.SimElapsed = internal
+	} else {
+		res.SimElapsed = external
+	}
+	res.WallElapsed = time.Since(start)
+	return res, nil
+}
+
+// ExportResult reports a full-store export.
+type ExportResult struct {
+	// RawBytes written to the sink.
+	RawBytes uint64
+	// SimElapsed is the simulated transfer time (§3 decompress-and-forward
+	// mode: max of internal compressed and external decompressed streams).
+	SimElapsed time.Duration
+	// WallElapsed is the measured host time.
+	WallElapsed time.Duration
+}

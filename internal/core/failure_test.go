@@ -1,0 +1,86 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mithrilog/internal/loggen"
+	"mithrilog/internal/query"
+)
+
+// errECC stands in for an uncorrectable device read error.
+var errECC = errors.New("uncorrectable ECC error")
+
+func TestSearchSurfacesReadFaults(t *testing.T) {
+	ds := loggen.Generate(loggen.BGL2, 2000, 0)
+	e := buildEngine(t, ds.Lines)
+	e.Device().FailNextReads(1, errECC)
+	_, err := e.Search(query.MustParse(`FATAL`), SearchOptions{NoIndex: true})
+	if !errors.Is(err, errECC) {
+		t.Fatalf("fault not surfaced: %v", err)
+	}
+	// The engine must recover once the fault clears.
+	res, err := e.Search(query.MustParse(`FATAL`), SearchOptions{NoIndex: true})
+	if err != nil {
+		t.Fatalf("engine did not recover: %v", err)
+	}
+	if res.Matches == 0 {
+		t.Fatal("post-fault search returned nothing")
+	}
+}
+
+func TestIndexLookupSurfacesReadFaults(t *testing.T) {
+	ds := loggen.Generate(loggen.BGL2, 20000, 0)
+	e := buildEngine(t, ds.Lines)
+	// Enough faults to hit an index traversal read (index lookups read
+	// index/leaf pages over the external link).
+	e.Device().FailNextReads(1, errECC)
+	_, err := e.Search(query.MustParse(`torus AND receiver`), SearchOptions{})
+	if !errors.Is(err, errECC) {
+		t.Fatalf("index fault not surfaced: %v", err)
+	}
+}
+
+func TestRegexSurfacesReadFaults(t *testing.T) {
+	ds := loggen.Generate(loggen.BGL2, 1000, 0)
+	e := buildEngine(t, ds.Lines)
+	e.Device().FailNextReads(1, errECC)
+	if _, err := e.SearchRegex(`FATAL`, false); !errors.Is(err, errECC) {
+		t.Fatalf("regex fault not surfaced: %v", err)
+	}
+}
+
+func TestTaggerSurfacesReadFaults(t *testing.T) {
+	e := buildEngine(t, [][]byte{[]byte("a line"), []byte("b line")})
+	tg, err := e.NewTagger([]query.Query{query.MustParse(`line`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Device().FailNextReads(1, errECC)
+	if _, err := tg.Run(false); !errors.Is(err, errECC) {
+		t.Fatalf("tagger fault not surfaced: %v", err)
+	}
+}
+
+func TestCorruptPageSurfacesDecompressError(t *testing.T) {
+	ds := loggen.Generate(loggen.BGL2, 1000, 0)
+	e := buildEngine(t, ds.Lines)
+	// Scribble over the first data page's LZAH payload-length field so
+	// decompression fails deterministically.
+	pid := e.dataPages[0]
+	garbage := make([]byte, 16)
+	for i := range garbage {
+		garbage[i] = 0xff
+	}
+	if err := e.Device().Write(pid, garbage); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Search(query.MustParse(`FATAL`), SearchOptions{NoIndex: true})
+	if err == nil {
+		t.Fatal("corrupt page should surface an error")
+	}
+	if !strings.Contains(err.Error(), "lzah") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mithrilog/internal/loggen"
+	"mithrilog/internal/query"
+)
+
+// TestMetamorphicSearchRelations checks algebraic relations that must hold
+// for any query over any store, regardless of index behaviour:
+//
+//	count(q OR q)            == count(q)          (idempotence)
+//	count(q1 OR q2)          >= max counts        (union grows)
+//	count(q1 OR q2)          <= count(q1)+count(q2)
+//	count(q AND extra-term)  <= count(q)          (restriction shrinks)
+//	count(q.Simplify())      == count(q)          (simplification is sound)
+//	count(index) == count(no-index)               (index is lossless)
+func TestMetamorphicSearchRelations(t *testing.T) {
+	ds := loggen.Generate(loggen.Thunderbird, 5000, 0)
+	e := buildEngine(t, ds.Lines)
+	count := func(q query.Query, noIndex bool) int {
+		res, err := e.Search(q, SearchOptions{NoIndex: noIndex})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Matches
+	}
+	vocab := []string{"RAS", "error", "kernel:", "lustre", "heartbeat", "ECC", "link", "NFS", "job", "disk"}
+	randomQuery := func(rng *rand.Rand) query.Query {
+		var terms []query.Term
+		used := map[string]bool{}
+		for i := 0; i < rng.Intn(3)+1; i++ {
+			tok := vocab[rng.Intn(len(vocab))]
+			if used[tok] {
+				continue
+			}
+			used[tok] = true
+			term := query.NewTerm(tok)
+			if rng.Intn(4) == 0 {
+				term = term.Not()
+			}
+			terms = append(terms, term)
+		}
+		if len(terms) == 0 {
+			terms = append(terms, query.NewTerm(vocab[0]))
+		}
+		return query.Single(terms...)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q1 := randomQuery(rng)
+		q2 := randomQuery(rng)
+		c1 := count(q1, false)
+		c2 := count(q2, false)
+
+		if count(q1.Or(q1), false) != c1 {
+			t.Logf("seed %d: OR idempotence broken for %s", seed, q1)
+			return false
+		}
+		u := count(q1.Or(q2), false)
+		if u < c1 || u < c2 || u > c1+c2 {
+			t.Logf("seed %d: union bounds broken: %d vs %d,%d", seed, u, c1, c2)
+			return false
+		}
+		restricted := query.Single(append(append([]query.Term(nil), q1.Sets[0].Terms...),
+			query.NewTerm(vocab[rng.Intn(len(vocab))]))...)
+		if err := restricted.Validate(); err == nil {
+			if count(restricted, false) > c1 {
+				t.Logf("seed %d: restriction grew: %s", seed, restricted)
+				return false
+			}
+		}
+		if count(q1.Or(q2).Simplify(), false) != u {
+			t.Logf("seed %d: simplify changed semantics", seed)
+			return false
+		}
+		if count(q1, true) != c1 {
+			t.Logf("seed %d: index changed results for %s", seed, q1)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIngestProfile(t *testing.T) {
+	ds := loggen.Generate(loggen.BGL2, 2000, 0)
+	e := buildEngine(t, ds.Lines)
+	p := e.Profile()
+	if p.PagesWritten == 0 || p.TokensIndexed == 0 {
+		t.Fatalf("profile counters empty: %+v", p)
+	}
+	if p.CompressTime <= 0 || p.IndexTime <= 0 {
+		t.Fatalf("profile times empty: %+v", p)
+	}
+	if int(p.PagesWritten) != e.DataPages() {
+		t.Fatalf("pages written %d != data pages %d", p.PagesWritten, e.DataPages())
+	}
+}

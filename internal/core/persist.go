@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mithrilog/internal/index"
+	"mithrilog/internal/storage"
+)
+
+// savedEngine is the gob-serialized on-disk form of an Engine. The device
+// pages carry both compressed data and the in-storage index nodes; the
+// saved index holds the in-memory hash table. Buffered (unflushed) lines
+// are flushed before saving so the file is self-contained.
+type savedEngine struct {
+	Magic     string
+	Version   int
+	Pages     [][]byte
+	Index     *index.SavedIndex
+	DataPages []uint32
+	RawBytes  uint64
+	CompBytes uint64
+	LineCount uint64
+}
+
+const (
+	saveMagic   = "MITHRILOG"
+	saveVersion = 1
+)
+
+// Save serializes the engine's full persistent state (storage pages,
+// inverted index, metadata) to w. Pending lines are flushed first.
+func (e *Engine) Save(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.flushLocked(); err != nil {
+		return err
+	}
+	s := savedEngine{
+		Magic:     saveMagic,
+		Version:   saveVersion,
+		Pages:     e.dev.Snapshot(),
+		Index:     e.ix.Save(),
+		RawBytes:  e.rawBytes,
+		CompBytes: e.compBytes,
+		LineCount: e.lineCount,
+	}
+	for _, p := range e.dataPages {
+		s.DataPages = append(s.DataPages, uint32(p))
+	}
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// LoadEngine reconstructs an engine from a stream produced by Save. The
+// configuration supplies the hardware model (pipelines, bandwidths); the
+// index geometry is restored from the file and overrides cfg.Index.
+func LoadEngine(cfg Config, r io.Reader) (*Engine, error) {
+	var s savedEngine
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decode saved engine: %w", err)
+	}
+	if s.Magic != saveMagic {
+		return nil, fmt.Errorf("core: not a MithriLog save file (magic %q)", s.Magic)
+	}
+	if s.Version != saveVersion {
+		return nil, fmt.Errorf("core: unsupported save version %d", s.Version)
+	}
+	cfg.Index = s.Index.Params
+	e := NewEngine(cfg)
+	if err := e.dev.Restore(s.Pages); err != nil {
+		return nil, err
+	}
+	ix, err := index.LoadIndex(e.dev, s.Index)
+	if err != nil {
+		return nil, err
+	}
+	e.ix = ix
+	for _, p := range s.DataPages {
+		e.dataPages = append(e.dataPages, storage.PageID(p))
+	}
+	e.rawBytes = s.RawBytes
+	e.compBytes = s.CompBytes
+	e.lineCount = s.LineCount
+	return e, nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"mithrilog/internal/loggen"
+	"mithrilog/internal/query"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := loggen.Generate(loggen.BGL2, 3000, 0)
+	orig := NewEngine(Config{})
+	if err := orig.Ingest(ds.Lines); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2021, 10, 18, 0, 0, 0, 0, time.UTC)
+	if err := orig.TakeSnapshot(t0); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadEngine(Config{}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Lines() != orig.Lines() || loaded.RawBytes() != orig.RawBytes() ||
+		loaded.CompressedBytes() != orig.CompressedBytes() || loaded.DataPages() != orig.DataPages() {
+		t.Fatalf("metadata mismatch: %d/%d lines, %d/%d raw",
+			loaded.Lines(), orig.Lines(), loaded.RawBytes(), orig.RawBytes())
+	}
+	if !loaded.Device().Equal(orig.Device()) {
+		t.Fatal("device contents differ")
+	}
+
+	// Queries on the loaded engine must produce identical results.
+	for _, qs := range []string{
+		`FATAL AND NOT INFO`,
+		`parity AND error`,
+		`(TLB AND data) OR (machine AND check)`,
+	} {
+		q := query.MustParse(qs)
+		a, err := orig.Search(q, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Search(q, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Matches != b.Matches {
+			t.Errorf("%s: %d vs %d matches after reload", qs, a.Matches, b.Matches)
+		}
+		if a.CandidatePages != b.CandidatePages {
+			t.Errorf("%s: index pruning differs after reload (%d vs %d pages)",
+				qs, a.CandidatePages, b.CandidatePages)
+		}
+	}
+
+	// Snapshots survive.
+	if got := loaded.Index().PagesBefore(t0); got != orig.Index().PagesBefore(t0) {
+		t.Fatal("snapshot boundary lost")
+	}
+
+	// The loaded engine accepts further ingest and indexes it correctly.
+	if err := loaded.Ingest([][]byte{[]byte("freshly added needle line")}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := loaded.Search(query.MustParse(`needle`), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 1 {
+		t.Fatalf("post-load ingest invisible: %d", res.Matches)
+	}
+}
+
+func TestLoadEngineRejectsGarbage(t *testing.T) {
+	if _, err := LoadEngine(Config{}, bytes.NewReader([]byte("not a save file"))); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	// Valid gob of the wrong shape / magic.
+	var buf bytes.Buffer
+	e := NewEngine(Config{})
+	if err := e.Ingest([][]byte{[]byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt the magic string inside the stream.
+	idx := bytes.Index(raw, []byte(saveMagic))
+	if idx < 0 {
+		t.Fatal("magic not found in stream")
+	}
+	raw[idx] = 'X'
+	if _, err := LoadEngine(Config{}, bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupted magic should fail")
+	}
+}
+
+func TestSaveFlushesPending(t *testing.T) {
+	e := NewEngine(Config{})
+	if err := e.Ingest([][]byte{[]byte("buffered line")}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngine(Config{}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loaded.Search(query.MustParse(`buffered`), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 1 {
+		t.Fatal("pending line lost across save")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"time"
+
+	"mithrilog/internal/rex"
+	"mithrilog/internal/storage"
+)
+
+// softwareRegexBytesPerSecond calibrates the host's regex scan rate in the
+// simulated timing; NFA simulation over text is markedly slower than
+// token-containment scanning (HARE's motivation, §7.4.3).
+const softwareRegexBytesPerSecond = 0.3e9
+
+// RegexResult reports a regex scan.
+type RegexResult struct {
+	// Matches is the number of matching lines.
+	Matches int
+	// Lines holds the matching lines when collect was set.
+	Lines [][]byte
+	// ScannedRawBytes is the decompressed volume evaluated.
+	ScannedRawBytes uint64
+	// SimElapsed models the §3 raw-page forwarding configuration: the
+	// accelerator forwards compressed pages over the PCIe link and the
+	// host decompresses and regex-matches in software — regexes are
+	// beyond the token engine, which is exactly the trade-off §7.4.3
+	// quantifies against HARE.
+	SimElapsed time.Duration
+	// WallElapsed is the measured host time of the simulation.
+	WallElapsed time.Duration
+}
+
+// SearchRegex scans every line against a rex pattern. The inverted index
+// cannot prune regex queries (no token predicate), so this is always a
+// full scan; the engine still benefits from LZAH having shrunk the PCIe
+// traffic.
+func (e *Engine) SearchRegex(pattern string, collect bool) (RegexResult, error) {
+	re, err := rex.Compile(pattern)
+	if err != nil {
+		return RegexResult{}, err
+	}
+	var res RegexResult
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.dataPages) == 0 && len(e.pending) == 0 {
+		return res, ErrNothingIngested
+	}
+	if len(e.pending) > 0 {
+		if err := e.flushLocked(); err != nil {
+			return res, err
+		}
+	}
+	start := time.Now()
+	buf := make([]byte, storage.PageSize)
+	var rawBuf []byte
+	for _, pid := range e.dataPages {
+		// Raw (compressed) pages cross the external link.
+		if err := e.dev.Read(storage.External, pid, buf); err != nil {
+			return res, err
+		}
+		rawBuf, err = e.codec.Decompress(rawBuf[:0], buf)
+		if err != nil {
+			return res, err
+		}
+		res.ScannedRawBytes += uint64(len(rawBuf))
+		data := rawBuf
+		for len(data) > 0 {
+			nl := bytes.IndexByte(data, '\n')
+			var line []byte
+			if nl < 0 {
+				line, data = data, nil
+			} else {
+				line, data = data[:nl], data[nl+1:]
+			}
+			if re.Match(line) {
+				res.Matches++
+				if collect {
+					res.Lines = append(res.Lines, append([]byte(nil), line...))
+				}
+			}
+		}
+	}
+	transfer := e.dev.TransferTime(storage.External, e.compBytes)
+	scan := time.Duration(float64(res.ScannedRawBytes) / softwareRegexBytesPerSecond * float64(time.Second))
+	if scan > transfer {
+		res.SimElapsed = scan
+	} else {
+		res.SimElapsed = transfer
+	}
+	res.WallElapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"regexp"
+	"testing"
+
+	"mithrilog/internal/loggen"
+)
+
+func TestSearchRegexMatchesStdlib(t *testing.T) {
+	ds := loggen.Generate(loggen.BGL2, 2000, 0)
+	e := buildEngine(t, ds.Lines)
+	for _, pattern := range []string{
+		`FATAL`,
+		`R\d\d-M\d`,
+		`(parity|TLB) error`,
+		`core\.\d+`,
+		`nothing-matches-this`,
+	} {
+		res, err := e.SearchRegex(pattern, true)
+		if err != nil {
+			t.Fatalf("%s: %v", pattern, err)
+		}
+		std := regexp.MustCompile(pattern)
+		want := 0
+		for _, l := range ds.Lines {
+			if std.Match(l) {
+				want++
+			}
+		}
+		if res.Matches != want {
+			t.Errorf("%s: got %d, want %d", pattern, res.Matches, want)
+		}
+		if len(res.Lines) != res.Matches {
+			t.Errorf("%s: lines %d != matches %d", pattern, len(res.Lines), res.Matches)
+		}
+		for _, l := range res.Lines {
+			if !std.Match(l) {
+				t.Errorf("%s: returned non-matching line %q", pattern, l)
+			}
+		}
+		if res.SimElapsed <= 0 {
+			t.Errorf("%s: no simulated time", pattern)
+		}
+	}
+}
+
+func TestSearchRegexErrors(t *testing.T) {
+	e := NewEngine(Config{})
+	if _, err := e.SearchRegex(`valid`, false); err != ErrNothingIngested {
+		t.Errorf("empty engine: %v", err)
+	}
+	e2 := buildEngine(t, [][]byte{[]byte("x")})
+	if _, err := e2.SearchRegex(`(unclosed`, false); err == nil {
+		t.Error("bad pattern should fail")
+	}
+}
+
+func TestSearchRegexSlowerThanTokenPath(t *testing.T) {
+	// The §7.4.3 relationship: the regex path's simulated time must exceed
+	// the offloaded token path's for an equivalent query.
+	ds := loggen.Generate(loggen.BGL2, 4000, 0)
+	e := buildEngine(t, ds.Lines)
+	tok, err := e.Search(mustQuery(t, `FATAL`), SearchOptions{NoIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rex, err := e.SearchRegex(`FATAL`, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rex.SimElapsed <= tok.SimElapsed {
+		t.Errorf("regex sim %v should exceed token sim %v", rex.SimElapsed, tok.SimElapsed)
+	}
+}

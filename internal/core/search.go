@@ -1,0 +1,412 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"time"
+
+	"mithrilog/internal/query"
+	"mithrilog/internal/storage"
+)
+
+// SearchOptions tune a query execution.
+type SearchOptions struct {
+	// NoIndex forces a full scan, bypassing the inverted index (the
+	// §7.4.2 configuration that isolates filter performance).
+	NoIndex bool
+	// CollectLines controls whether matching lines are materialized in
+	// the result (true for user queries; benchmarks may only need counts).
+	CollectLines bool
+	// From/To restrict the query to data pages between the snapshot
+	// boundaries enclosing the time range; zero values disable the bound.
+	From, To time.Time
+}
+
+// SearchResult reports a query execution with both functional output and
+// the simulated platform timing.
+type SearchResult struct {
+	// Matches is the number of lines satisfying the query.
+	Matches int
+	// Lines holds the matching lines if CollectLines was set.
+	Lines [][]byte
+
+	// TotalPages and CandidatePages describe index effectiveness.
+	TotalPages, CandidatePages int
+	// ScannedRawBytes is the decompressed volume that crossed the filter.
+	ScannedRawBytes uint64
+	// ScannedCompBytes is the compressed volume read over the internal link.
+	ScannedCompBytes uint64
+	// ReturnedBytes is the matching text volume sent to the host.
+	ReturnedBytes uint64
+
+	// Offloaded reports whether the accelerator path ran; false means the
+	// query could not be compiled into the cuckoo tables and host software
+	// evaluated it instead.
+	Offloaded bool
+	// UsedIndex reports whether the inverted index pruned the page set.
+	UsedIndex bool
+
+	// MaxPipelineCycles is the busiest pipeline's functional cycle count.
+	MaxPipelineCycles uint64
+	// IndexTime is the simulated index traversal time.
+	IndexTime time.Duration
+	// StreamTime is the simulated time to move the candidate pages over
+	// the relevant link (internal when offloaded, external on fallback).
+	StreamTime time.Duration
+	// FilterTime is the simulated accelerator (or host matcher) compute
+	// time; it overlaps StreamTime, and the slower of the two binds.
+	FilterTime time.Duration
+	// ReturnTime is the simulated time to move matching lines to the host.
+	ReturnTime time.Duration
+	// SimElapsed is the simulated end-to-end query time on the modeled
+	// platform: IndexTime + max(StreamTime, FilterTime) + ReturnTime.
+	SimElapsed time.Duration
+	// WallElapsed is the measured host wall-clock time of this simulation.
+	WallElapsed time.Duration
+}
+
+// EffectiveThroughput is the §7.4.2 metric: original dataset size divided
+// by (simulated) elapsed time. With an effective index or compression it
+// can exceed raw storage bandwidth.
+func (r SearchResult) EffectiveThroughput(datasetRawBytes uint64) float64 {
+	if r.SimElapsed <= 0 {
+		return 0
+	}
+	return float64(datasetRawBytes) / r.SimElapsed.Seconds()
+}
+
+// Search executes a query through the near-storage path.
+func (e *Engine) Search(q query.Query, opts SearchOptions) (SearchResult, error) {
+	start := time.Now()
+	var res SearchResult
+	if err := q.Validate(); err != nil {
+		return res, err
+	}
+	// Queries serialize on the accelerator: the pipelines hold one compiled
+	// query configuration at a time (concurrent queries batch with OR, §4).
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.dataPages) == 0 && len(e.pending) == 0 {
+		return res, ErrNothingIngested
+	}
+	// Make buffered lines visible: real systems answer queries over data
+	// that has reached storage; we flush for simplicity and determinism.
+	if len(e.pending) > 0 {
+		if err := e.flushLocked(); err != nil {
+			return res, err
+		}
+	}
+	res.TotalPages = len(e.dataPages)
+
+	// Plan: index-pruned candidate pages.
+	candidates, indexTime, usedIndex, err := e.plan(q, opts)
+	if err != nil {
+		return res, err
+	}
+	res.CandidatePages = len(candidates)
+	res.UsedIndex = usedIndex
+	res.IndexTime = indexTime
+
+	// Configure the accelerator. Any compile failure — too many sets,
+	// cuckoo placement failure, overflow exhaustion, conflicting column
+	// constraints, contradictory polarities — means the query cannot be
+	// offloaded; exactly as §4.2.1 prescribes, it falls back to host
+	// software evaluation.
+	offloaded := true
+	for _, p := range e.pipelines {
+		if err := p.Configure(q); err != nil {
+			offloaded = false
+			break
+		}
+	}
+	res.Offloaded = offloaded
+
+	if offloaded {
+		err = e.searchAccelerated(q, candidates, opts, &res)
+	} else {
+		err = e.searchSoftware(q, candidates, opts, &res)
+	}
+	if err != nil {
+		return res, err
+	}
+	res.SimElapsed = e.simulateElapsed(&res, offloaded)
+	res.WallElapsed = time.Since(start)
+	return res, nil
+}
+
+// plan consults the inverted index: per intersection set, intersect the
+// positive terms' candidate pages; union across sets. Sets without
+// positive terms force a full scan (negative terms cannot prune, §7.5).
+//
+// Unselective tokens are skipped without traversal: the in-memory bucket
+// counters give an O(1) upper bound on a token's candidate pages, and a
+// token hashing to buckets covering most of the store cannot prune the
+// intersection — it would only add latency-bound root hops. Skipping a
+// lookup can only widen the candidate set, which the filter corrects.
+// Independent lookups are issued concurrently, so the simulated index
+// time is the slowest chain's dependent hops plus the total transfer.
+func (e *Engine) plan(q query.Query, opts SearchOptions) (pages []storage.PageID, indexTime time.Duration, usedIndex bool, err error) {
+	lo, hi := e.rangeBounds(opts)
+	if opts.NoIndex {
+		return e.pagesInRange(lo, hi), 0, false, nil
+	}
+	totalPages := uint64(len(e.dataPages))
+	union := make(map[storage.PageID]bool)
+	fullScan := false
+	var maxChain time.Duration
+	var transfer time.Duration
+	for _, set := range q.Sets {
+		var lists [][]storage.PageID
+		positives := 0
+		pruners := 0
+		for _, t := range set.Terms {
+			if t.Negated {
+				continue
+			}
+			positives++
+			// Stop-word skip: a token whose buckets cover most pages
+			// cannot narrow the candidate set.
+			if e.ix.BucketPages(t.Token) > totalPages/2 {
+				continue
+			}
+			lr, lerr := e.ix.Lookup(t.Token)
+			if lerr != nil {
+				return nil, 0, false, lerr
+			}
+			pruners++
+			if chain := e.dev.DependentAccessTime(uint64(lr.RootHops)); chain > maxChain {
+				maxChain = chain
+			}
+			transfer += e.dev.TransferTime(storage.External,
+				uint64(lr.IndexPagesRead+lr.LeafPagesRead)*storage.PageSize)
+			lists = append(lists, lr.Pages)
+		}
+		if positives == 0 || pruners == 0 {
+			// No positive terms, or none selective enough to consult.
+			fullScan = true
+			continue
+		}
+		for _, p := range intersectPages(lists) {
+			union[p] = true
+		}
+	}
+	indexTime = maxChain + transfer
+	if fullScan {
+		return e.pagesInRange(lo, hi), indexTime, true, nil
+	}
+	// Restrict to the time range and preserve page order (the index
+	// normalized its reverse-chronological lists to ascending, §6.3).
+	out := make([]storage.PageID, 0, len(union))
+	for _, p := range e.pagesInRange(lo, hi) {
+		if union[p] {
+			out = append(out, p)
+		}
+	}
+	return out, indexTime, true, nil
+}
+
+func (e *Engine) rangeBounds(opts SearchOptions) (lo, hi storage.PageID) {
+	lo, hi = 0, ^storage.PageID(0)
+	if !opts.From.IsZero() {
+		lo = e.ix.PagesBefore(opts.From)
+	}
+	if !opts.To.IsZero() {
+		hi = e.ix.PagesBefore(opts.To)
+	}
+	return lo, hi
+}
+
+func (e *Engine) pagesInRange(lo, hi storage.PageID) []storage.PageID {
+	var out []storage.PageID
+	for _, p := range e.dataPages {
+		if p >= lo && p < hi {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func intersectPages(lists [][]storage.PageID) []storage.PageID {
+	if len(lists) == 0 {
+		return nil
+	}
+	out := lists[0]
+	for _, l := range lists[1:] {
+		out = intersect2Pages(out, l)
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	return out
+}
+
+func intersect2Pages(a, b []storage.PageID) []storage.PageID {
+	var out []storage.PageID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// searchAccelerated streams candidate pages through the near-storage
+// pipelines: pages are striped across pipelines, each page crossing the
+// internal link, decompressed, and filtered in place.
+func (e *Engine) searchAccelerated(q query.Query, candidates []storage.PageID, opts SearchOptions, res *SearchResult) error {
+	nPipes := len(e.pipelines)
+	type pageOut struct {
+		matches  int
+		kept     [][]byte
+		raw      uint64
+		retBytes uint64
+	}
+	outs := make([]pageOut, len(candidates))
+	var wg sync.WaitGroup
+	errCh := make(chan error, nPipes)
+	for pi := 0; pi < nPipes; pi++ {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			pipe := e.pipelines[pi]
+			dec := e.decoders[pi]
+			pipe.ResetStats()
+			dec.ResetStats()
+			var rawBuf []byte
+			for ci := pi; ci < len(candidates); ci += nPipes {
+				page, err := e.dev.View(storage.Internal, candidates[ci])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				rawBuf, err = dec.Decompress(rawBuf[:0], page)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				kept, err := pipe.FilterBlock(rawBuf)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				out := &outs[ci]
+				out.matches = len(kept)
+				out.raw = uint64(len(rawBuf))
+				for _, l := range kept {
+					out.retBytes += uint64(len(l) + 1)
+					if opts.CollectLines {
+						out.kept = append(out.kept, append([]byte(nil), l...))
+					}
+				}
+			}
+		}(pi)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	// Aggregate in page order.
+	for i := range outs {
+		o := &outs[i]
+		res.Matches += o.matches
+		res.ScannedRawBytes += o.raw
+		res.ReturnedBytes += o.retBytes
+		if opts.CollectLines {
+			res.Lines = append(res.Lines, o.kept...)
+		}
+	}
+	res.ScannedCompBytes = uint64(len(candidates)) * storage.PageSize
+	var maxCycles uint64
+	for _, p := range e.pipelines {
+		if c := p.Stats().Cycles; c > maxCycles {
+			maxCycles = c
+		}
+	}
+	res.MaxPipelineCycles = maxCycles
+	return nil
+}
+
+// searchSoftware is the host-side fallback when the accelerator cannot be
+// configured: pages cross the external link and the host evaluates the
+// reference matcher.
+func (e *Engine) searchSoftware(q query.Query, candidates []storage.PageID, opts SearchOptions, res *SearchResult) error {
+	var rawBuf []byte
+	buf := make([]byte, storage.PageSize)
+	for _, pid := range candidates {
+		if err := e.dev.Read(storage.External, pid, buf); err != nil {
+			return err
+		}
+		var err error
+		rawBuf, err = e.codec.Decompress(rawBuf[:0], buf)
+		if err != nil {
+			return err
+		}
+		res.ScannedRawBytes += uint64(len(rawBuf))
+		data := rawBuf
+		for len(data) > 0 {
+			nl := bytes.IndexByte(data, '\n')
+			var line []byte
+			if nl < 0 {
+				line, data = data, nil
+			} else {
+				line, data = data[:nl], data[nl+1:]
+			}
+			if q.Match(string(line)) {
+				res.Matches++
+				res.ReturnedBytes += uint64(len(line) + 1)
+				if opts.CollectLines {
+					res.Lines = append(res.Lines, append([]byte(nil), line...))
+				}
+			}
+		}
+	}
+	res.ScannedCompBytes = uint64(len(candidates)) * storage.PageSize
+	return nil
+}
+
+// simulateElapsed derives the modeled query time: index traversal, then
+// the slower of (a) streaming compressed pages over the appropriate link
+// and (b) the filter pipelines' cycle time, then returning matches to the
+// host over the external link.
+func (e *Engine) simulateElapsed(res *SearchResult, offloaded bool) time.Duration {
+	if offloaded {
+		res.StreamTime = e.dev.TransferTime(storage.Internal, res.ScannedCompBytes)
+		sys := e.cfg.System
+		if res.MaxPipelineCycles > 0 {
+			res.FilterTime = time.Duration(float64(res.MaxPipelineCycles) / sys.ClockHz * float64(time.Second))
+		}
+		res.ReturnTime = e.dev.TransferTime(storage.External, res.ReturnedBytes)
+	} else {
+		// Software path: everything crosses the external link, and the
+		// host matcher runs at a calibrated software text rate. Matching
+		// lines are already host-side, so ReturnTime is zero.
+		res.StreamTime = e.dev.TransferTime(storage.External, res.ScannedCompBytes)
+		res.FilterTime = time.Duration(float64(res.ScannedRawBytes) / softwareScanBytesPerSecond * float64(time.Second))
+	}
+	t := res.IndexTime + res.ReturnTime
+	if res.StreamTime > res.FilterTime {
+		t += res.StreamTime
+	} else {
+		t += res.FilterTime
+	}
+	if t <= 0 {
+		t = time.Nanosecond
+	}
+	return t
+}
+
+// softwareScanBytesPerSecond calibrates the host fallback's text
+// processing rate in the simulated timing (≈ a well-optimized
+// single-socket software scanner, per the paper's MonetDB observations of
+// ~1-3 GB/s effective on simple queries).
+const softwareScanBytesPerSecond = 1.5e9

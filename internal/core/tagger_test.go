@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mithrilog/internal/ftree"
+	"mithrilog/internal/loggen"
+	"mithrilog/internal/query"
+)
+
+func TestTaggerSinglePass(t *testing.T) {
+	lines := [][]byte{
+		[]byte("alpha one"),
+		[]byte("beta two"),
+		[]byte("alpha beta three"),
+		[]byte("gamma four"),
+	}
+	e := buildEngine(t, lines)
+	tq := []query.Query{
+		query.MustParse(`alpha`),
+		query.MustParse(`beta`),
+	}
+	tg, err := e.NewTagger(tq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.Passes() != 1 {
+		t.Fatalf("passes = %d", tg.Passes())
+	}
+	res, err := tg.Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lines != 4 {
+		t.Fatalf("lines = %d", res.Lines)
+	}
+	if res.Counts[0] != 2 || res.Counts[1] != 2 {
+		t.Fatalf("counts = %v", res.Counts)
+	}
+	if res.MultiTagged != 1 {
+		t.Fatalf("multi = %d", res.MultiTagged)
+	}
+	if res.Untagged != 1 {
+		t.Fatalf("untagged = %d", res.Untagged)
+	}
+	want := [][]int{{0}, {1}, {0, 1}, nil}
+	for i, w := range want {
+		if len(res.Tags[i]) != len(w) {
+			t.Fatalf("line %d tags %v, want %v", i, res.Tags[i], w)
+		}
+		for j := range w {
+			if res.Tags[i][j] != w[j] {
+				t.Fatalf("line %d tags %v, want %v", i, res.Tags[i], w)
+			}
+		}
+	}
+	if res.SimElapsed <= 0 {
+		t.Fatal("sim time missing")
+	}
+}
+
+func TestTaggerMultiPass(t *testing.T) {
+	// 20 templates at 8 sets/pass -> 3 passes.
+	var lines [][]byte
+	var tq []query.Query
+	for i := 0; i < 20; i++ {
+		tok := fmt.Sprintf("tmpl%02d", i)
+		for j := 0; j < 5; j++ {
+			lines = append(lines, []byte(fmt.Sprintf("%s line %d payload", tok, j)))
+		}
+		tq = append(tq, query.Single(query.NewTerm(tok)))
+	}
+	e := buildEngine(t, lines)
+	tg, err := e.NewTagger(tq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.Passes() != 3 {
+		t.Fatalf("passes = %d", tg.Passes())
+	}
+	res, err := tg.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lines != 100 || res.Untagged != 0 || res.MultiTagged != 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	for i := 0; i < 20; i++ {
+		if res.Counts[i] != 5 {
+			t.Fatalf("template %d count = %d", i, res.Counts[i])
+		}
+	}
+	if res.Tags != nil {
+		t.Fatal("tags should be nil when not collected")
+	}
+}
+
+func TestTaggerAgainstClassifier(t *testing.T) {
+	// Tag a synthetic dataset with its extracted template library; every
+	// line the classifier assigns to template T must carry T in its tags
+	// (template queries can over-tag; they must not under-tag).
+	ds := loggen.Generate(loggen.BGL2, 2000, 0)
+	lib := ftree.Extract(ds.Lines, ftree.Params{MaxChildren: 40, MinSupport: 5, MaxDepth: 12})
+	e := buildEngine(t, ds.Lines)
+	tg, err := e.NewTagger(lib.Queries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tg.Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lines != uint64(len(ds.Lines)) {
+		t.Fatalf("lines = %d", res.Lines)
+	}
+	checked := 0
+	for i, line := range ds.Lines {
+		id := lib.Classify(string(line))
+		if id < 0 {
+			continue
+		}
+		found := false
+		for _, tag := range res.Tags[i] {
+			if tag == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("line %d classified %d but tagged %v", i, id, res.Tags[i])
+		}
+		checked++
+	}
+	if checked < len(ds.Lines)/2 {
+		t.Fatalf("only %d/%d lines classified — template library too weak for the test", checked, len(ds.Lines))
+	}
+}
+
+func TestTaggerErrors(t *testing.T) {
+	e := NewEngine(Config{})
+	if _, err := e.NewTagger(nil); err == nil {
+		t.Error("empty template list should fail")
+	}
+	multi := query.MustParse(`a OR b`)
+	if _, err := e.NewTagger([]query.Query{multi}); err == nil {
+		t.Error("multi-set template should fail")
+	}
+	tq := []query.Query{query.MustParse(`a`)}
+	tg, err := e.NewTagger(tq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tg.Run(false); err != ErrNothingIngested {
+		t.Errorf("empty engine: %v", err)
+	}
+}
+
+func BenchmarkTaggerRun(b *testing.B) {
+	ds := loggen.Generate(loggen.BGL2, 2000, 0)
+	lib := ftree.Extract(ds.Lines, ftree.Params{MaxChildren: 40, MinSupport: 5, MaxDepth: 12})
+	e := NewEngine(Config{})
+	if err := e.Ingest(ds.Lines); err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	tg, err := e.NewTagger(lib.Queries())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(ds.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tg.Run(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

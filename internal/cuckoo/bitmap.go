@@ -1,0 +1,56 @@
+package cuckoo
+
+import "math/bits"
+
+// Bitmap is a fixed-width bit vector with one bit per hash table row; the
+// hash filter keeps one per intersection set to track which positive terms
+// of the set have been seen in the current line (§4.2.3).
+type Bitmap []uint64
+
+// NewBitmap allocates a bitmap covering n bits.
+func NewBitmap(n int) Bitmap { return make(Bitmap, (n+63)/64) }
+
+// Set sets bit i.
+func (b Bitmap) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b Bitmap) Clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Test reports whether bit i is set.
+func (b Bitmap) Test(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Reset zeroes the bitmap in place.
+func (b Bitmap) Reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Equal reports whether two bitmaps have identical contents.
+func (b Bitmap) Equal(o Bitmap) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy.
+func (b Bitmap) Clone() Bitmap {
+	out := make(Bitmap, len(b))
+	copy(out, b)
+	return out
+}
+
+// Count returns the number of set bits.
+func (b Bitmap) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

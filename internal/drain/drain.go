@@ -1,0 +1,251 @@
+// Package drain implements Drain [17], the fixed-depth-tree online log
+// parser the paper cites among prefix-tree template extractors (§2.1.3).
+// It provides a second, independent template-extraction method alongside
+// FT-tree, used by the parsing-quality comparison benchmark.
+//
+// Drain routes each incoming line through a fixed-depth tree: the first
+// level keys on the line's token count, the next Depth-1 levels key on the
+// leading tokens (with a wildcard child for tokens containing digits,
+// which are assumed variable), and each leaf holds a small list of log
+// groups. A line joins the group whose template it is most similar to
+// (token-wise similarity above SimilarityThreshold), updating the template
+// by wildcarding disagreeing positions; otherwise it starts a new group.
+package drain
+
+import (
+	"fmt"
+	"strings"
+
+	"mithrilog/internal/query"
+)
+
+// Wildcard marks a variable token position in a template.
+const Wildcard = "<*>"
+
+// Params configure the parser.
+type Params struct {
+	// Depth is the number of leading tokens used for tree routing
+	// (default 4, the original paper's setting).
+	Depth int
+	// SimilarityThreshold is the minimum fraction of equal tokens for a
+	// line to join an existing group (default 0.5).
+	SimilarityThreshold float64
+	// MaxChildren bounds each internal node's fan-out; overflow tokens
+	// route to the wildcard child (default 100).
+	MaxChildren int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Depth <= 0 {
+		p.Depth = 4
+	}
+	if p.SimilarityThreshold <= 0 {
+		p.SimilarityThreshold = 0.5
+	}
+	if p.MaxChildren <= 0 {
+		p.MaxChildren = 100
+	}
+	return p
+}
+
+// Group is one discovered log group (template cluster).
+type Group struct {
+	// ID is the group's index within the parser.
+	ID int
+	// Template is the group's token sequence with Wildcard at variable
+	// positions.
+	Template []string
+	// Count is the number of lines that joined the group.
+	Count int
+}
+
+// TemplateString renders the template.
+func (g *Group) TemplateString() string { return strings.Join(g.Template, " ") }
+
+// node is an internal routing node.
+type node struct {
+	children map[string]*node
+	groups   []*Group // only at leaves
+}
+
+func newNode() *node { return &node{children: make(map[string]*node)} }
+
+// Parser is an online Drain instance.
+type Parser struct {
+	params Params
+	// roots maps token count to that length's routing tree.
+	roots  map[int]*node
+	groups []*Group
+}
+
+// New creates an empty parser.
+func New(p Params) *Parser {
+	return &Parser{params: p.withDefaults(), roots: make(map[int]*node)}
+}
+
+// Groups returns the discovered groups.
+func (d *Parser) Groups() []*Group { return d.groups }
+
+// Len returns the number of groups.
+func (d *Parser) Len() int { return len(d.groups) }
+
+// hasDigits reports whether a token contains a digit — Drain's heuristic
+// for variable parameters.
+func hasDigits(tok string) bool {
+	for i := 0; i < len(tok); i++ {
+		if tok[i] >= '0' && tok[i] <= '9' {
+			return true
+		}
+	}
+	return false
+}
+
+// Train parses one line, returning the group it was assigned to.
+func (d *Parser) Train(line string) *Group {
+	toks := query.SplitTokens(line)
+	leaf := d.route(toks, true)
+	best := d.bestGroup(leaf, toks)
+	if best == nil {
+		g := &Group{ID: len(d.groups), Template: templateOf(toks), Count: 1}
+		d.groups = append(d.groups, g)
+		leaf.groups = append(leaf.groups, g)
+		return g
+	}
+	merge(best, toks)
+	best.Count++
+	return best
+}
+
+// Classify returns the group ID a line belongs to without updating any
+// group, or -1 if no group is similar enough.
+func (d *Parser) Classify(line string) int {
+	toks := query.SplitTokens(line)
+	leaf := d.route(toks, false)
+	if leaf == nil {
+		return -1
+	}
+	if g := d.bestGroup(leaf, toks); g != nil {
+		return g.ID
+	}
+	return -1
+}
+
+// route walks (and optionally grows) the fixed-depth tree to the leaf for
+// this token sequence.
+func (d *Parser) route(toks []string, grow bool) *node {
+	root, ok := d.roots[len(toks)]
+	if !ok {
+		if !grow {
+			return nil
+		}
+		root = newNode()
+		d.roots[len(toks)] = root
+	}
+	cur := root
+	depth := d.params.Depth
+	if depth > len(toks) {
+		depth = len(toks)
+	}
+	for i := 0; i < depth; i++ {
+		key := toks[i]
+		if hasDigits(key) {
+			key = Wildcard
+		}
+		next, ok := cur.children[key]
+		if !ok {
+			if !grow {
+				// Fall back to the wildcard child when classifying.
+				if wc, ok := cur.children[Wildcard]; ok {
+					cur = wc
+					continue
+				}
+				return nil
+			}
+			if key != Wildcard && len(cur.children) >= d.params.MaxChildren {
+				key = Wildcard
+				if wc, ok := cur.children[Wildcard]; ok {
+					cur = wc
+					continue
+				}
+			}
+			next = newNode()
+			cur.children[key] = next
+		}
+		cur = next
+	}
+	return cur
+}
+
+// bestGroup finds the most similar group at the leaf above the threshold.
+func (d *Parser) bestGroup(leaf *node, toks []string) *Group {
+	var best *Group
+	bestSim := d.params.SimilarityThreshold
+	for _, g := range leaf.groups {
+		sim := similarity(g.Template, toks)
+		if sim >= bestSim {
+			best = g
+			bestSim = sim
+		}
+	}
+	return best
+}
+
+// similarity is the fraction of positions where the template token equals
+// the line token (wildcards count as matches, per the Drain paper).
+func similarity(template, toks []string) float64 {
+	if len(template) != len(toks) {
+		return 0
+	}
+	if len(toks) == 0 {
+		return 1
+	}
+	same := 0
+	for i := range toks {
+		if template[i] == Wildcard || template[i] == toks[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(toks))
+}
+
+// merge wildcards template positions that disagree with the new line.
+func merge(g *Group, toks []string) {
+	for i := range g.Template {
+		if g.Template[i] != Wildcard && g.Template[i] != toks[i] {
+			g.Template[i] = Wildcard
+		}
+	}
+}
+
+// templateOf seeds a new group's template, pre-wildcarding digit tokens.
+func templateOf(toks []string) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		if hasDigits(t) {
+			out[i] = Wildcard
+		} else {
+			out[i] = t
+		}
+	}
+	return out
+}
+
+// Query compiles group id into a column-constrained engine query over its
+// constant tokens — Drain templates are positional, so they map onto the
+// prefix-tree (token@column) support of §4.3.
+func (d *Parser) Query(id int) (query.Query, error) {
+	if id < 0 || id >= len(d.groups) {
+		return query.Query{}, fmt.Errorf("drain: group %d out of range (0..%d)", id, len(d.groups)-1)
+	}
+	var set query.Intersection
+	for col, tok := range d.groups[id].Template {
+		if tok == Wildcard {
+			continue
+		}
+		set.Terms = append(set.Terms, query.NewTerm(tok).At(col))
+	}
+	if len(set.Terms) == 0 {
+		return query.Query{}, fmt.Errorf("drain: group %d is all wildcards", id)
+	}
+	return query.New(set), nil
+}

@@ -1,0 +1,156 @@
+package drain
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mithrilog/internal/loggen"
+)
+
+func TestTrainGroupsSimilarLines(t *testing.T) {
+	d := New(Params{})
+	for i := 0; i < 10; i++ {
+		d.Train(fmt.Sprintf("connection from node%d port %d closed", i, 1000+i))
+	}
+	if d.Len() != 1 {
+		for _, g := range d.Groups() {
+			t.Logf("group %d: %s (count %d)", g.ID, g.TemplateString(), g.Count)
+		}
+		t.Fatalf("want 1 group, got %d", d.Len())
+	}
+	g := d.Groups()[0]
+	if g.Count != 10 {
+		t.Fatalf("count = %d", g.Count)
+	}
+	// Variable positions wildcarded; constants kept.
+	tpl := g.TemplateString()
+	if !strings.Contains(tpl, "connection") || !strings.Contains(tpl, "closed") {
+		t.Fatalf("constants lost: %s", tpl)
+	}
+	if !strings.Contains(tpl, Wildcard) {
+		t.Fatalf("variables not wildcarded: %s", tpl)
+	}
+}
+
+func TestTrainSeparatesDistinctTemplates(t *testing.T) {
+	d := New(Params{})
+	for i := 0; i < 5; i++ {
+		d.Train(fmt.Sprintf("session opened for user u%d", i))
+		d.Train(fmt.Sprintf("disk error on device sd%d detected now", i))
+	}
+	if d.Len() != 2 {
+		for _, g := range d.Groups() {
+			t.Logf("group: %s", g.TemplateString())
+		}
+		t.Fatalf("want 2 groups, got %d", d.Len())
+	}
+}
+
+func TestTokenCountPartitions(t *testing.T) {
+	d := New(Params{})
+	d.Train("a b c")
+	d.Train("a b c d")
+	if d.Len() != 2 {
+		t.Fatalf("different lengths must not merge: %d groups", d.Len())
+	}
+}
+
+func TestClassify(t *testing.T) {
+	d := New(Params{})
+	var want int
+	for i := 0; i < 5; i++ {
+		g := d.Train(fmt.Sprintf("kernel panic on cpu %d", i))
+		want = g.ID
+	}
+	if got := d.Classify("kernel panic on cpu 99"); got != want {
+		t.Fatalf("classify = %d, want %d", got, want)
+	}
+	if got := d.Classify("totally different line shape"); got != -1 {
+		t.Fatalf("unknown line classified as %d", got)
+	}
+	if got := d.Classify("one two"); got != -1 {
+		t.Fatalf("unseen length classified as %d", got)
+	}
+}
+
+func TestDigitTokensRouteToWildcard(t *testing.T) {
+	d := New(Params{})
+	// Leading digit tokens must share a route so they can group.
+	a := d.Train("1001 job started on host alpha")
+	b := d.Train("1002 job started on host beta")
+	if a.ID != b.ID {
+		t.Fatalf("digit-led lines split: %d vs %d", a.ID, b.ID)
+	}
+}
+
+func TestMaxChildrenOverflow(t *testing.T) {
+	d := New(Params{MaxChildren: 2})
+	for i := 0; i < 10; i++ {
+		d.Train(fmt.Sprintf("w%c stable suffix tokens here", 'a'+i))
+	}
+	// With fan-out capped at 2, overflowing first tokens route to the
+	// wildcard child and can merge there.
+	if d.Len() >= 10 {
+		t.Fatalf("overflow routing failed: %d groups", d.Len())
+	}
+}
+
+func TestQueryCompilation(t *testing.T) {
+	d := New(Params{})
+	for i := 0; i < 5; i++ {
+		d.Train(fmt.Sprintf("auth failure from host h%d port %d", i, i))
+	}
+	q, err := d.Query(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.UsesColumns() {
+		t.Fatal("drain queries should be column-constrained")
+	}
+	if !q.Match("auth failure from host h9 port 17") {
+		t.Fatalf("query %s should match a fresh instance", q)
+	}
+	if q.Match("something else entirely here now") {
+		t.Fatal("query should not match other shapes")
+	}
+	if _, err := d.Query(99); err == nil {
+		t.Fatal("out of range should fail")
+	}
+}
+
+func TestOnSyntheticDataset(t *testing.T) {
+	// BGL2 lines carry a long shared prefix (epoch, date, node, RAS
+	// columns), which inflates Drain's token similarity and makes it
+	// merge aggressively at the default 0.5 threshold — a documented
+	// property of similarity-threshold parsers on prefix-heavy logs.
+	ds := loggen.Generate(loggen.BGL2, 3000, 0)
+	loose := New(Params{})
+	strict := New(Params{SimilarityThreshold: 0.8})
+	for _, l := range ds.Lines {
+		loose.Train(string(l))
+		strict.Train(string(l))
+	}
+	if loose.Len() < 2 || loose.Len() > 1000 {
+		t.Fatalf("loose group count %d implausible (true templates: %d)", loose.Len(), ds.TrueTemplates)
+	}
+	// A stricter threshold must refine the grouping.
+	if strict.Len() <= loose.Len() {
+		t.Fatalf("threshold monotonicity violated: strict %d <= loose %d", strict.Len(), loose.Len())
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	ds := loggen.Generate(loggen.BGL2, 2000, 0)
+	lines := make([]string, len(ds.Lines))
+	for i, l := range ds.Lines {
+		lines[i] = string(l)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := New(Params{})
+		for _, l := range lines {
+			d.Train(l)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package filter implements MithriLog's token filter: the hash filter
+// module that evaluates tokenized lines against a cuckoo-encoded query
+// (§4.2.3), and the filter pipeline that composes tokenizers and hash
+// filters behind a decompressor at wire speed (Figure 3).
+package filter
+
+import (
+	"fmt"
+
+	"mithrilog/internal/cuckoo"
+	"mithrilog/internal/tokenizer"
+)
+
+// HashFilter evaluates a stream of tokenized datapath words against a
+// compiled query. For each line it keeps one bitmap per intersection set,
+// with one bit per hash table row; a positive term that fires sets its row
+// bit in that set's bitmap, and a negative term that fires marks the set
+// violated. At line end, the line is kept iff some active set's bitmap
+// exactly equals the set's query bitmap and the set was not violated.
+//
+// The hardware consumes one datapath word per cycle; Words() exposes the
+// consumed-word count as the module's cycle account.
+type HashFilter struct {
+	table    *cuckoo.Table
+	queryBM  []cuckoo.Bitmap
+	lineBM   []cuckoo.Bitmap
+	violated []bool
+	active   int // number of intersection sets actually used by the query
+
+	tokBuf []byte
+	tokCol uint16
+
+	words uint64 // datapath words consumed (== busy cycles)
+	lines uint64
+	kept  uint64
+}
+
+// NewHashFilter builds a filter around a compiled table. active is the
+// number of intersection sets the query uses; the remaining flag pairs are
+// ignored (hardware leaves them invalid).
+func NewHashFilter(table *cuckoo.Table, active int) (*HashFilter, error) {
+	if active <= 0 || active > table.Sets() {
+		return nil, fmt.Errorf("filter: active sets %d out of range 1..%d", active, table.Sets())
+	}
+	h := &HashFilter{
+		table:    table,
+		queryBM:  table.QueryBitmaps(),
+		active:   active,
+		lineBM:   make([]cuckoo.Bitmap, table.Sets()),
+		violated: make([]bool, table.Sets()),
+	}
+	for i := range h.lineBM {
+		h.lineBM[i] = cuckoo.NewBitmap(table.Rows())
+	}
+	return h, nil
+}
+
+// Words returns the number of datapath words consumed; at one word per
+// cycle this is the module's busy-cycle count.
+func (h *HashFilter) Words() uint64 { return h.words }
+
+// Lines returns the number of completed lines observed.
+func (h *HashFilter) Lines() uint64 { return h.lines }
+
+// Kept returns the number of lines that satisfied the query.
+func (h *HashFilter) Kept() uint64 { return h.kept }
+
+// ResetStats clears the word/line counters (not the per-line state).
+func (h *HashFilter) ResetStats() { h.words, h.lines, h.kept = 0, 0, 0 }
+
+// Feed consumes one datapath word. When the word completes a line, Feed
+// returns lineDone=true and the keep decision for that line.
+func (h *HashFilter) Feed(w tokenizer.Word) (lineDone, keep bool) {
+	done, mask := h.FeedTagged(w)
+	return done, mask != 0
+}
+
+func (h *HashFilter) evalToken(tok []byte, col uint16) {
+	row, pairs, ok := h.table.LookupBytes(tok)
+	if !ok {
+		return
+	}
+	for si := 0; si < h.active; si++ {
+		p := pairs[si]
+		if !p.Valid {
+			continue
+		}
+		if p.Column != cuckoo.AnyColumn && p.Column != int16(col) {
+			continue
+		}
+		if p.Negative {
+			h.violated[si] = true
+		} else {
+			h.lineBM[si].Set(row)
+		}
+	}
+}
+
+func (h *HashFilter) resetLine() {
+	for si := 0; si < h.active; si++ {
+		h.lineBM[si].Reset()
+		h.violated[si] = false
+	}
+}
+
+// FeedLine runs a whole pre-tokenized line (its word stream) through the
+// filter and returns the keep decision. The words must form exactly one
+// line (final word flagged LastOfLine).
+func (h *HashFilter) FeedLine(words []tokenizer.Word) (bool, error) {
+	for i, w := range words {
+		done, keep := h.Feed(w)
+		if done {
+			if i != len(words)-1 {
+				return false, fmt.Errorf("filter: line terminated early at word %d/%d", i+1, len(words))
+			}
+			return keep, nil
+		}
+	}
+	return false, fmt.Errorf("filter: word stream did not terminate a line")
+}

@@ -1,0 +1,210 @@
+package filter
+
+import (
+	"bytes"
+	"fmt"
+
+	"mithrilog/internal/cuckoo"
+	"mithrilog/internal/query"
+	"mithrilog/internal/tokenizer"
+)
+
+// PipelineConfig sizes one filter pipeline (Figure 3).
+type PipelineConfig struct {
+	// Tokenizers is the number of tokenizer units (default 8).
+	Tokenizers int
+	// BytesPerCycle is the per-tokenizer ingest rate (default 2).
+	BytesPerCycle int
+	// HashFilters is the number of replicated hash filter modules fed by
+	// exclusive tokenizer groups (default 2, sized for the ~2x tokenized
+	// data amplification, §7.4.1).
+	HashFilters int
+	// Table sizes the cuckoo hash (rows, sets, overflow).
+	Table cuckoo.Config
+}
+
+func (c PipelineConfig) withDefaults() PipelineConfig {
+	if c.Tokenizers <= 0 {
+		c.Tokenizers = tokenizer.DefaultTokenizersPerPipeline
+	}
+	if c.BytesPerCycle <= 0 {
+		c.BytesPerCycle = tokenizer.DefaultBytesPerCycle
+	}
+	if c.HashFilters <= 0 {
+		c.HashFilters = 2
+	}
+	return c
+}
+
+// PipelineStats summarizes one pipeline's activity since the last reset.
+type PipelineStats struct {
+	// Tokenizer holds the aggregate tokenizer-array statistics, including
+	// the useful-bit ratio of Figure 13.
+	Tokenizer tokenizer.Stats
+	// FilterWords is the number of datapath words consumed per hash filter.
+	FilterWords []uint64
+	// Lines and Kept count processed and query-satisfying lines.
+	Lines, Kept uint64
+	// RawBytes is the uncompressed text volume processed.
+	RawBytes uint64
+	// Cycles is the pipeline's busy-cycle estimate: the slowest of the
+	// decompressor stage (16 B/cycle), the tokenizer array occupancy, and
+	// the busiest hash filter (one word/cycle).
+	Cycles uint64
+}
+
+// Pipeline is one filter pipeline: an array of tokenizers scattering lines
+// round-robin, feeding replicated hash filters in exclusive groups, with
+// outputs gathered in line order.
+type Pipeline struct {
+	cfg     PipelineConfig
+	array   *tokenizer.Array
+	filters []*HashFilter
+	table   *cuckoo.Table
+	q       query.Query
+
+	rawBytes uint64
+	lines    uint64
+	kept     uint64
+
+	wordBuf []tokenizer.Word
+}
+
+// NewPipeline builds an unconfigured pipeline; Configure must be called
+// with a query before filtering.
+func NewPipeline(cfg PipelineConfig) *Pipeline {
+	cfg = cfg.withDefaults()
+	return &Pipeline{
+		cfg:   cfg,
+		array: tokenizer.NewArray(cfg.Tokenizers, cfg.BytesPerCycle),
+	}
+}
+
+// Configure compiles the query into the pipeline's cuckoo table and resets
+// per-line state; this mirrors the host sending configuration commands to
+// the accelerator before issuing page reads (§3).
+func (p *Pipeline) Configure(q query.Query) error {
+	tbl, err := cuckoo.Compile(q, p.cfg.Table)
+	if err != nil {
+		return err
+	}
+	filters := make([]*HashFilter, p.cfg.HashFilters)
+	for i := range filters {
+		f, err := NewHashFilter(tbl, len(q.Sets))
+		if err != nil {
+			return err
+		}
+		filters[i] = f
+	}
+	p.table = tbl
+	p.filters = filters
+	p.q = q
+	return nil
+}
+
+// Table exposes the compiled cuckoo table (nil before Configure).
+func (p *Pipeline) Table() *cuckoo.Table { return p.table }
+
+// Query returns the configured query.
+func (p *Pipeline) Query() query.Query { return p.q }
+
+// FilterLines evaluates each line and returns the indices of kept lines,
+// in order.
+func (p *Pipeline) FilterLines(lines [][]byte) ([]int, error) {
+	if p.filters == nil {
+		return nil, fmt.Errorf("filter: pipeline not configured")
+	}
+	var keptIdx []int
+	groups := len(p.filters)
+	for i, line := range lines {
+		// Lines scatter round-robin over tokenizers; tokenizer groups feed
+		// hash filters exclusively, so line i lands on filter (i / groupSize) % groups
+		// — equivalently round-robin across filters per tokenizer turn.
+		f := p.filters[i%groups]
+		p.wordBuf = p.array.TokenizeLines(p.wordBuf[:0], [][]byte{line})
+		keep, err := f.FeedLine(p.wordBuf)
+		if err != nil {
+			return nil, err
+		}
+		p.rawBytes += uint64(len(line))
+		p.lines++
+		if keep {
+			p.kept++
+			keptIdx = append(keptIdx, i)
+		}
+	}
+	return keptIdx, nil
+}
+
+// FilterBlock splits a newline-separated text block (as emitted
+// line-aligned by the decompressor, §5) and returns the kept lines. The
+// returned slices alias the input block.
+func (p *Pipeline) FilterBlock(block []byte) ([][]byte, error) {
+	if p.filters == nil {
+		return nil, fmt.Errorf("filter: pipeline not configured")
+	}
+	var kept [][]byte
+	i := 0
+	for len(block) > 0 {
+		nl := bytes.IndexByte(block, '\n')
+		var line []byte
+		if nl < 0 {
+			line, block = block, nil
+		} else {
+			line, block = block[:nl], block[nl+1:]
+		}
+		f := p.filters[i%len(p.filters)]
+		p.wordBuf = p.array.TokenizeLines(p.wordBuf[:0], [][]byte{line})
+		keep, err := f.FeedLine(p.wordBuf)
+		if err != nil {
+			return nil, err
+		}
+		p.rawBytes += uint64(len(line))
+		p.lines++
+		if keep {
+			p.kept++
+			kept = append(kept, line)
+		}
+		i++
+	}
+	return kept, nil
+}
+
+// Stats returns the pipeline's accumulated statistics.
+func (p *Pipeline) Stats() PipelineStats {
+	ts := p.array.Stats()
+	st := PipelineStats{
+		Tokenizer: ts,
+		Lines:     p.lines,
+		Kept:      p.kept,
+		RawBytes:  p.rawBytes,
+	}
+	var maxFilter uint64
+	for _, f := range p.filters {
+		st.FilterWords = append(st.FilterWords, f.Words())
+		if f.Words() > maxFilter {
+			maxFilter = f.Words()
+		}
+	}
+	// Decompressor emits WordSize bytes of raw text per cycle; the
+	// tokenizer array advances at its occupancy; each hash filter consumes
+	// one word per cycle. The pipeline runs at the slowest stage.
+	decomp := (p.rawBytes + tokenizer.WordSize - 1) / tokenizer.WordSize
+	st.Cycles = decomp
+	if ts.Cycles > st.Cycles {
+		st.Cycles = ts.Cycles
+	}
+	if maxFilter > st.Cycles {
+		st.Cycles = maxFilter
+	}
+	return st
+}
+
+// ResetStats clears all statistics (the compiled query is retained).
+func (p *Pipeline) ResetStats() {
+	p.array.ResetStats()
+	for _, f := range p.filters {
+		f.ResetStats()
+	}
+	p.rawBytes, p.lines, p.kept = 0, 0, 0
+}

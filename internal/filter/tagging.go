@@ -1,0 +1,155 @@
+package filter
+
+import (
+	"bytes"
+	"fmt"
+
+	"mithrilog/internal/tokenizer"
+)
+
+// SetMask is a bitmask of satisfied intersection sets for one line: bit i
+// is set when intersection set i matched. This is the §8 "tagging each
+// log line with template IDs" extension: when each intersection set
+// encodes one template, the mask *is* the line's template membership, and
+// it falls out of the existing bitmap evaluation at no extra datapath
+// cost.
+type SetMask uint32
+
+// Has reports whether set i matched.
+func (m SetMask) Has(i int) bool { return m&(1<<uint(i)) != 0 }
+
+// Count returns the number of matched sets.
+func (m SetMask) Count() int {
+	n := 0
+	for v := m; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// decideMask returns the per-set match mask for the current line; the
+// plain keep decision is mask != 0.
+func (h *HashFilter) decideMask() SetMask {
+	var mask SetMask
+	for si := 0; si < h.active; si++ {
+		if !h.violated[si] && h.lineBM[si].Equal(h.queryBM[si]) {
+			mask |= 1 << uint(si)
+		}
+	}
+	return mask
+}
+
+// FeedTagged consumes one datapath word like Feed; when the word completes
+// a line it returns lineDone=true and the per-set match mask.
+func (h *HashFilter) FeedTagged(w tokenizer.Word) (lineDone bool, mask SetMask) {
+	h.words++
+	h.tokBuf = append(h.tokBuf, w.Bytes()...)
+	h.tokCol = w.Column
+	if w.LastOfToken {
+		if len(h.tokBuf) > 0 {
+			h.evalToken(h.tokBuf, h.tokCol)
+		}
+		h.tokBuf = h.tokBuf[:0]
+	}
+	if w.LastOfLine {
+		mask = h.decideMask()
+		h.resetLine()
+		h.lines++
+		if mask != 0 {
+			h.kept++
+		}
+		return true, mask
+	}
+	return false, 0
+}
+
+// FeedLineTagged runs a whole line's word stream through the filter and
+// returns its set mask.
+func (h *HashFilter) FeedLineTagged(words []tokenizer.Word) (SetMask, error) {
+	for i, w := range words {
+		done, mask := h.FeedTagged(w)
+		if done {
+			if i != len(words)-1 {
+				return 0, fmt.Errorf("filter: line terminated early at word %d/%d", i+1, len(words))
+			}
+			return mask, nil
+		}
+	}
+	return 0, fmt.Errorf("filter: word stream did not terminate a line")
+}
+
+// Tagged pairs a kept line with its set mask.
+type Tagged struct {
+	// Line aliases the scanned block.
+	Line []byte
+	// Mask has bit i set when intersection set i matched the line.
+	Mask SetMask
+}
+
+// TagBlock evaluates every line of a newline-separated block and returns
+// one SetMask per line, in order — including zero masks for lines that
+// match no set. This is the primitive behind §8's template-ID tagging:
+// the host receives a tag stream aligned with the line stream.
+func (p *Pipeline) TagBlock(masks []SetMask, block []byte) ([]SetMask, error) {
+	if p.filters == nil {
+		return nil, fmt.Errorf("filter: pipeline not configured")
+	}
+	i := 0
+	for len(block) > 0 {
+		nl := bytes.IndexByte(block, '\n')
+		var line []byte
+		if nl < 0 {
+			line, block = block, nil
+		} else {
+			line, block = block[:nl], block[nl+1:]
+		}
+		f := p.filters[i%len(p.filters)]
+		p.wordBuf = p.array.TokenizeLines(p.wordBuf[:0], [][]byte{line})
+		mask, err := f.FeedLineTagged(p.wordBuf)
+		if err != nil {
+			return nil, err
+		}
+		p.rawBytes += uint64(len(line))
+		p.lines++
+		if mask != 0 {
+			p.kept++
+		}
+		masks = append(masks, mask)
+		i++
+	}
+	return masks, nil
+}
+
+// FilterBlockTagged is FilterBlock returning, for every kept line, the
+// mask of intersection sets it satisfied. Lines matching no set are
+// filtered out exactly as in FilterBlock.
+func (p *Pipeline) FilterBlockTagged(block []byte) ([]Tagged, error) {
+	if p.filters == nil {
+		return nil, fmt.Errorf("filter: pipeline not configured")
+	}
+	var out []Tagged
+	i := 0
+	for len(block) > 0 {
+		nl := bytes.IndexByte(block, '\n')
+		var line []byte
+		if nl < 0 {
+			line, block = block, nil
+		} else {
+			line, block = block[:nl], block[nl+1:]
+		}
+		f := p.filters[i%len(p.filters)]
+		p.wordBuf = p.array.TokenizeLines(p.wordBuf[:0], [][]byte{line})
+		mask, err := f.FeedLineTagged(p.wordBuf)
+		if err != nil {
+			return nil, err
+		}
+		p.rawBytes += uint64(len(line))
+		p.lines++
+		if mask != 0 {
+			p.kept++
+			out = append(out, Tagged{Line: line, Mask: mask})
+		}
+		i++
+	}
+	return out, nil
+}

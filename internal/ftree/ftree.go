@@ -1,0 +1,328 @@
+// Package ftree implements frequency-tree (FT-tree) log template
+// extraction [84, 85] and the paper's §4.3 compilation of templates into
+// MithriLog's union-of-intersections query form. A prefix-tree variant —
+// the extension the paper sketches for column-constrained matching — is
+// provided in prefixtree.go.
+//
+// FT-tree builds a parse tree in which tokens that occur more frequently
+// across the whole dataset sit closer to the root: each line contributes
+// its distinct tokens sorted by descending global frequency. Sub-trees
+// fanning out too widely (variable message parameters) and paths with too
+// little support are pruned; every remaining root-to-leaf path is a
+// template.
+//
+// A template compiles to a boolean query as the paper describes: all path
+// tokens are positive terms, and at each branch point the siblings with
+// *higher* global frequency than the taken child are negated — had the
+// line contained such a token, frequency ordering would have routed it
+// down that sibling instead. Lower-frequency siblings need no negation.
+package ftree
+
+import (
+	"fmt"
+	"sort"
+
+	"mithrilog/internal/query"
+)
+
+// Params controls FT-tree construction and pruning.
+type Params struct {
+	// MaxChildren prunes a node's entire child set when it exceeds this
+	// fan-out, treating the position as a variable parameter field
+	// (default 8).
+	MaxChildren int
+	// MinSupport drops templates observed in fewer lines (default 2).
+	MinSupport int
+	// MaxDepth caps template length in tokens (default 8).
+	MaxDepth int
+}
+
+func (p Params) withDefaults() Params {
+	if p.MaxChildren <= 0 {
+		p.MaxChildren = 8
+	}
+	if p.MinSupport <= 0 {
+		p.MinSupport = 2
+	}
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 8
+	}
+	return p
+}
+
+// Template is one extracted log template: the key tokens identifying a
+// line class, ordered by descending global frequency.
+type Template struct {
+	// ID is the template's index within its library.
+	ID int
+	// Tokens is the root-to-leaf token path.
+	Tokens []string
+	// Negations are the higher-frequency siblings negated at each branch
+	// point, flattened; together with Tokens they form the template query.
+	Negations []string
+	// Support is the number of training lines that followed this path.
+	Support int
+}
+
+// node is one FT-tree vertex.
+type node struct {
+	token    string
+	count    int
+	children map[string]*node
+}
+
+func newNode(token string) *node {
+	return &node{token: token, children: make(map[string]*node)}
+}
+
+// Library is an extracted template library plus the global frequency table
+// needed to classify new lines.
+type Library struct {
+	params    Params
+	freq      map[string]int
+	templates []Template
+	root      *node
+	byPath    map[string]int // joined token path -> template ID
+}
+
+// Extract builds an FT-tree over the lines and returns the pruned template
+// library. Lines are tokenized with the reference tokenizer.
+func Extract(lines [][]byte, p Params) *Library {
+	p = p.withDefaults()
+	lib := &Library{params: p, freq: make(map[string]int), root: newNode(""), byPath: make(map[string]int)}
+
+	// Pass 1: global token frequencies.
+	tokenized := make([][]string, len(lines))
+	for i, line := range lines {
+		toks := query.SplitTokens(string(line))
+		tokenized[i] = toks
+		for _, t := range distinct(toks) {
+			lib.freq[t]++
+		}
+	}
+
+	// Pass 2: insert each line's frequency-sorted distinct tokens.
+	for _, toks := range tokenized {
+		path := lib.sortByFrequency(distinct(toks))
+		if len(path) > p.MaxDepth {
+			path = path[:p.MaxDepth]
+		}
+		cur := lib.root
+		cur.count++
+		for _, t := range path {
+			next, ok := cur.children[t]
+			if !ok {
+				next = newNode(t)
+				cur.children[t] = next
+			}
+			next.count++
+			cur = next
+		}
+	}
+
+	lib.prune(lib.root)
+	lib.enumerate()
+	return lib
+}
+
+// distinct returns the unique tokens preserving first-seen order.
+func distinct(toks []string) []string {
+	seen := make(map[string]bool, len(toks))
+	var out []string
+	for _, t := range toks {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// sortByFrequency orders tokens by descending global frequency, breaking
+// ties lexicographically for determinism.
+func (l *Library) sortByFrequency(toks []string) []string {
+	out := append([]string(nil), toks...)
+	sort.Slice(out, func(i, j int) bool { return l.freqLess(out[i], out[j]) })
+	return out
+}
+
+// freqLess reports whether a sorts before b (higher frequency first).
+func (l *Library) freqLess(a, b string) bool {
+	fa, fb := l.freq[a], l.freq[b]
+	if fa != fb {
+		return fa > fb
+	}
+	return a < b
+}
+
+// prune removes over-fanned child sets and under-supported branches.
+func (l *Library) prune(n *node) {
+	if len(n.children) > l.params.MaxChildren {
+		// Variable parameter field: cut the whole sub-tree here.
+		n.children = make(map[string]*node)
+		return
+	}
+	for tok, child := range n.children {
+		if child.count < l.params.MinSupport {
+			delete(n.children, tok)
+			continue
+		}
+		l.prune(child)
+	}
+}
+
+// enumerate walks the pruned tree collecting templates with their sibling
+// negations. A template ends wherever lines terminate: at every leaf, and
+// at internal nodes where sufficiently many lines end (their count exceeds
+// the sum of their surviving children's counts) — Figure 7's template 2
+// ends at an internal node this way.
+func (l *Library) enumerate() {
+	l.templates = l.templates[:0]
+	var path []string
+	var negs []string
+	var walk func(n *node)
+	emit := func(n *node, support int, extraNegs []string) {
+		if len(path) == 0 {
+			return
+		}
+		id := len(l.templates)
+		allNegs := append(append([]string(nil), negs...), extraNegs...)
+		l.templates = append(l.templates, Template{
+			ID:        id,
+			Tokens:    append([]string(nil), path...),
+			Negations: allNegs,
+			Support:   support,
+		})
+		l.byPath[joinPath(path)] = id
+	}
+	walk = func(n *node) {
+		if len(n.children) == 0 {
+			emit(n, n.count, nil)
+			return
+		}
+		childSum := 0
+		for _, c := range n.children {
+			childSum += c.count
+		}
+		if ends := n.count - childSum; ends >= l.params.MinSupport {
+			// A line ends here only if it lacks every continuation token,
+			// so the template negates the node's surviving children.
+			children := make([]string, 0, len(n.children))
+			for k := range n.children {
+				children = append(children, k)
+			}
+			sort.Slice(children, func(i, j int) bool { return l.freqLess(children[i], children[j]) })
+			emit(n, ends, children)
+		}
+		// Deterministic order: visit children by frequency order.
+		keys := make([]string, 0, len(n.children))
+		for k := range n.children {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return l.freqLess(keys[i], keys[j]) })
+		for _, k := range keys {
+			child := n.children[k]
+			// Negate siblings with higher frequency than this child.
+			negStart := len(negs)
+			for _, s := range keys {
+				if s != k && l.freqLess(s, k) {
+					negs = append(negs, s)
+				}
+			}
+			path = append(path, k)
+			walk(child)
+			path = path[:len(path)-1]
+			negs = negs[:negStart]
+		}
+	}
+	walk(l.root)
+}
+
+// Templates returns the extracted templates.
+func (l *Library) Templates() []Template { return l.templates }
+
+// Len returns the number of templates.
+func (l *Library) Len() int { return len(l.templates) }
+
+// Frequency returns a token's global occurrence count in the training set.
+func (l *Library) Frequency(token string) int { return l.freq[token] }
+
+// Query compiles template id into the §4.3 boolean form: positive terms
+// for the path tokens and negative terms for each higher-frequency sibling
+// at the branch points.
+func (l *Library) Query(id int) (query.Query, error) {
+	if id < 0 || id >= len(l.templates) {
+		return query.Query{}, fmt.Errorf("ftree: template %d out of range (0..%d)", id, len(l.templates)-1)
+	}
+	t := l.templates[id]
+	var set query.Intersection
+	for _, tok := range t.Tokens {
+		set.Terms = append(set.Terms, query.NewTerm(tok))
+	}
+	positive := make(map[string]bool, len(t.Tokens))
+	for _, tok := range t.Tokens {
+		positive[tok] = true
+	}
+	negated := make(map[string]bool, len(t.Negations))
+	for _, n := range t.Negations {
+		if positive[n] || negated[n] {
+			continue
+		}
+		negated[n] = true
+		set.Terms = append(set.Terms, query.NewTerm(n).Not())
+	}
+	return query.New(set), nil
+}
+
+// Queries compiles every template; templates whose query cannot be built
+// are skipped (none should fail in practice).
+func (l *Library) Queries() []query.Query {
+	out := make([]query.Query, 0, len(l.templates))
+	for i := range l.templates {
+		q, err := l.Query(i)
+		if err == nil {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Classify returns the template ID a line belongs to by walking the pruned
+// tree with the line's frequency-sorted distinct tokens, or -1 if the line
+// falls off the tree before reaching a leaf.
+func (l *Library) Classify(line string) int {
+	toks := l.sortByFrequency(distinct(query.SplitTokens(line)))
+	cur := l.root
+	var path []string
+	for _, t := range toks {
+		next, ok := cur.children[t]
+		if !ok {
+			continue
+		}
+		path = append(path, t)
+		cur = next
+		if len(cur.children) == 0 {
+			break
+		}
+	}
+	if cur == l.root {
+		return -1
+	}
+	if id, ok := l.byPath[joinPath(path)]; ok {
+		return id
+	}
+	return -1
+}
+
+// joinPath keys a token path with an unambiguous separator (tokens never
+// contain newlines after tokenization).
+func joinPath(path []string) string {
+	out := ""
+	for i, p := range path {
+		if i > 0 {
+			out += "\n"
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+package ftree
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// paperTree reproduces the Figure 7 example: global frequency order
+// A,B,C,D,E descending; template1 = A→B, template3 = A→C→D→E.
+func paperLines() [][]byte {
+	var lines [][]byte
+	add := func(n int, s string) {
+		for i := 0; i < n; i++ {
+			lines = append(lines, []byte(s))
+		}
+	}
+	// Frequencies: A=100, B=60, C=40, D=25, E=25.
+	add(60, "A B")     // template 1: A ∩ B
+	add(15, "A C")     // template 2: A ∩ C (leaf C)
+	add(25, "A C D E") // template 3: A ∩ C ∩ D ∩ E (needs ¬B)
+	return lines
+}
+
+func TestExtractPaperExample(t *testing.T) {
+	lib := Extract(paperLines(), Params{MaxChildren: 8, MinSupport: 2, MaxDepth: 8})
+	if lib.Len() != 3 {
+		for _, tpl := range lib.Templates() {
+			t.Logf("template %d: %v (neg %v, support %d)", tpl.ID, tpl.Tokens, tpl.Negations, tpl.Support)
+		}
+		t.Fatalf("want 3 templates, got %d", lib.Len())
+	}
+	// Find the A→B template.
+	var ab, acde *Template
+	for i := range lib.Templates() {
+		tpl := &lib.Templates()[i]
+		switch strings.Join(tpl.Tokens, " ") {
+		case "A B":
+			ab = tpl
+		case "A C D E", "A C E D":
+			acde = tpl
+		}
+	}
+	if ab == nil {
+		t.Fatal("A→B template missing")
+	}
+	if acde == nil {
+		t.Fatal("A→C→D→E template missing")
+	}
+	// The paper's key claim: A∩B needs no ¬C (C is lower frequency than B),
+	// while the deep path needs ¬B at the C branch.
+	if len(ab.Negations) != 0 {
+		t.Errorf("A∩B should have no negations, got %v", ab.Negations)
+	}
+	found := false
+	for _, n := range acde.Negations {
+		if n == "B" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("deep template should negate B, got %v", acde.Negations)
+	}
+	if ab.Support != 60 || acde.Support != 25 {
+		t.Errorf("supports: %d, %d", ab.Support, acde.Support)
+	}
+}
+
+func TestTemplateQueriesMatchTheirOwnLines(t *testing.T) {
+	lines := paperLines()
+	lib := Extract(lines, Params{MinSupport: 2})
+	qs := lib.Queries()
+	if len(qs) != lib.Len() {
+		t.Fatalf("queries %d != templates %d", len(qs), lib.Len())
+	}
+	// Every training line must match exactly the query of its template.
+	for _, line := range lines {
+		id := lib.Classify(string(line))
+		if id < 0 {
+			t.Fatalf("line %q unclassified", line)
+		}
+		matches := 0
+		for qi, q := range qs {
+			if q.Match(string(line)) {
+				matches++
+				if qi != id {
+					t.Errorf("line %q classified %d but matches query %d (%s)", line, id, qi, q)
+				}
+			}
+		}
+		if matches != 1 {
+			t.Errorf("line %q matches %d template queries", line, matches)
+		}
+	}
+}
+
+func TestPruneVariableField(t *testing.T) {
+	// 20 distinct low-frequency parameter tokens under a common prefix
+	// must be pruned as a variable field.
+	var lines [][]byte
+	for i := 0; i < 20; i++ {
+		lines = append(lines, []byte(fmt.Sprintf("common prefix param%02d", i)))
+	}
+	lib := Extract(lines, Params{MaxChildren: 8, MinSupport: 2})
+	if lib.Len() != 1 {
+		t.Fatalf("want 1 template, got %d: %+v", lib.Len(), lib.Templates())
+	}
+	toks := lib.Templates()[0].Tokens
+	for _, tok := range toks {
+		if strings.HasPrefix(tok, "param") {
+			t.Errorf("variable token %q survived pruning", tok)
+		}
+	}
+}
+
+func TestMinSupportPruning(t *testing.T) {
+	var lines [][]byte
+	for i := 0; i < 50; i++ {
+		lines = append(lines, []byte("frequent event type one"))
+	}
+	lines = append(lines, []byte("rare event lonely line"))
+	lib := Extract(lines, Params{MinSupport: 5})
+	for _, tpl := range lib.Templates() {
+		for _, tok := range tpl.Tokens {
+			if tok == "lonely" {
+				t.Fatal("under-supported template survived")
+			}
+		}
+	}
+}
+
+func TestClassifyUnknownLine(t *testing.T) {
+	lib := Extract(paperLines(), Params{MinSupport: 2})
+	if id := lib.Classify("Z Q totally unknown"); id != -1 {
+		t.Fatalf("unknown line classified as %d", id)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	lib := Extract(paperLines(), Params{MinSupport: 2})
+	if _, err := lib.Query(-1); err == nil {
+		t.Error("negative id should fail")
+	}
+	if _, err := lib.Query(lib.Len()); err == nil {
+		t.Error("out-of-range id should fail")
+	}
+}
+
+func TestFrequency(t *testing.T) {
+	lib := Extract(paperLines(), Params{MinSupport: 2})
+	if lib.Frequency("A") != 100 {
+		t.Errorf("freq(A) = %d", lib.Frequency("A"))
+	}
+	if lib.Frequency("B") != 60 {
+		t.Errorf("freq(B) = %d", lib.Frequency("B"))
+	}
+	if lib.Frequency("nonexistent") != 0 {
+		t.Error("unknown token should have zero frequency")
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	a := Extract(paperLines(), Params{})
+	b := Extract(paperLines(), Params{})
+	if a.Len() != b.Len() {
+		t.Fatal("nondeterministic template count")
+	}
+	for i := range a.Templates() {
+		if strings.Join(a.Templates()[i].Tokens, " ") != strings.Join(b.Templates()[i].Tokens, " ") {
+			t.Fatal("nondeterministic template order")
+		}
+	}
+}
+
+func realisticLines() [][]byte {
+	var lines [][]byte
+	for i := 0; i < 300; i++ {
+		switch i % 3 {
+		case 0:
+			lines = append(lines, []byte(fmt.Sprintf("R%02d-M0 RAS KERNEL INFO instruction cache parity error corrected", i%32)))
+		case 1:
+			lines = append(lines, []byte(fmt.Sprintf("R%02d-M1 RAS KERNEL FATAL data TLB error interrupt", i%32)))
+		default:
+			lines = append(lines, []byte(fmt.Sprintf("R%02d-M0 RAS APP FATAL ciod: failed to read message prefix on control stream %d", i%32, i)))
+		}
+	}
+	return lines
+}
+
+func TestExtractRealisticTemplates(t *testing.T) {
+	lib := Extract(realisticLines(), Params{MaxChildren: 6, MinSupport: 5, MaxDepth: 8})
+	if lib.Len() < 2 || lib.Len() > 10 {
+		for _, tpl := range lib.Templates() {
+			t.Logf("%d: %v", tpl.ID, tpl.Tokens)
+		}
+		t.Fatalf("template count %d outside plausible band", lib.Len())
+	}
+	// Classification should cover most lines.
+	classified := 0
+	for _, l := range realisticLines() {
+		if lib.Classify(string(l)) >= 0 {
+			classified++
+		}
+	}
+	if classified < 200 {
+		t.Fatalf("only %d/300 lines classified", classified)
+	}
+}
+
+func TestPrefixExtract(t *testing.T) {
+	var lines [][]byte
+	for i := 0; i < 100; i++ {
+		lines = append(lines, []byte(fmt.Sprintf("node%02d RAS KERNEL INFO msg", i%25)))
+		lines = append(lines, []byte(fmt.Sprintf("node%02d RAS APP FATAL err", i%25)))
+	}
+	lib := ExtractPrefix(lines, PrefixParams{MaxChildren: 6, MinSupport: 5, MaxDepth: 5})
+	if lib.Len() != 2 {
+		for _, tpl := range lib.Templates() {
+			t.Logf("%d: %v @ %v", tpl.ID, tpl.Tokens, tpl.Columns)
+		}
+		t.Fatalf("want 2 prefix templates, got %d", lib.Len())
+	}
+	// Column 0 (node name) is variable and must be wildcarded out.
+	for _, tpl := range lib.Templates() {
+		for i, col := range tpl.Columns {
+			if col == 0 {
+				t.Errorf("variable column 0 kept: %v", tpl.Tokens[i])
+			}
+		}
+	}
+	// Compiled queries carry column constraints and match their lines.
+	qs := lib.Queries()
+	for _, q := range qs {
+		if !q.UsesColumns() {
+			t.Error("prefix query should use columns")
+		}
+	}
+	line := "node07 RAS KERNEL INFO msg"
+	id := lib.Classify(line)
+	if id < 0 {
+		t.Fatal("line unclassified")
+	}
+	q, _ := lib.Query(id)
+	if !q.Match(line) {
+		t.Errorf("query %s should match %q", q, line)
+	}
+}
+
+func TestPrefixClassifyDistinguishesColumns(t *testing.T) {
+	lines := [][]byte{
+		[]byte("A B C"), []byte("A B C"), []byte("A B C"),
+		[]byte("B A C"), []byte("B A C"), []byte("B A C"),
+	}
+	lib := ExtractPrefix(lines, PrefixParams{MinSupport: 2})
+	if lib.Len() != 2 {
+		t.Fatalf("want 2 templates, got %d", lib.Len())
+	}
+	a := lib.Classify("A B C")
+	b := lib.Classify("B A C")
+	if a == b || a < 0 || b < 0 {
+		t.Fatalf("column order not distinguished: %d vs %d", a, b)
+	}
+}
+
+func TestPrefixQueryErrors(t *testing.T) {
+	lib := ExtractPrefix([][]byte{[]byte("x y"), []byte("x y")}, PrefixParams{})
+	if _, err := lib.Query(99); err == nil {
+		t.Error("out-of-range prefix id should fail")
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	lines := realisticLines()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Extract(lines, Params{})
+	}
+}

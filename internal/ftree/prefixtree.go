@@ -1,0 +1,244 @@
+package ftree
+
+import (
+	"fmt"
+	"sort"
+
+	"mithrilog/internal/query"
+)
+
+// PrefixParams controls prefix-tree template extraction.
+type PrefixParams struct {
+	// MaxChildren marks a column as a variable (wildcard) field when its
+	// fan-out exceeds this bound (default 8).
+	MaxChildren int
+	// MinSupport drops templates observed in fewer lines (default 2).
+	MinSupport int
+	// MaxDepth caps the number of leading columns considered (default 8).
+	MaxDepth int
+}
+
+func (p PrefixParams) withDefaults() PrefixParams {
+	if p.MaxChildren <= 0 {
+		p.MaxChildren = 8
+	}
+	if p.MinSupport <= 0 {
+		p.MinSupport = 2
+	}
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 8
+	}
+	return p
+}
+
+// PrefixTemplate is a template over leading token positions: Tokens[i]
+// must appear at column Columns[i]. Wildcarded columns are simply absent.
+type PrefixTemplate struct {
+	ID      int
+	Tokens  []string
+	Columns []int
+	Support int
+}
+
+// wildcard is the child key standing in for a pruned (variable) column.
+const wildcard = "\x00*"
+
+type pnode struct {
+	count    int
+	children map[string]*pnode
+}
+
+func newPNode() *pnode { return &pnode{children: make(map[string]*pnode)} }
+
+// PrefixLibrary holds prefix-tree templates; compiled queries use the
+// column-constrained term support the paper adds for prefix trees (§4.3).
+type PrefixLibrary struct {
+	params    PrefixParams
+	templates []PrefixTemplate
+	root      *pnode
+}
+
+// ExtractPrefix builds a prefix tree over the lines: level d of the tree
+// corresponds to token column d, children keyed by the token at that
+// column. Columns whose fan-out exceeds MaxChildren collapse into a
+// wildcard child (a variable field such as a timestamp or node name), and
+// under-supported branches are dropped.
+func ExtractPrefix(lines [][]byte, p PrefixParams) *PrefixLibrary {
+	p = p.withDefaults()
+	lib := &PrefixLibrary{params: p, root: newPNode()}
+	for _, line := range lines {
+		toks := query.SplitTokens(string(line))
+		if len(toks) > p.MaxDepth {
+			toks = toks[:p.MaxDepth]
+		}
+		cur := lib.root
+		cur.count++
+		for _, t := range toks {
+			next, ok := cur.children[t]
+			if !ok {
+				next = newPNode()
+				cur.children[t] = next
+			}
+			next.count++
+			cur = next
+		}
+	}
+	lib.prune(lib.root)
+	lib.enumerate()
+	return lib
+}
+
+// prune collapses over-fanned levels into wildcards and drops rare paths.
+func (l *PrefixLibrary) prune(n *pnode) {
+	if len(n.children) > l.params.MaxChildren {
+		// Variable column: merge all children into a wildcard whose
+		// sub-trees are merged recursively.
+		merged := newPNode()
+		for _, c := range n.children {
+			merged.count += c.count
+			mergeInto(merged, c)
+		}
+		n.children = map[string]*pnode{wildcard: merged}
+		l.prune(merged)
+		return
+	}
+	for tok, child := range n.children {
+		if child.count < l.params.MinSupport {
+			delete(n.children, tok)
+			continue
+		}
+		l.prune(child)
+	}
+}
+
+// mergeInto merges src's children into dst (counts added, sub-trees merged).
+func mergeInto(dst, src *pnode) {
+	for tok, c := range src.children {
+		d, ok := dst.children[tok]
+		if !ok {
+			d = newPNode()
+			dst.children[tok] = d
+		}
+		d.count += c.count
+		mergeInto(d, c)
+	}
+}
+
+func (l *PrefixLibrary) enumerate() {
+	l.templates = l.templates[:0]
+	type step struct {
+		tok string
+		col int
+	}
+	var path []step
+	var walk func(n *pnode, col int)
+	walk = func(n *pnode, col int) {
+		if len(n.children) == 0 {
+			var toks []string
+			var cols []int
+			for _, s := range path {
+				if s.tok != wildcard {
+					toks = append(toks, s.tok)
+					cols = append(cols, s.col)
+				}
+			}
+			if len(toks) > 0 {
+				l.templates = append(l.templates, PrefixTemplate{
+					ID:      len(l.templates),
+					Tokens:  toks,
+					Columns: cols,
+					Support: n.count,
+				})
+			}
+			return
+		}
+		keys := make([]string, 0, len(n.children))
+		for k := range n.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			path = append(path, step{tok: k, col: col})
+			walk(n.children[k], col+1)
+			path = path[:len(path)-1]
+		}
+	}
+	walk(l.root, 0)
+}
+
+// Templates returns the extracted prefix templates.
+func (l *PrefixLibrary) Templates() []PrefixTemplate { return l.templates }
+
+// Len returns the number of templates.
+func (l *PrefixLibrary) Len() int { return len(l.templates) }
+
+// Query compiles prefix template id into a column-constrained intersection.
+func (l *PrefixLibrary) Query(id int) (query.Query, error) {
+	if id < 0 || id >= len(l.templates) {
+		return query.Query{}, fmt.Errorf("ftree: prefix template %d out of range (0..%d)", id, len(l.templates)-1)
+	}
+	t := l.templates[id]
+	var set query.Intersection
+	for i, tok := range t.Tokens {
+		set.Terms = append(set.Terms, query.NewTerm(tok).At(t.Columns[i]))
+	}
+	return query.New(set), nil
+}
+
+// Queries compiles every prefix template.
+func (l *PrefixLibrary) Queries() []query.Query {
+	out := make([]query.Query, 0, len(l.templates))
+	for i := range l.templates {
+		if q, err := l.Query(i); err == nil {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Classify walks the pruned prefix tree with a line's leading tokens and
+// returns the matching template ID, or -1.
+func (l *PrefixLibrary) Classify(line string) int {
+	toks := query.SplitTokens(line)
+	if len(toks) > l.params.MaxDepth {
+		toks = toks[:l.params.MaxDepth]
+	}
+	var match []string
+	var cols []int
+	cur := l.root
+	for col, t := range toks {
+		next, ok := cur.children[t]
+		if !ok {
+			next, ok = cur.children[wildcard]
+			if !ok {
+				break
+			}
+			cur = next
+			continue
+		}
+		match = append(match, t)
+		cols = append(cols, col)
+		cur = next
+	}
+	if cur == l.root || len(cur.children) != 0 {
+		return -1
+	}
+	for _, tpl := range l.templates {
+		if equalTemplate(tpl, match, cols) {
+			return tpl.ID
+		}
+	}
+	return -1
+}
+
+func equalTemplate(t PrefixTemplate, toks []string, cols []int) bool {
+	if len(t.Tokens) != len(toks) {
+		return false
+	}
+	for i := range toks {
+		if t.Tokens[i] != toks[i] || t.Columns[i] != cols[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,122 @@
+// Package hwsim models the hardware envelope of the MithriLog prototype:
+// clock, datapath geometry, chip resource costs, power, and the derivation
+// of system-level effective throughput from functional cycle counts. The
+// functional engines (tokenizer, filter, LZAH decoder) account their own
+// busy cycles bit-faithfully; this package turns those counts into the
+// GB/s figures of §7 and reproduces the resource/power tables.
+//
+// Resource and power constants are the paper's measured values (Tables 2,
+// 4 and 8 on the Xilinx VC707 / BlueDBM platform); derived configurations
+// (e.g. different datapath widths for the ablation benchmarks) scale the
+// width-proportional components linearly, which is the first-order
+// behaviour of replicated datapath logic.
+package hwsim
+
+// Prototype constants (§7.2).
+const (
+	// ClockHz is the accelerator clock (200 MHz).
+	ClockHz = 200e6
+	// DatapathBytes is the filter datapath width (128 bits).
+	DatapathBytes = 16
+	// DefaultPipelines is the number of filter pipelines instantiated.
+	DefaultPipelines = 4
+	// InternalBandwidth is the storage-internal bandwidth (4 × 1.2 GB/s
+	// BlueDBM cards).
+	InternalBandwidth = 4.8e9
+	// ExternalBandwidth is the host PCIe Gen2 ×8 useful bandwidth.
+	ExternalBandwidth = 3.1e9
+	// ComparisonStorageBandwidth is the measured RAID-0 NVMe bandwidth of
+	// the software comparison machine (Table 3).
+	ComparisonStorageBandwidth = 7e9
+)
+
+// GB is 1e9 bytes, the unit used throughout the paper's bandwidth figures.
+const GB = 1e9
+
+// SystemConfig describes one accelerator deployment.
+type SystemConfig struct {
+	// Pipelines is the number of filter pipelines (default 4).
+	Pipelines int
+	// ClockHz is the accelerator clock (default 200 MHz).
+	ClockHz float64
+	// DatapathBytes is the per-pipeline datapath width (default 16).
+	DatapathBytes int
+	// InternalBW and ExternalBW are the storage link bandwidths in
+	// bytes/second (defaults 4.8 GB/s and 3.1 GB/s).
+	InternalBW, ExternalBW float64
+}
+
+// WithDefaults fills zero fields with the prototype values.
+func (c SystemConfig) WithDefaults() SystemConfig {
+	if c.Pipelines <= 0 {
+		c.Pipelines = DefaultPipelines
+	}
+	if c.ClockHz <= 0 {
+		c.ClockHz = ClockHz
+	}
+	if c.DatapathBytes <= 0 {
+		c.DatapathBytes = DatapathBytes
+	}
+	if c.InternalBW <= 0 {
+		c.InternalBW = InternalBandwidth
+	}
+	if c.ExternalBW <= 0 {
+		c.ExternalBW = ExternalBandwidth
+	}
+	return c
+}
+
+// DecompressorBound is the aggregate decompressed-data rate the
+// decompressors can emit: one word per cycle per pipeline (12.8 GB/s on
+// the prototype).
+func (c SystemConfig) DecompressorBound() float64 {
+	c = c.WithDefaults()
+	return float64(c.Pipelines) * c.ClockHz * float64(c.DatapathBytes)
+}
+
+// PipelineWireSpeed is one pipeline's raw-text processing rate at one word
+// per cycle (3.2 GB/s on the prototype).
+func (c SystemConfig) PipelineWireSpeed() float64 {
+	c = c.WithDefaults()
+	return c.ClockHz * float64(c.DatapathBytes)
+}
+
+// ThroughputFromCycles converts a functional engine's busy-cycle count
+// into bytes/second at the accelerator clock.
+func (c SystemConfig) ThroughputFromCycles(bytes, cycles uint64) float64 {
+	c = c.WithDefaults()
+	if cycles == 0 {
+		return 0
+	}
+	return float64(bytes) / float64(cycles) * c.ClockHz
+}
+
+// EffectiveFilterThroughput derives the Figure 14 quantity: the aggregate
+// rate at which decompressed text moves through the filter engines, given
+// the functional per-pipeline cycle count for the workload and the
+// dataset's compression ratio. The work is assumed striped evenly across
+// pipelines; the result is capped by what the backing storage can supply
+// through the decompressors (internal bandwidth × compression ratio) and
+// by the decompressor emit bound.
+func (c SystemConfig) EffectiveFilterThroughput(rawBytes, pipelineCycles uint64, compressionRatio float64) float64 {
+	c = c.WithDefaults()
+	perPipeline := c.ThroughputFromCycles(rawBytes, pipelineCycles)
+	total := float64(c.Pipelines) * perPipeline
+	if bound := c.DecompressorBound(); total > bound {
+		total = bound
+	}
+	if compressionRatio > 0 {
+		if supply := c.InternalBW * compressionRatio; total > supply {
+			total = supply
+		}
+	}
+	return total
+}
+
+// StorageBoundThroughput reports the storage-side supply cap alone
+// (internal bandwidth × compression ratio); Figure 14 shows BGL2 hitting
+// this bound while the other datasets are filter-bound.
+func (c SystemConfig) StorageBoundThroughput(compressionRatio float64) float64 {
+	c = c.WithDefaults()
+	return c.InternalBW * compressionRatio
+}

@@ -1,0 +1,157 @@
+package hwsim
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDefaults(t *testing.T) {
+	c := SystemConfig{}.WithDefaults()
+	if c.Pipelines != 4 || c.ClockHz != 200e6 || c.DatapathBytes != 16 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if c.InternalBW != 4.8e9 || c.ExternalBW != 3.1e9 {
+		t.Fatalf("bandwidth defaults: %+v", c)
+	}
+}
+
+func TestWireSpeedNumbers(t *testing.T) {
+	c := SystemConfig{}
+	// One pipeline: 16 B * 200 MHz = 3.2 GB/s (§4.1).
+	if got := c.PipelineWireSpeed(); !almost(got, 3.2e9, 1) {
+		t.Fatalf("pipeline wire speed %v", got)
+	}
+	// Four decompressors: 12.8 GB/s (§7.4.1).
+	if got := c.DecompressorBound(); !almost(got, 12.8e9, 1) {
+		t.Fatalf("decompressor bound %v", got)
+	}
+}
+
+func TestThroughputFromCycles(t *testing.T) {
+	c := SystemConfig{}
+	// 16 bytes per cycle at 200 MHz = 3.2 GB/s.
+	if got := c.ThroughputFromCycles(1600, 100); !almost(got, 3.2e9, 1) {
+		t.Fatalf("throughput %v", got)
+	}
+	if got := c.ThroughputFromCycles(100, 0); got != 0 {
+		t.Fatal("zero cycles should yield zero")
+	}
+}
+
+func TestEffectiveFilterThroughputShapes(t *testing.T) {
+	c := SystemConfig{}
+	// Filter-bound case (high compression ratio, like Liberty2): slightly
+	// under the 12.8 GB/s bound due to padding overheads — model a
+	// pipeline needing 1.1 cycles per word.
+	rawBytes := uint64(16_000_000)
+	cycles := uint64(1_100_000) // 1.1 cycles/word
+	got := c.EffectiveFilterThroughput(rawBytes, cycles, 5.0)
+	if got < 11e9 || got > 12.8e9 {
+		t.Fatalf("filter-bound throughput %v outside the Figure 14 band", got)
+	}
+	// Storage-bound case (BGL2's low 2.63x ratio): capped at 4.8 * 2.63 =
+	// 12.62 GB/s even if the filters could go faster.
+	got = c.EffectiveFilterThroughput(rawBytes, rawBytes/16, 2.63)
+	if !almost(got, 4.8e9*2.63, 1e6) {
+		t.Fatalf("storage-bound throughput %v, want %v", got, 4.8e9*2.63)
+	}
+	// Perfect pipelines with plentiful compression: decompressor bound.
+	got = c.EffectiveFilterThroughput(rawBytes, rawBytes/16, 10)
+	if !almost(got, 12.8e9, 1) {
+		t.Fatalf("decompressor-bound %v", got)
+	}
+}
+
+func TestStorageBound(t *testing.T) {
+	c := SystemConfig{}
+	if got := c.StorageBoundThroughput(2.63); !almost(got, 12.624e9, 1e6) {
+		t.Fatalf("storage bound %v", got)
+	}
+}
+
+func TestResourceTable(t *testing.T) {
+	// Table 2 percentages: pipeline ≈ 20% of VC707 LUTs, total ≈ 74%.
+	if p := UtilizationPercent(PipelineResources, VC707); p < 19 || p > 21 {
+		t.Fatalf("pipeline utilization %.1f%%", p)
+	}
+	if p := UtilizationPercent(TotalResources, VC707); p < 73 || p > 76 {
+		t.Fatalf("total utilization %.1f%%", p)
+	}
+	if UtilizationPercent(PipelineResources, Resources{}) != 0 {
+		t.Fatal("zero device should not divide by zero")
+	}
+	sum := DecompressorResources.Add(TokenizerResources.Scale(8)).Add(FilterResources.Scale(2))
+	// The synthesized pipeline is smaller than the naive module sum
+	// (cross-module optimization), but the same order of magnitude.
+	if sum.LUTs < PipelineResources.LUTs || sum.LUTs > 2*PipelineResources.LUTs {
+		t.Fatalf("module sum %d vs pipeline %d implausible", sum.LUTs, PipelineResources.LUTs)
+	}
+}
+
+func TestScaledPipelineResources(t *testing.T) {
+	r16 := ScaledPipelineResources(16)
+	r8 := ScaledPipelineResources(8)
+	r32 := ScaledPipelineResources(32)
+	if !(r8.LUTs < r16.LUTs && r16.LUTs < r32.LUTs) {
+		t.Fatalf("width scaling not monotone: %d, %d, %d", r8.LUTs, r16.LUTs, r32.LUTs)
+	}
+	// Doubling width should roughly double the width-proportional parts.
+	if float64(r32.LUTs) < 1.5*float64(r16.LUTs) {
+		t.Fatalf("32B pipeline too cheap: %d vs %d", r32.LUTs, r16.LUTs)
+	}
+}
+
+func TestCompressionAcceleratorTable(t *testing.T) {
+	var lzah, lz4 *CompressionAccel
+	for i := range CompressionAccelerators {
+		switch CompressionAccelerators[i].Name {
+		case "LZAH":
+			lzah = &CompressionAccelerators[i]
+		case "LZ4":
+			lz4 = &CompressionAccelerators[i]
+		}
+	}
+	if lzah == nil || lz4 == nil {
+		t.Fatal("table rows missing")
+	}
+	// Table 4's headline: LZAH 0.8 GB/s/KLUT, an order of magnitude above
+	// LZ4's 0.048.
+	if !almost(lzah.Efficiency(), 0.8, 0.01) {
+		t.Fatalf("LZAH efficiency %v", lzah.Efficiency())
+	}
+	if lzah.Efficiency() < 10*lz4.Efficiency() {
+		t.Fatalf("LZAH should dominate LZ4 by >10x: %v vs %v", lzah.Efficiency(), lz4.Efficiency())
+	}
+	if (CompressionAccel{}).Efficiency() != 0 {
+		t.Fatal("zero KLUTs should not divide by zero")
+	}
+}
+
+func TestPowerTable(t *testing.T) {
+	// Table 8 totals: 150 W vs 170 W.
+	if MithriLogPower.Total() != 150 {
+		t.Fatalf("MithriLog total %v", MithriLogPower.Total())
+	}
+	if SoftwarePower.Total() != 170 {
+		t.Fatalf("software total %v", SoftwarePower.Total())
+	}
+	if MithriLogPower.Total() >= SoftwarePower.Total() {
+		t.Fatal("accelerated platform must draw less power")
+	}
+}
+
+func TestHAREComparison(t *testing.T) {
+	cmp := AcceleratorEfficiencyComparison()
+	// §7.4.3: ~145 vs ~19 KLUTs per GB/s — about an order of magnitude.
+	if cmp.HAREWithLZRW < 130 || cmp.HAREWithLZRW > 160 {
+		t.Fatalf("HARE figure %v", cmp.HAREWithLZRW)
+	}
+	if cmp.MithriLogWithLZAH < 15 || cmp.MithriLogWithLZAH > 25 {
+		t.Fatalf("MithriLog figure %v", cmp.MithriLogWithLZAH)
+	}
+	if cmp.HAREWithLZRW/cmp.MithriLogWithLZAH < 6 {
+		t.Fatal("efficiency gap should approach an order of magnitude")
+	}
+}

@@ -1,0 +1,131 @@
+package hwsim
+
+// Resources is an FPGA resource bill: lookup tables and block RAMs.
+type Resources struct {
+	LUTs   int
+	RAMB36 int
+	RAMB18 int
+}
+
+// Add returns the element-wise sum.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{LUTs: r.LUTs + o.LUTs, RAMB36: r.RAMB36 + o.RAMB36, RAMB18: r.RAMB18 + o.RAMB18}
+}
+
+// Scale returns the bill multiplied by n (module replication).
+func (r Resources) Scale(n int) Resources {
+	return Resources{LUTs: r.LUTs * n, RAMB36: r.RAMB36 * n, RAMB18: r.RAMB18 * n}
+}
+
+// VC707 is the capacity of one Xilinx Virtex-7 VC707 board, used for the
+// utilization percentages of Table 2.
+var VC707 = Resources{LUTs: 303600, RAMB36: 1030, RAMB18: 2060}
+
+// Measured module costs from Table 2 (one instance each, at the 16-byte
+// datapath and 256-row hash table of the prototype).
+var (
+	DecompressorResources = Resources{LUTs: 4245, RAMB36: 4, RAMB18: 0}
+	TokenizerResources    = Resources{LUTs: 1134, RAMB36: 0, RAMB18: 0}
+	FilterResources       = Resources{LUTs: 30334, RAMB36: 10, RAMB18: 2}
+	// PipelineResources is the paper's measured aggregate for one full
+	// pipeline (decompressor + 8 tokenizers + 2 hash filters after
+	// synthesis-level optimization across module boundaries).
+	PipelineResources = Resources{LUTs: 61698, RAMB36: 66, RAMB18: 18}
+	// TotalResources is the full prototype on one VC707 including PCIe,
+	// flash controllers, and Aurora links.
+	TotalResources = Resources{LUTs: 225793, RAMB36: 430, RAMB18: 43}
+)
+
+// ScaledPipelineResources estimates a pipeline's bill at a different
+// datapath width: decompressor and filter logic scale with width, while
+// the tokenizer count scales to keep the array matched to the datapath
+// (width/2 tokenizers at 2 B/cycle each). Used by the width ablation.
+func ScaledPipelineResources(datapathBytes int) Resources {
+	scale := float64(datapathBytes) / float64(DatapathBytes)
+	tokenizers := datapathBytes / 2
+	r := Resources{
+		LUTs: int(float64(DecompressorResources.LUTs)*scale) +
+			tokenizers*TokenizerResources.LUTs +
+			2*int(float64(FilterResources.LUTs)*scale),
+		RAMB36: int(float64(DecompressorResources.RAMB36)*scale) + 2*FilterResources.RAMB36,
+		RAMB18: 2 * FilterResources.RAMB18,
+	}
+	return r
+}
+
+// UtilizationPercent returns r's LUT share of the given device.
+func UtilizationPercent(r, device Resources) float64 {
+	if device.LUTs == 0 {
+		return 0
+	}
+	return 100 * float64(r.LUTs) / float64(device.LUTs)
+}
+
+// CompressionAccel describes a hardware compression implementation for the
+// Table 4 comparison: published throughput and LUT cost on comparable
+// Xilinx parts.
+type CompressionAccel struct {
+	Name   string
+	GBps   float64
+	KLUTs  float64
+	Source string
+}
+
+// Efficiency is the Table 4 figure of merit: GB/s per thousand LUTs.
+func (a CompressionAccel) Efficiency() float64 {
+	if a.KLUTs == 0 {
+		return 0
+	}
+	return a.GBps / a.KLUTs
+}
+
+// CompressionAccelerators are the Table 4 rows: LZ4 [76], LZRW [20],
+// Snappy [77] from the literature, LZAH from this design (3.2 GB/s
+// deterministic at 200 MHz, ~4 KLUTs).
+var CompressionAccelerators = []CompressionAccel{
+	{Name: "LZ4", GBps: 1.68, KLUTs: 35, Source: "[76]"},
+	{Name: "LZRW", GBps: 0.175, KLUTs: 0.64, Source: "[20]"},
+	{Name: "Snappy", GBps: 1.72, KLUTs: 35, Source: "[77]"},
+	{Name: "LZAH", GBps: 3.2, KLUTs: 4, Source: "this work"},
+}
+
+// PowerBreakdown is one column of Table 8, in watts.
+type PowerBreakdown struct {
+	CPUAndMemory float64
+	Storage      float64
+	FPGAs        float64
+}
+
+// Total sums the breakdown.
+func (p PowerBreakdown) Total() float64 { return p.CPUAndMemory + p.Storage + p.FPGAs }
+
+// Measured/estimated power from §7.6: MithriLog platform (host + 4
+// BlueDBM cards at 6-7 W + 2 VC707 boards at 18 W) vs the software
+// comparison machine (i7-8700K + NVMe per Samsung's published numbers).
+var (
+	MithriLogPower = PowerBreakdown{CPUAndMemory: 90, Storage: 24, FPGAs: 36}
+	SoftwarePower  = PowerBreakdown{CPUAndMemory: 160, Storage: 10, FPGAs: 0}
+)
+
+// HAREComparison captures the §7.4.3 back-of-the-envelope: a HARE
+// regex accelerator plus an LZRW decompressor needs ~145 KLUTs per GB/s,
+// versus ~19 KLUTs per GB/s for a MithriLog pipeline with LZAH.
+type HAREComparison struct {
+	// KLUTsPerGBps for each approach.
+	HAREWithLZRW      float64
+	MithriLogWithLZAH float64
+}
+
+// AcceleratorEfficiencyComparison computes the §7.4.3 figures from the
+// constituent numbers: HARE reaches 0.4 GB/s with ~55 KLUTs (12% of an
+// Arria V), LZRW adds ~0.64 KLUT per 175 MB/s; one MithriLog pipeline
+// (61.7 KLUTs incl. LZAH decompressor) filters 3.2 GB/s.
+func AcceleratorEfficiencyComparison() HAREComparison {
+	harePerGB := 55.0 / 0.4        // filter logic
+	lzrwPerGB := 0.64 / 0.175      // decompression logic
+	mithrilogPerGB := 61.698 / 3.2 // full pipeline incl. decompressor
+	return HAREComparison{
+		HAREWithLZRW:      harePerGB + lzrwPerGB,
+		MithriLogWithLZAH: mithrilogPerGB,
+	}
+}

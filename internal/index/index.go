@@ -1,0 +1,580 @@
+// Package index implements MithriLog's in-storage inverted index (§6): a
+// probabilistic in-memory hash table indexed by two hash functions, backed
+// by a linked list of height-two trees in storage pages.
+//
+// The in-memory table stores no tokens — only, per bucket, a small buffer
+// of recent data page addresses, the storage reference of the newest tree
+// root, and a page counter. Two hash functions spread hot tokens: each
+// (token, page) insertion goes to whichever of the token's two buckets has
+// seen fewer pages (§6.2), and queries read both buckets. Because buckets
+// are shared between tokens, lookups over-approximate: they may return
+// pages of other tokens hashing to the same buckets, which is harmless —
+// the downstream filter engine discards non-matching lines (§6.2).
+//
+// In storage, each bucket owns a linked list of root nodes (in index
+// pages); a root points at up to RootEntries leaf nodes (in leaf pages),
+// each holding up to LeafEntries data page addresses. One latency-bound
+// root visit therefore yields RootEntries×LeafEntries (256) data page
+// addresses fetched in parallel, which saturates the device while keeping
+// the per-bucket ingest buffer at LeafEntries addresses (§6.1).
+package index
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"mithrilog/internal/storage"
+)
+
+// Default geometry from the prototype (§6.1).
+const (
+	DefaultBuckets     = 1 << 16
+	DefaultLeafEntries = 16
+	DefaultRootEntries = 16
+)
+
+// nilPage marks an absent page reference.
+const nilPage = ^storage.PageID(0)
+
+// ErrTokenEmpty reports an Add or Lookup with an empty token.
+var ErrTokenEmpty = errors.New("index: empty token")
+
+// Params sizes the index.
+type Params struct {
+	// Buckets is the in-memory hash table size (default 65536).
+	Buckets int
+	// LeafEntries is the number of data page addresses per leaf node
+	// (default 16).
+	LeafEntries int
+	// RootEntries is the number of leaf references per root node
+	// (default 16).
+	RootEntries int
+	// Seed perturbs the two hash functions.
+	Seed uint64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Buckets <= 0 {
+		p.Buckets = DefaultBuckets
+	}
+	if p.LeafEntries <= 0 {
+		p.LeafEntries = DefaultLeafEntries
+	}
+	if p.RootEntries <= 0 {
+		p.RootEntries = DefaultRootEntries
+	}
+	return p
+}
+
+// nodeRef addresses a node inside a storage page.
+type nodeRef struct {
+	page storage.PageID
+	slot uint16
+}
+
+var nilRef = nodeRef{page: nilPage}
+
+func (r nodeRef) isNil() bool { return r.page == nilPage }
+
+// bucket is one in-memory hash table entry.
+type bucket struct {
+	// leafBuf holds data page addresses not yet flushed into a leaf node.
+	leafBuf []storage.PageID
+	// rootBuf holds leaf node references not yet flushed into a root node.
+	rootBuf []nodeRef
+	// head is the newest root node in storage (list head), or nil.
+	head nodeRef
+	// count is the total number of data pages pushed into this bucket,
+	// used for the two-hash balancing decision.
+	count uint64
+}
+
+// Snapshot records a time boundary for coarse-grained time-range queries
+// (§6.3): all data pages with ID below DataHigh were ingested before Time.
+type Snapshot struct {
+	Time     time.Time
+	DataHigh storage.PageID // first data page ID *not* covered
+}
+
+// Index is the inverted index. It is not safe for concurrent use; the
+// ingest path is single-writer by design (append-only logs).
+type Index struct {
+	params  Params
+	dev     *storage.Device
+	buckets []bucket
+
+	leafNodeSize int
+	leafSlots    int
+	rootNodeSize int
+	rootSlots    int
+
+	// Open (partially filled) storage pages, kept in memory until full.
+	openLeafID    storage.PageID
+	openLeafBuf   []byte
+	openLeafUsed  int
+	openIndexID   storage.PageID
+	openIndexBuf  []byte
+	openIndexUsed int
+
+	snapshots []Snapshot
+	highData  storage.PageID // highest data page ID seen + 1
+
+	stats Stats
+}
+
+// Stats describes index activity and footprint.
+type Stats struct {
+	Adds       uint64 // (token, page) insertions
+	LeafNodes  uint64 // leaf nodes written
+	RootNodes  uint64 // root nodes written
+	LeafPages  uint64 // leaf pages flushed
+	IndexPages uint64 // index pages flushed
+}
+
+// New builds an empty index on the device.
+func New(dev *storage.Device, p Params) *Index {
+	p = p.withDefaults()
+	ix := &Index{
+		params:  p,
+		dev:     dev,
+		buckets: make([]bucket, p.Buckets),
+	}
+	for i := range ix.buckets {
+		ix.buckets[i].head = nilRef
+	}
+	ix.leafNodeSize = 2 + 4*p.LeafEntries
+	ix.leafSlots = storage.PageSize / ix.leafNodeSize
+	ix.rootNodeSize = 2 + 6*p.RootEntries + 6
+	ix.rootSlots = storage.PageSize / ix.rootNodeSize
+	ix.openLeafID = nilPage
+	ix.openIndexID = nilPage
+	return ix
+}
+
+// Params returns the (defaulted) parameters.
+func (ix *Index) Params() Params { return ix.params }
+
+// Stats returns activity counters.
+func (ix *Index) Stats() Stats { return ix.stats }
+
+// MemoryFootprint estimates the resident bytes of the in-memory structures
+// (the quantity §6 keeps near 256 MB for the full-scale prototype).
+func (ix *Index) MemoryFootprint() int {
+	per := 0
+	for i := range ix.buckets {
+		b := &ix.buckets[i]
+		per += cap(b.leafBuf)*4 + cap(b.rootBuf)*8 + 24
+	}
+	return per + len(ix.openLeafBuf) + len(ix.openIndexBuf) + len(ix.buckets)*8
+}
+
+// hash returns the token's two bucket indices.
+func (ix *Index) hash(token string) (int, int) {
+	h1 := uint64(14695981039346656037) ^ ix.params.Seed
+	for i := 0; i < len(token); i++ {
+		h1 ^= uint64(token[i])
+		h1 *= 1099511628211
+	}
+	h2 := h1*0x9e3779b97f4a7c15 + 0x165667b19e3779f9
+	h1 = fmix(h1)
+	h2 = fmix(h2)
+	n := uint64(ix.params.Buckets)
+	a, b := int(h1%n), int(h2%n)
+	return a, b
+}
+
+func fmix(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Add records that token appears in the given data page. Callers must
+// deduplicate (token, page) pairs — the ingest path calls Add once per
+// distinct token per page.
+func (ix *Index) Add(token string, page storage.PageID) error {
+	if token == "" {
+		return ErrTokenEmpty
+	}
+	a, b := ix.hash(token)
+	// Push into the bucket with fewer pages so far (§6.2).
+	target := a
+	if ix.buckets[b].count < ix.buckets[a].count {
+		target = b
+	}
+	ix.stats.Adds++
+	if page+1 > ix.highData {
+		ix.highData = page + 1
+	}
+	return ix.push(target, page)
+}
+
+func (ix *Index) push(bi int, page storage.PageID) error {
+	b := &ix.buckets[bi]
+	b.count++
+	if b.leafBuf == nil {
+		// Reserve the full node buffer up front: this models the real
+		// ingest memory cost of a partially filled node (§6.1).
+		b.leafBuf = make([]storage.PageID, 0, ix.params.LeafEntries)
+		b.rootBuf = make([]nodeRef, 0, ix.params.RootEntries)
+	}
+	b.leafBuf = append(b.leafBuf, page)
+	if len(b.leafBuf) >= ix.params.LeafEntries {
+		if err := ix.flushLeaf(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushLeaf writes the bucket's leaf buffer as a leaf node and registers
+// it in the bucket's root buffer, flushing a root node if that fills too.
+func (ix *Index) flushLeaf(b *bucket) error {
+	if len(b.leafBuf) == 0 {
+		return nil
+	}
+	ref, err := ix.appendLeafNode(b.leafBuf)
+	if err != nil {
+		return err
+	}
+	b.leafBuf = b.leafBuf[:0]
+	b.rootBuf = append(b.rootBuf, ref)
+	if len(b.rootBuf) >= ix.params.RootEntries {
+		return ix.flushRoot(b)
+	}
+	return nil
+}
+
+// flushRoot writes the bucket's root buffer as a root node linked to the
+// previous head.
+func (ix *Index) flushRoot(b *bucket) error {
+	if len(b.rootBuf) == 0 {
+		return nil
+	}
+	ref, err := ix.appendRootNode(b.rootBuf, b.head)
+	if err != nil {
+		return err
+	}
+	b.rootBuf = b.rootBuf[:0]
+	b.head = ref
+	return nil
+}
+
+// appendLeafNode serializes a leaf node into the open leaf page.
+func (ix *Index) appendLeafNode(pages []storage.PageID) (nodeRef, error) {
+	if ix.openLeafID == nilPage || ix.openLeafUsed >= ix.leafSlots {
+		if err := ix.rotateLeafPage(); err != nil {
+			return nilRef, err
+		}
+	}
+	slot := ix.openLeafUsed
+	off := slot * ix.leafNodeSize
+	buf := ix.openLeafBuf[off : off+ix.leafNodeSize]
+	binary.LittleEndian.PutUint16(buf, uint16(len(pages)))
+	for i, p := range pages {
+		binary.LittleEndian.PutUint32(buf[2+4*i:], uint32(p))
+	}
+	ix.openLeafUsed++
+	ix.stats.LeafNodes++
+	return nodeRef{page: ix.openLeafID, slot: uint16(slot)}, nil
+}
+
+// appendRootNode serializes a root node into the open index page.
+func (ix *Index) appendRootNode(leaves []nodeRef, next nodeRef) (nodeRef, error) {
+	if ix.openIndexID == nilPage || ix.openIndexUsed >= ix.rootSlots {
+		if err := ix.rotateIndexPage(); err != nil {
+			return nilRef, err
+		}
+	}
+	slot := ix.openIndexUsed
+	off := slot * ix.rootNodeSize
+	buf := ix.openIndexBuf[off : off+ix.rootNodeSize]
+	binary.LittleEndian.PutUint16(buf, uint16(len(leaves)))
+	for i, r := range leaves {
+		binary.LittleEndian.PutUint32(buf[2+6*i:], uint32(r.page))
+		binary.LittleEndian.PutUint16(buf[2+6*i+4:], r.slot)
+	}
+	tail := 2 + 6*ix.params.RootEntries
+	binary.LittleEndian.PutUint32(buf[tail:], uint32(next.page))
+	binary.LittleEndian.PutUint16(buf[tail+4:], next.slot)
+	ix.openIndexUsed++
+	ix.stats.RootNodes++
+	return nodeRef{page: ix.openIndexID, slot: uint16(slot)}, nil
+}
+
+func (ix *Index) rotateLeafPage() error {
+	if ix.openLeafID != nilPage {
+		if err := ix.dev.Write(ix.openLeafID, ix.openLeafBuf); err != nil {
+			return err
+		}
+		ix.stats.LeafPages++
+	}
+	id, err := ix.dev.Alloc()
+	if err != nil {
+		return err
+	}
+	ix.openLeafID = id
+	if ix.openLeafBuf == nil {
+		ix.openLeafBuf = make([]byte, storage.PageSize)
+	} else {
+		for i := range ix.openLeafBuf {
+			ix.openLeafBuf[i] = 0
+		}
+	}
+	ix.openLeafUsed = 0
+	return nil
+}
+
+func (ix *Index) rotateIndexPage() error {
+	if ix.openIndexID != nilPage {
+		if err := ix.dev.Write(ix.openIndexID, ix.openIndexBuf); err != nil {
+			return err
+		}
+		ix.stats.IndexPages++
+	}
+	id, err := ix.dev.Alloc()
+	if err != nil {
+		return err
+	}
+	ix.openIndexID = id
+	if ix.openIndexBuf == nil {
+		ix.openIndexBuf = make([]byte, storage.PageSize)
+	} else {
+		for i := range ix.openIndexBuf {
+			ix.openIndexBuf[i] = 0
+		}
+	}
+	ix.openIndexUsed = 0
+	return nil
+}
+
+// Flush forces all partial buffers into storage: every bucket's leaf and
+// root buffers become (possibly short) nodes, and open pages are written
+// out. Used before snapshots and at end of ingest.
+func (ix *Index) Flush() error {
+	for i := range ix.buckets {
+		b := &ix.buckets[i]
+		if err := ix.flushLeaf(b); err != nil {
+			return err
+		}
+		if err := ix.flushRoot(b); err != nil {
+			return err
+		}
+	}
+	if ix.openLeafID != nilPage {
+		if err := ix.dev.Write(ix.openLeafID, ix.openLeafBuf); err != nil {
+			return err
+		}
+	}
+	if ix.openIndexID != nilPage {
+		if err := ix.dev.Write(ix.openIndexID, ix.openIndexBuf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TakeSnapshot flushes the in-memory table and records a time boundary:
+// data pages ingested after this call have IDs >= the recorded high-water
+// mark (§6.3).
+func (ix *Index) TakeSnapshot(ts time.Time) error {
+	if err := ix.Flush(); err != nil {
+		return err
+	}
+	ix.snapshots = append(ix.snapshots, Snapshot{Time: ts, DataHigh: ix.highData})
+	return nil
+}
+
+// Snapshots returns the recorded time boundaries in order.
+func (ix *Index) Snapshots() []Snapshot { return ix.snapshots }
+
+// PagesBefore returns the exclusive data-page high-water mark for the
+// newest snapshot not after ts, or 0 if none (nothing ingested before ts).
+func (ix *Index) PagesBefore(ts time.Time) storage.PageID {
+	var hi storage.PageID
+	for _, s := range ix.snapshots {
+		if !s.Time.After(ts) && s.DataHigh > hi {
+			hi = s.DataHigh
+		}
+	}
+	return hi
+}
+
+// LookupResult carries a token's candidate data pages plus the simulated
+// access profile of the traversal.
+type LookupResult struct {
+	// Pages is the sorted, deduplicated set of candidate data pages. It
+	// over-approximates (bucket sharing), never under-approximates.
+	Pages []storage.PageID
+	// RootHops counts latency-bound, serially dependent root node visits.
+	RootHops int
+	// LeafReads counts leaf node reads (parallel within a root visit).
+	LeafReads int
+	// IndexPagesRead and LeafPagesRead count distinct storage pages
+	// touched by the traversal.
+	IndexPagesRead int
+	LeafPagesRead  int
+}
+
+// BucketPages returns the total page count across the token's two
+// buckets — an O(1) upper bound on how many candidate pages a Lookup
+// would return. Query planners use it to skip traversals for unselective
+// (stop-word-like) tokens, which cannot prune the page set anyway.
+func (ix *Index) BucketPages(token string) uint64 {
+	a, b := ix.hash(token)
+	if a == b {
+		return ix.buckets[a].count
+	}
+	return ix.buckets[a].count + ix.buckets[b].count
+}
+
+// Lookup returns the candidate pages for a token from both of its buckets.
+func (ix *Index) Lookup(token string) (LookupResult, error) {
+	if token == "" {
+		return LookupResult{}, ErrTokenEmpty
+	}
+	a, b := ix.hash(token)
+	var res LookupResult
+	seenIdx := make(map[storage.PageID]bool)
+	seenLeaf := make(map[storage.PageID]bool)
+	var pages []storage.PageID
+	for _, bi := range dedupe2(a, b) {
+		bk := &ix.buckets[bi]
+		// In-memory buffers first (newest data).
+		pages = append(pages, bk.leafBuf...)
+		for _, lr := range bk.rootBuf {
+			lp, err := ix.readLeafNode(lr, seenLeaf, &res)
+			if err != nil {
+				return res, err
+			}
+			pages = append(pages, lp...)
+		}
+		// Then the storage linked list.
+		for ref := bk.head; !ref.isNil(); {
+			leaves, next, err := ix.readRootNode(ref, seenIdx, &res)
+			if err != nil {
+				return res, err
+			}
+			res.RootHops++
+			for _, lr := range leaves {
+				lp, err := ix.readLeafNode(lr, seenLeaf, &res)
+				if err != nil {
+					return res, err
+				}
+				pages = append(pages, lp...)
+			}
+			ref = next
+		}
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	res.Pages = dedupeSorted(pages)
+	return res, nil
+}
+
+func dedupe2(a, b int) []int {
+	if a == b {
+		return []int{a}
+	}
+	return []int{a, b}
+}
+
+func dedupeSorted(pages []storage.PageID) []storage.PageID {
+	if len(pages) == 0 {
+		return pages
+	}
+	out := pages[:1]
+	for _, p := range pages[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// readPage reads an index/leaf page, transparently serving the open
+// (not-yet-flushed) pages from their memory buffers. Index traversal
+// happens host-side, so reads cross the external link.
+func (ix *Index) readPage(id storage.PageID, buf []byte) error {
+	if id == ix.openLeafID {
+		copy(buf, ix.openLeafBuf)
+		return nil
+	}
+	if id == ix.openIndexID {
+		copy(buf, ix.openIndexBuf)
+		return nil
+	}
+	return ix.dev.Read(storage.External, id, buf)
+}
+
+func (ix *Index) readRootNode(ref nodeRef, seenPages map[storage.PageID]bool, res *LookupResult) (leaves []nodeRef, next nodeRef, err error) {
+	buf := make([]byte, storage.PageSize)
+	if err := ix.readPage(ref.page, buf); err != nil {
+		return nil, nilRef, err
+	}
+	if !seenPages[ref.page] {
+		seenPages[ref.page] = true
+		res.IndexPagesRead++
+	}
+	off := int(ref.slot) * ix.rootNodeSize
+	if off+ix.rootNodeSize > len(buf) {
+		return nil, nilRef, fmt.Errorf("index: root slot %d out of page", ref.slot)
+	}
+	node := buf[off : off+ix.rootNodeSize]
+	n := int(binary.LittleEndian.Uint16(node))
+	if n > ix.params.RootEntries {
+		return nil, nilRef, fmt.Errorf("index: corrupt root node (count %d)", n)
+	}
+	for i := 0; i < n; i++ {
+		leaves = append(leaves, nodeRef{
+			page: storage.PageID(binary.LittleEndian.Uint32(node[2+6*i:])),
+			slot: binary.LittleEndian.Uint16(node[2+6*i+4:]),
+		})
+	}
+	tail := 2 + 6*ix.params.RootEntries
+	next = nodeRef{
+		page: storage.PageID(binary.LittleEndian.Uint32(node[tail:])),
+		slot: binary.LittleEndian.Uint16(node[tail+4:]),
+	}
+	return leaves, next, nil
+}
+
+func (ix *Index) readLeafNode(ref nodeRef, seenPages map[storage.PageID]bool, res *LookupResult) ([]storage.PageID, error) {
+	buf := make([]byte, storage.PageSize)
+	if err := ix.readPage(ref.page, buf); err != nil {
+		return nil, err
+	}
+	if !seenPages[ref.page] {
+		seenPages[ref.page] = true
+		res.LeafPagesRead++
+	}
+	res.LeafReads++
+	off := int(ref.slot) * ix.leafNodeSize
+	if off+ix.leafNodeSize > len(buf) {
+		return nil, fmt.Errorf("index: leaf slot %d out of page", ref.slot)
+	}
+	node := buf[off : off+ix.leafNodeSize]
+	n := int(binary.LittleEndian.Uint16(node))
+	if n > ix.params.LeafEntries {
+		return nil, fmt.Errorf("index: corrupt leaf node (count %d)", n)
+	}
+	out := make([]storage.PageID, n)
+	for i := 0; i < n; i++ {
+		out[i] = storage.PageID(binary.LittleEndian.Uint32(node[2+4*i:]))
+	}
+	return out, nil
+}
+
+// SimulatedLookupTime estimates the traversal time of a lookup on the
+// simulated device: root hops are serially dependent (one flash latency
+// each), and each root visit's leaf pages stream in parallel.
+func (ix *Index) SimulatedLookupTime(res LookupResult) time.Duration {
+	t := ix.dev.DependentAccessTime(uint64(res.RootHops))
+	t += ix.dev.TransferTime(storage.External, uint64(res.IndexPagesRead+res.LeafPagesRead)*storage.PageSize)
+	return t
+}

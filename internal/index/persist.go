@@ -1,0 +1,140 @@
+package index
+
+import (
+	"fmt"
+	"time"
+
+	"mithrilog/internal/storage"
+)
+
+// SavedIndex is the gob-serializable form of an Index's in-memory state
+// (the in-storage nodes live in the device's pages and are serialized by
+// the storage snapshot).
+type SavedIndex struct {
+	Params  Params
+	Buckets []SavedBucket
+
+	OpenLeafID    uint32
+	OpenLeafBuf   []byte
+	OpenLeafUsed  int
+	OpenIndexID   uint32
+	OpenIndexBuf  []byte
+	OpenIndexUsed int
+
+	Snapshots []SavedSnapshot
+	HighData  uint32
+	Stats     Stats
+}
+
+// SavedBucket serializes one hash bucket.
+type SavedBucket struct {
+	LeafBuf  []uint32
+	RootBuf  []SavedRef
+	Head     SavedRef
+	Count    uint64
+	HasState bool // false for untouched buckets (kept compact)
+}
+
+// SavedRef serializes a node reference.
+type SavedRef struct {
+	Page uint32
+	Slot uint16
+}
+
+// SavedSnapshot serializes a time boundary.
+type SavedSnapshot struct {
+	UnixNano int64
+	DataHigh uint32
+}
+
+func refToSaved(r nodeRef) SavedRef { return SavedRef{Page: uint32(r.page), Slot: r.slot} }
+func savedToRef(s SavedRef) nodeRef {
+	return nodeRef{page: storage.PageID(s.Page), slot: s.Slot}
+}
+
+// Save captures the index's in-memory state for serialization.
+func (ix *Index) Save() *SavedIndex {
+	s := &SavedIndex{
+		Params:        ix.params,
+		OpenLeafID:    uint32(ix.openLeafID),
+		OpenLeafBuf:   append([]byte(nil), ix.openLeafBuf...),
+		OpenLeafUsed:  ix.openLeafUsed,
+		OpenIndexID:   uint32(ix.openIndexID),
+		OpenIndexBuf:  append([]byte(nil), ix.openIndexBuf...),
+		OpenIndexUsed: ix.openIndexUsed,
+		HighData:      uint32(ix.highData),
+		Stats:         ix.stats,
+	}
+	s.Buckets = make([]SavedBucket, len(ix.buckets))
+	for i := range ix.buckets {
+		b := &ix.buckets[i]
+		if b.count == 0 && b.head.isNil() {
+			continue
+		}
+		sb := SavedBucket{
+			Head:     refToSaved(b.head),
+			Count:    b.count,
+			HasState: true,
+		}
+		for _, p := range b.leafBuf {
+			sb.LeafBuf = append(sb.LeafBuf, uint32(p))
+		}
+		for _, r := range b.rootBuf {
+			sb.RootBuf = append(sb.RootBuf, refToSaved(r))
+		}
+		s.Buckets[i] = sb
+	}
+	for _, snap := range ix.snapshots {
+		s.Snapshots = append(s.Snapshots, SavedSnapshot{
+			UnixNano: snap.Time.UnixNano(),
+			DataHigh: uint32(snap.DataHigh),
+		})
+	}
+	return s
+}
+
+// LoadIndex rebuilds an index from saved state on a restored device.
+func LoadIndex(dev *storage.Device, s *SavedIndex) (*Index, error) {
+	ix := New(dev, s.Params)
+	if len(s.Buckets) != len(ix.buckets) {
+		return nil, fmt.Errorf("index: saved %d buckets, params say %d", len(s.Buckets), len(ix.buckets))
+	}
+	for i := range s.Buckets {
+		sb := &s.Buckets[i]
+		if !sb.HasState {
+			continue
+		}
+		b := &ix.buckets[i]
+		b.count = sb.Count
+		b.head = savedToRef(sb.Head)
+		if len(sb.LeafBuf) > 0 || len(sb.RootBuf) > 0 {
+			b.leafBuf = make([]storage.PageID, 0, ix.params.LeafEntries)
+			b.rootBuf = make([]nodeRef, 0, ix.params.RootEntries)
+			for _, p := range sb.LeafBuf {
+				b.leafBuf = append(b.leafBuf, storage.PageID(p))
+			}
+			for _, r := range sb.RootBuf {
+				b.rootBuf = append(b.rootBuf, savedToRef(r))
+			}
+		}
+	}
+	ix.openLeafID = storage.PageID(s.OpenLeafID)
+	if len(s.OpenLeafBuf) > 0 {
+		ix.openLeafBuf = append([]byte(nil), s.OpenLeafBuf...)
+	}
+	ix.openLeafUsed = s.OpenLeafUsed
+	ix.openIndexID = storage.PageID(s.OpenIndexID)
+	if len(s.OpenIndexBuf) > 0 {
+		ix.openIndexBuf = append([]byte(nil), s.OpenIndexBuf...)
+	}
+	ix.openIndexUsed = s.OpenIndexUsed
+	ix.highData = storage.PageID(s.HighData)
+	ix.stats = s.Stats
+	for _, snap := range s.Snapshots {
+		ix.snapshots = append(ix.snapshots, Snapshot{
+			Time:     time.Unix(0, snap.UnixNano),
+			DataHigh: storage.PageID(snap.DataHigh),
+		})
+	}
+	return ix, nil
+}

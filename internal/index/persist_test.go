@@ -1,0 +1,84 @@
+package index
+
+import (
+	"testing"
+	"time"
+
+	"mithrilog/internal/storage"
+)
+
+func TestSaveLoadIndexRoundTrip(t *testing.T) {
+	dev := storage.New(storage.Config{})
+	ix := New(dev, Params{Buckets: 512, LeafEntries: 4, RootEntries: 4})
+	for p := storage.PageID(0); p < 300; p++ {
+		tok := "tok" + string(rune('a'+p%7))
+		if err := ix.Add(tok, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.TakeSnapshot(time.Unix(1000, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// More adds after the snapshot, leaving partial buffers in memory.
+	for p := storage.PageID(300); p < 320; p++ {
+		if err := ix.Add("late", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	saved := ix.Save()
+	dev2 := storage.New(storage.Config{})
+	if err := dev2.Restore(dev.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(dev2, saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every token's lookup must agree between the original and the loaded
+	// index (including the unflushed in-memory state).
+	for _, tok := range []string{"toka", "tokb", "tokc", "late"} {
+		a, err := ix.Lookup(tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Lookup(tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Pages) != len(b.Pages) {
+			t.Fatalf("%s: %d vs %d pages after load", tok, len(a.Pages), len(b.Pages))
+		}
+		for i := range a.Pages {
+			if a.Pages[i] != b.Pages[i] {
+				t.Fatalf("%s: page %d differs", tok, i)
+			}
+		}
+	}
+	// Snapshots and stats survive.
+	if loaded.PagesBefore(time.Unix(1000, 0)) != ix.PagesBefore(time.Unix(1000, 0)) {
+		t.Fatal("snapshot boundary lost")
+	}
+	if loaded.Stats() != ix.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", loaded.Stats(), ix.Stats())
+	}
+	// The loaded index accepts further adds.
+	if err := loaded.Add("fresh", 999); err != nil {
+		t.Fatal(err)
+	}
+	res, err := loaded.Lookup("fresh")
+	if err != nil || len(res.Pages) == 0 {
+		t.Fatalf("post-load add: %v %v", res.Pages, err)
+	}
+}
+
+func TestLoadIndexBucketMismatch(t *testing.T) {
+	dev := storage.New(storage.Config{})
+	ix := New(dev, Params{Buckets: 64})
+	saved := ix.Save()
+	saved.Params.Buckets = 128 // inconsistent with the bucket array
+	if _, err := LoadIndex(storage.New(storage.Config{}), saved); err == nil {
+		t.Fatal("bucket mismatch should fail")
+	}
+}

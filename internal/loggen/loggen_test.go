@@ -1,0 +1,160 @@
+package loggen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mithrilog/internal/lzah"
+	"mithrilog/internal/query"
+	"mithrilog/internal/tokenizer"
+)
+
+func TestProfilesPresent(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 4 {
+		t.Fatalf("profiles = %d", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name] = true
+		if p.Templates < 90 || p.Templates > 250 {
+			t.Errorf("%s templates %d outside Table 1 band", p.Name, p.Templates)
+		}
+	}
+	for _, want := range []string{"BGL2", "Liberty2", "Spirit2", "Thunderbird"} {
+		if !names[want] {
+			t.Errorf("missing profile %s", want)
+		}
+	}
+	if _, ok := ProfileByName("bgl2"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("unknown profile should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(BGL2, 500, 0)
+	b := Generate(BGL2, 500, 0)
+	if len(a.Lines) != 500 || len(b.Lines) != 500 {
+		t.Fatal("line counts")
+	}
+	for i := range a.Lines {
+		if !bytes.Equal(a.Lines[i], b.Lines[i]) {
+			t.Fatalf("line %d differs between runs", i)
+		}
+	}
+	c := Generate(BGL2, 500, 999)
+	same := 0
+	for i := range c.Lines {
+		if bytes.Equal(a.Lines[i], c.Lines[i]) {
+			same++
+		}
+	}
+	if same == 500 {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestLineStructure(t *testing.T) {
+	bgl := Generate(BGL2, 100, 0)
+	for _, l := range bgl.Lines {
+		s := string(l)
+		if !strings.Contains(s, " RAS ") {
+			t.Fatalf("BGL line missing RAS column: %q", s)
+		}
+		if !strings.HasPrefix(s, "- 11315") {
+			t.Fatalf("BGL line missing epoch prefix: %q", s)
+		}
+	}
+	lib := Generate(Liberty2, 100, 0)
+	for _, l := range lib.Lines {
+		if !strings.Contains(string(l), "/ladmin") {
+			t.Fatalf("Liberty line missing host/host field: %q", l)
+		}
+	}
+}
+
+func TestTemplatePopulation(t *testing.T) {
+	ds := Generate(Liberty2, 50000, 0)
+	if ds.TrueTemplates < 50 {
+		t.Fatalf("only %d templates used; want a broad population", ds.TrueTemplates)
+	}
+	// Zipf skew: the head template (the "parity" phrase) should dominate.
+	head := 0
+	for _, l := range ds.Lines {
+		for _, tok := range query.SplitTokens(string(l)) {
+			if tok == "parity" {
+				head++
+				break
+			}
+		}
+	}
+	if head < len(ds.Lines)/5 {
+		t.Errorf("head template only %d/%d lines; want heavy skew", head, len(ds.Lines))
+	}
+}
+
+func TestUsefulBitRatioBand(t *testing.T) {
+	// The Figure 13 precondition: tokenized log data should land near ~50%
+	// useful bits on a 16-byte datapath.
+	for _, p := range Profiles() {
+		ds := Generate(p, 2000, 0)
+		tk := tokenizer.New(2)
+		var words []tokenizer.Word
+		for _, l := range ds.Lines {
+			words = tk.TokenizeLine(words[:0], l)
+		}
+		r := tk.Stats().UsefulBitRatio()
+		if r < 0.35 || r > 0.75 {
+			t.Errorf("%s useful-bit ratio %.3f outside Figure 13 band", p.Name, r)
+		}
+	}
+}
+
+func TestCompressibilityBand(t *testing.T) {
+	// Table 5 precondition: LZAH should land in the 2.5-8x band on these
+	// synthetic datasets.
+	for _, p := range Profiles() {
+		ds := Generate(p, 5000, 0)
+		c := lzah.NewCodec(lzah.Options{})
+		comp := c.Compress(nil, ds.Text())
+		r := lzah.Ratio(ds.SizeBytes(), len(comp))
+		if r < 2 || r > 10 {
+			t.Errorf("%s LZAH ratio %.2f outside plausible band", p.Name, r)
+		}
+	}
+}
+
+func TestSizeAndText(t *testing.T) {
+	ds := Generate(BGL2, 10, 0)
+	text := ds.Text()
+	if len(text) != ds.SizeBytes() {
+		t.Fatalf("Text len %d != SizeBytes %d", len(text), ds.SizeBytes())
+	}
+	if bytes.Count(text, []byte{'\n'}) != 10 {
+		t.Fatal("each line must end with newline")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	ds := Generate(BGL2, 0, 0)
+	if len(ds.Lines) != BGL2.DefaultLines {
+		t.Fatalf("default lines = %d", len(ds.Lines))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Generate(BGL2, 1000, 0)
+	}
+}

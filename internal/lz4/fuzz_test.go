@@ -1,0 +1,33 @@
+package lz4
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip asserts compress→decompress identity on arbitrary bytes.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("abcabcabcabc"))
+	f.Add(bytes.Repeat([]byte{'z'}, 300))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewCompressor()
+		got, err := Decompress(nil, c.Compress(nil, data))
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecompressNeverPanics feeds arbitrary bytes to the decoder.
+func FuzzDecompressNeverPanics(f *testing.F) {
+	c := NewCompressor()
+	f.Add(c.Compress(nil, []byte("seed data for the decoder")))
+	f.Add([]byte{4, 0, 0, 0, 0x10, 'x'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Decompress(nil, data)
+	})
+}

@@ -1,0 +1,244 @@
+// Package lz4 implements the LZ4 block format (compressor and
+// decompressor), used as the general-purpose high-speed compression
+// baseline of Tables 4 and 5. The implementation follows the published
+// block specification: each sequence is a token byte (high nibble =
+// literal length, low nibble = match length - 4), optional length
+// extension bytes of 255, the literals, a 2-byte little-endian match
+// offset, and optional match length extension bytes. The block ends with a
+// literals-only sequence; the spec's end-of-block restrictions (last five
+// bytes are literals, no match starting within the last twelve bytes) are
+// honored by the compressor.
+package lz4
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	minMatch    = 4
+	hashLog     = 16
+	hashEntries = 1 << hashLog
+	maxOffset   = 65535
+	// lastLiterals: the last 5 bytes must be encoded as literals, and no
+	// match may start within the last 12 bytes (mflimit).
+	lastLiterals = 5
+	mflimit      = 12
+)
+
+// ErrCorrupt reports a malformed compressed block.
+var ErrCorrupt = errors.New("lz4: corrupt compressed block")
+
+// Compressor holds the reusable match-finder state.
+type Compressor struct {
+	table [hashEntries]int32
+	gen   [hashEntries]uint32
+	cur   uint32
+}
+
+// NewCompressor returns a ready compressor.
+func NewCompressor() *Compressor { return &Compressor{} }
+
+func (c *Compressor) newBlock() {
+	c.cur++
+	if c.cur == 0 {
+		for i := range c.gen {
+			c.gen[i] = 0
+		}
+		c.cur = 1
+	}
+}
+
+func hash4(v uint32) int {
+	return int((v * 2654435761) >> (32 - hashLog))
+}
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+// CompressedSizeHeader prefixes blocks with the uncompressed length so the
+// decoder can size its output exactly (the LZ4 block format itself does
+// not carry lengths; frames do).
+const headerBytes = 4
+
+// Compress appends an LZ4 block (with a 4-byte uncompressed-length
+// header) built from src to dst.
+func (c *Compressor) Compress(dst, src []byte) []byte {
+	c.newBlock()
+	base := len(dst)
+	dst = append(dst, make([]byte, headerBytes)...)
+	binary.LittleEndian.PutUint32(dst[base:], uint32(len(src)))
+
+	if len(src) == 0 {
+		return dst
+	}
+	anchor := 0
+	pos := 0
+	limit := len(src) - mflimit
+	for pos < limit {
+		v := load32(src, pos)
+		h := hash4(v)
+		cand := int(c.table[h])
+		fresh := c.gen[h] == c.cur
+		c.table[h] = int32(pos)
+		c.gen[h] = c.cur
+		if !fresh || cand >= pos || pos-cand > maxOffset || load32(src, cand) != v {
+			pos++
+			continue
+		}
+		// Extend the match forward (not past the end-of-block limit).
+		matchLen := minMatch
+		maxLen := len(src) - lastLiterals - pos
+		for matchLen < maxLen && src[cand+matchLen] == src[pos+matchLen] {
+			matchLen++
+		}
+		dst = emitSequence(dst, src[anchor:pos], pos-cand, matchLen)
+		pos += matchLen
+		anchor = pos
+	}
+	// Final literals-only sequence.
+	dst = emitLastLiterals(dst, src[anchor:])
+	return dst
+}
+
+func emitSequence(dst, literals []byte, offset, matchLen int) []byte {
+	litLen := len(literals)
+	ml := matchLen - minMatch
+	token := byte(0)
+	if litLen >= 15 {
+		token = 0xf0
+	} else {
+		token = byte(litLen) << 4
+	}
+	if ml >= 15 {
+		token |= 0x0f
+	} else {
+		token |= byte(ml)
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = appendLenExt(dst, litLen-15)
+	}
+	dst = append(dst, literals...)
+	dst = append(dst, byte(offset), byte(offset>>8))
+	if ml >= 15 {
+		dst = appendLenExt(dst, ml-15)
+	}
+	return dst
+}
+
+func emitLastLiterals(dst, literals []byte) []byte {
+	litLen := len(literals)
+	token := byte(0)
+	if litLen >= 15 {
+		token = 0xf0
+	} else {
+		token = byte(litLen) << 4
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = appendLenExt(dst, litLen-15)
+	}
+	return append(dst, literals...)
+}
+
+func appendLenExt(dst []byte, n int) []byte {
+	for n >= 255 {
+		dst = append(dst, 255)
+		n -= 255
+	}
+	return append(dst, byte(n))
+}
+
+// Decompress appends the decompressed contents of a block produced by
+// Compress to dst.
+func Decompress(dst, block []byte) ([]byte, error) {
+	if len(block) < headerBytes {
+		return dst, ErrCorrupt
+	}
+	uncomp := int(binary.LittleEndian.Uint32(block))
+	in := block[headerBytes:]
+	start := len(dst)
+	pos := 0
+	for {
+		if len(dst)-start == uncomp && pos == len(in) {
+			return dst, nil
+		}
+		if pos >= len(in) {
+			return dst, fmt.Errorf("%w: truncated at sequence start", ErrCorrupt)
+		}
+		token := in[pos]
+		pos++
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			var err error
+			litLen, pos, err = readLenExt(in, pos, litLen)
+			if err != nil {
+				return dst, err
+			}
+		}
+		if pos+litLen > len(in) {
+			return dst, fmt.Errorf("%w: truncated literals", ErrCorrupt)
+		}
+		dst = append(dst, in[pos:pos+litLen]...)
+		pos += litLen
+		if pos == len(in) {
+			// Last sequence has no match part.
+			if len(dst)-start != uncomp {
+				return dst, fmt.Errorf("%w: produced %d of %d bytes", ErrCorrupt, len(dst)-start, uncomp)
+			}
+			return dst, nil
+		}
+		if pos+2 > len(in) {
+			return dst, fmt.Errorf("%w: truncated offset", ErrCorrupt)
+		}
+		offset := int(in[pos]) | int(in[pos+1])<<8
+		pos += 2
+		if offset == 0 {
+			return dst, fmt.Errorf("%w: zero offset", ErrCorrupt)
+		}
+		matchLen := int(token & 0x0f)
+		if matchLen == 15 {
+			var err error
+			matchLen, pos, err = readLenExt(in, pos, matchLen)
+			if err != nil {
+				return dst, err
+			}
+		}
+		matchLen += minMatch
+		srcPos := len(dst) - offset
+		if srcPos < start {
+			return dst, fmt.Errorf("%w: offset %d before block start", ErrCorrupt, offset)
+		}
+		if len(dst)-start+matchLen > uncomp {
+			return dst, fmt.Errorf("%w: match overruns output", ErrCorrupt)
+		}
+		for i := 0; i < matchLen; i++ {
+			dst = append(dst, dst[srcPos+i])
+		}
+	}
+}
+
+func readLenExt(in []byte, pos, n int) (int, int, error) {
+	for {
+		if pos >= len(in) {
+			return 0, 0, fmt.Errorf("%w: truncated length extension", ErrCorrupt)
+		}
+		b := in[pos]
+		pos++
+		n += int(b)
+		if b != 255 {
+			return n, pos, nil
+		}
+	}
+}
+
+// Ratio is original size divided by compressed size.
+func Ratio(originalLen, compressedLen int) float64 {
+	if compressedLen == 0 {
+		return 0
+	}
+	return float64(originalLen) / float64(compressedLen)
+}

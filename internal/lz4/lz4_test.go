@@ -1,0 +1,159 @@
+package lz4
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t testing.TB, src []byte) []byte {
+	t.Helper()
+	c := NewCompressor()
+	comp := c.Compress(nil, src)
+	got, err := Decompress(nil, comp)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch (%d vs %d bytes)", len(got), len(src))
+	}
+	return comp
+}
+
+func logSample(lines int) []byte {
+	var sb strings.Builder
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(&sb, "2005.11.09 dn%03d RAS KERNEL INFO %d microseconds spent in the rbs signal handler during %d calls\n", i%256, i%977, i%53)
+	}
+	return []byte(sb.String())
+}
+
+func TestRoundTripCases(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"a",
+		"short",
+		"twelve bytes",
+		"thirteen bytes!",
+		strings.Repeat("a", 300),
+		strings.Repeat("abcd", 100),
+		"head " + strings.Repeat("x", 20) + " tail",
+		strings.Repeat("long literal run with no repeats 0123456789 ", 1) + "ZZZZ",
+	} {
+		roundTrip(t, []byte(s))
+	}
+}
+
+func TestRoundTripLongLiteralRun(t *testing.T) {
+	// > 15+255 literals exercises multi-byte length extensions.
+	rng := rand.New(rand.NewSource(3))
+	src := make([]byte, 1000)
+	rng.Read(src)
+	roundTrip(t, src)
+}
+
+func TestRoundTripLongMatch(t *testing.T) {
+	// > 15+255+4 match length exercises match length extensions.
+	src := append([]byte("prefix--"), bytes.Repeat([]byte{'q'}, 2000)...)
+	roundTrip(t, src)
+}
+
+func TestRatioOnLogs(t *testing.T) {
+	src := logSample(5000)
+	comp := roundTrip(t, src)
+	r := Ratio(len(src), len(comp))
+	if r < 4 {
+		t.Fatalf("LZ4 ratio on repetitive logs = %.2f, expected > 4", r)
+	}
+	t.Logf("LZ4 log ratio %.2fx", r)
+}
+
+func TestLZ4BeatsLZAHStyleOnRatio(t *testing.T) {
+	// LZ4's byte-granular matching should out-compress word-aligned
+	// schemes on text (the Table 5 relationship); just check it is strong.
+	src := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog\n", 200))
+	comp := roundTrip(t, src)
+	if Ratio(len(src), len(comp)) < 10 {
+		t.Fatalf("ratio %.2f unexpectedly low", Ratio(len(src), len(comp)))
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	src := logSample(50)
+	comp := NewCompressor().Compress(nil, src)
+	for name, blk := range map[string][]byte{
+		"empty":     {},
+		"header":    comp[:2],
+		"truncated": comp[:len(comp)-3],
+	} {
+		if _, err := Decompress(nil, blk); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Zero offset.
+	bad := []byte{8, 0, 0, 0, 0x41, 'x', 'x', 'x', 'x', 0, 0}
+	if _, err := Decompress(nil, bad); err == nil {
+		t.Error("zero offset should fail")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(16384)
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte('a' + rng.Intn(1+rng.Intn(20)))
+		}
+		c := NewCompressor()
+		comp := c.Compress(nil, src)
+		got, err := Decompress(nil, comp)
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripBinary(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := make([]byte, rng.Intn(4096))
+		rng.Read(src)
+		c := NewCompressor()
+		got, err := Decompress(nil, c.Compress(nil, src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	c := NewCompressor()
+	src := logSample(10000)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	var dst []byte
+	for i := 0; i < b.N; i++ {
+		dst = c.Compress(dst[:0], src)
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	src := logSample(10000)
+	comp := NewCompressor().Compress(nil, src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	var dst []byte
+	var err error
+	for i := 0; i < b.N; i++ {
+		dst, err = Decompress(dst[:0], comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package lzah
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip asserts compress→decompress identity on arbitrary bytes
+// for both codec configurations.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("hello world\n"))
+	f.Add([]byte("line one\nline two\nline three\n"))
+	f.Add(bytes.Repeat([]byte("pattern "), 100))
+	f.Add([]byte{0, 1, 2, 255, '\n', 0, '\n'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, opts := range []Options{{}, {DisableNewlineAlign: true}, {TableBytes: 256}} {
+			c := NewCodec(opts)
+			comp := c.Compress(nil, data)
+			got, err := c.Decompress(nil, comp)
+			if err != nil {
+				t.Fatalf("opts %+v: decompress: %v", opts, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("opts %+v: round trip mismatch", opts)
+			}
+		}
+	})
+}
+
+// FuzzDecompressNeverPanics feeds arbitrary bytes to the decoder: it may
+// error, but must not panic or loop.
+func FuzzDecompressNeverPanics(f *testing.F) {
+	c := NewCodec(Options{})
+	seed := c.Compress(nil, []byte("seed data\nwith lines\n"))
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewCodec(Options{})
+		_, _ = dec.Decompress(nil, data)
+	})
+}

@@ -1,0 +1,357 @@
+// Package lzah implements LZAH ("LZ Aligned Header"), MithriLog's log- and
+// hardware-optimized compression algorithm (§5). LZAH derives from LZRW1
+// but restructures it for trivially cheap hardware decoders:
+//
+//   - The compressor slides a fixed 16-byte window across the input in
+//     word-aligned steps, eliminating variable-amount shifters. A hash
+//     table of recently seen words detects repeats: a repeat emits a
+//     one-bit header and the table index; a miss emits a one-bit header
+//     and the literal word.
+//   - Newline characters realign the window: when the current window
+//     contains a newline, only the bytes through the newline are consumed
+//     and the window restarts immediately after it, re-synchronizing the
+//     word stream with line structure. This recovers most of the
+//     compression lost to word-aligned stepping, because log patterns
+//     repeat at similar positions in each line. The windowed word is
+//     zero-padded after the newline before hashing so the next line's
+//     bytes do not pollute the table.
+//   - Headers are grouped: 128 header bits (one word) are collected per
+//     chunk, followed by the chunk's payloads, padded to a word boundary,
+//     so the decoder parses headers without shifting.
+//
+// Every compressed block is independently decompressible: it carries a
+// tiny fixed header and the hash table is rebuilt from block-local data on
+// both sides. Blocks therefore map directly onto storage pages (§5,
+// "aligning chunks at page boundaries").
+package lzah
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// WordSize is the compression word, matching the filter datapath (§5).
+const WordSize = 16
+
+// ChunkPairs is the number of header-payload pairs per chunk; 128 header
+// bits fill exactly one datapath word.
+const ChunkPairs = 128
+
+// DefaultTableBytes is the "modestly sized 16 KB hash table" of §7.3.1.
+const DefaultTableBytes = 16 * 1024
+
+// TableEntries returns the number of word slots in a table of the given
+// byte size.
+func TableEntries(tableBytes int) int { return tableBytes / WordSize }
+
+// headerBytes is the per-block header: uncompressed length (u32) followed
+// by compressed payload length (u32).
+const headerBytes = 8
+
+// ErrCorrupt reports a malformed compressed block.
+var ErrCorrupt = errors.New("lzah: corrupt compressed block")
+
+// Options configure the codec. The zero value selects the paper's
+// prototype parameters.
+type Options struct {
+	// TableBytes is the hash table size in bytes (default 16 KiB).
+	TableBytes int
+	// DisableNewlineAlign turns off the newline window realignment; used
+	// by the ablation benchmark to quantify its contribution (§5).
+	DisableNewlineAlign bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.TableBytes <= 0 {
+		o.TableBytes = DefaultTableBytes
+	}
+	return o
+}
+
+// Codec compresses and decompresses LZAH blocks. A Codec is stateless
+// between blocks (every block is independent) and safe to reuse; it is not
+// safe for concurrent use because it owns scratch tables.
+type Codec struct {
+	opts    Options
+	entries int
+	table   [][WordSize]byte
+	valid   []bool
+	gen     []uint32 // table generation tags, avoiding O(table) clears per block
+	curGen  uint32
+
+	decodeWords uint64 // deterministic one-word-per-cycle decode accounting
+}
+
+// NewCodec builds a codec with the given options.
+func NewCodec(opts Options) *Codec {
+	opts = opts.withDefaults()
+	n := TableEntries(opts.TableBytes)
+	if n < 1 {
+		n = 1
+	}
+	return &Codec{
+		opts:    opts,
+		entries: n,
+		table:   make([][WordSize]byte, n),
+		valid:   make([]bool, n),
+		gen:     make([]uint32, n),
+	}
+}
+
+// DecodeWords returns the cumulative number of words the decoder emitted;
+// the hardware decoder emits exactly one word per cycle (§7.3.1), so this
+// doubles as its busy-cycle count.
+func (c *Codec) DecodeWords() uint64 { return c.decodeWords }
+
+// ResetStats clears the decode-cycle account.
+func (c *Codec) ResetStats() { c.decodeWords = 0 }
+
+// newBlock advances the table generation, logically clearing it.
+func (c *Codec) newBlock() {
+	c.curGen++
+	if c.curGen == 0 { // wrapped: do a real clear
+		for i := range c.gen {
+			c.gen[i] = 0
+		}
+		c.curGen = 1
+	}
+}
+
+func (c *Codec) tableGet(idx int) ([WordSize]byte, bool) {
+	if c.gen[idx] != c.curGen {
+		return [WordSize]byte{}, false
+	}
+	return c.table[idx], true
+}
+
+func (c *Codec) tableSet(idx int, w [WordSize]byte) {
+	c.gen[idx] = c.curGen
+	c.table[idx] = w
+}
+
+// hashWord maps a (zero-padded) window word to a table index.
+func (c *Codec) hashWord(w [WordSize]byte) int {
+	h := uint64(14695981039346656037)
+	for _, b := range w {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return int(h % uint64(c.entries))
+}
+
+// window extracts the next window at src[pos:]: up to WordSize bytes,
+// truncated at (and including) the first newline when newline alignment is
+// enabled. It returns the zero-padded word and the number of input bytes
+// consumed.
+func (c *Codec) window(src []byte, pos int) (w [WordSize]byte, consumed int) {
+	end := pos + WordSize
+	if end > len(src) {
+		end = len(src)
+	}
+	n := end - pos
+	if !c.opts.DisableNewlineAlign {
+		for i := 0; i < n; i++ {
+			if src[pos+i] == '\n' {
+				n = i + 1
+				break
+			}
+		}
+	}
+	copy(w[:], src[pos:pos+n])
+	return w, n
+}
+
+// Compress appends the compressed form of src to dst and returns the
+// extended slice. The output layout is:
+//
+//	[4B uncompressed len][4B compressed payload len][chunks...]
+//
+// where each chunk is a 16-byte header word (bit i set = pair i is a
+// match) followed by payloads: a match payload is a 2-byte little-endian
+// table index; a literal payload is the windowed bytes (1..16 bytes; its
+// length is implied by newline position or end of block). Chunk payloads
+// are padded to a word boundary.
+func (c *Codec) Compress(dst, src []byte) []byte {
+	c.newBlock()
+	base := len(dst)
+	dst = append(dst, make([]byte, headerBytes)...)
+	binary.LittleEndian.PutUint32(dst[base:], uint32(len(src)))
+
+	var headerBits [WordSize]byte
+	pairCount := 0
+	headerPos := len(dst)
+	dst = append(dst, headerBits[:]...) // placeholder for first chunk header
+
+	flushChunk := func() {
+		copy(dst[headerPos:], headerBits[:])
+		// Pad payloads to a word boundary.
+		if rem := (len(dst) - headerPos) % WordSize; rem != 0 {
+			dst = append(dst, make([]byte, WordSize-rem)...)
+		}
+		headerBits = [WordSize]byte{}
+		pairCount = 0
+	}
+
+	pos := 0
+	for pos < len(src) {
+		if pairCount == ChunkPairs {
+			flushChunk()
+			headerPos = len(dst)
+			dst = append(dst, headerBits[:]...)
+		}
+		w, consumed := c.window(src, pos)
+		idx := c.hashWord(w)
+		if stored, ok := c.tableGet(idx); ok && stored == w {
+			headerBits[pairCount>>3] |= 1 << (uint(pairCount) & 7)
+			var ib [2]byte
+			binary.LittleEndian.PutUint16(ib[:], uint16(idx))
+			dst = append(dst, ib[:]...)
+		} else {
+			c.tableSet(idx, w)
+			dst = append(dst, src[pos:pos+consumed]...)
+		}
+		pairCount++
+		pos += consumed
+	}
+	if pairCount > 0 || len(src) == 0 {
+		flushChunk()
+	}
+	binary.LittleEndian.PutUint32(dst[base+4:], uint32(len(dst)-base-headerBytes))
+	return dst
+}
+
+// CompressedLen returns the total block length (header + payload) encoded
+// at the start of block, without decompressing.
+func CompressedLen(block []byte) (int, error) {
+	if len(block) < headerBytes {
+		return 0, ErrCorrupt
+	}
+	return headerBytes + int(binary.LittleEndian.Uint32(block[4:])), nil
+}
+
+// UncompressedLen returns the original data length encoded in the block.
+func UncompressedLen(block []byte) (int, error) {
+	if len(block) < headerBytes {
+		return 0, ErrCorrupt
+	}
+	return int(binary.LittleEndian.Uint32(block[:4])), nil
+}
+
+// Decompress appends the decompressed contents of one block to dst. It
+// mirrors the hardware decoder of Figure 10: header words feed a shift
+// register; payload words are parsed per header bit, either indexing the
+// table or passing through as literals; the table is maintained
+// identically to the compressor by hashing emitted words.
+func (c *Codec) Decompress(dst, block []byte) ([]byte, error) {
+	c.newBlock()
+	if len(block) < headerBytes {
+		return dst, ErrCorrupt
+	}
+	uncomp := int(binary.LittleEndian.Uint32(block[:4]))
+	payloadLen := int(binary.LittleEndian.Uint32(block[4:]))
+	if headerBytes+payloadLen > len(block) {
+		return dst, fmt.Errorf("%w: payload length %d exceeds block", ErrCorrupt, payloadLen)
+	}
+	in := block[headerBytes : headerBytes+payloadLen]
+
+	produced := 0
+	pos := 0
+	for produced < uncomp {
+		// Read one chunk header word.
+		if pos+WordSize > len(in) {
+			return dst, fmt.Errorf("%w: truncated chunk header", ErrCorrupt)
+		}
+		var header [WordSize]byte
+		copy(header[:], in[pos:pos+WordSize])
+		chunkStart := pos
+		pos += WordSize
+		for pair := 0; pair < ChunkPairs && produced < uncomp; pair++ {
+			isMatch := header[pair>>3]&(1<<(uint(pair)&7)) != 0
+			var w [WordSize]byte
+			var n int
+			if isMatch {
+				if pos+2 > len(in) {
+					return dst, fmt.Errorf("%w: truncated match index", ErrCorrupt)
+				}
+				idx := int(binary.LittleEndian.Uint16(in[pos:]))
+				pos += 2
+				if idx >= c.entries {
+					return dst, fmt.Errorf("%w: table index %d out of range", ErrCorrupt, idx)
+				}
+				stored, ok := c.tableGet(idx)
+				if !ok {
+					return dst, fmt.Errorf("%w: match references empty table slot %d", ErrCorrupt, idx)
+				}
+				w = stored
+				n = c.wordLen(w, uncomp-produced)
+			} else {
+				remaining := uncomp - produced
+				limit := WordSize
+				if remaining < limit {
+					limit = remaining
+				}
+				if pos >= len(in) {
+					return dst, fmt.Errorf("%w: truncated literal", ErrCorrupt)
+				}
+				avail := len(in) - pos
+				if limit > avail {
+					limit = avail
+				}
+				n = limit
+				if !c.opts.DisableNewlineAlign {
+					for i := 0; i < limit; i++ {
+						if in[pos+i] == '\n' {
+							n = i + 1
+							break
+						}
+					}
+				}
+				copy(w[:], in[pos:pos+n])
+				pos += n
+				c.tableSet(c.hashWord(w), w)
+			}
+			dst = append(dst, w[:n]...)
+			produced += n
+			c.decodeWords++
+		}
+		// Skip the chunk's word-boundary padding.
+		if rem := (pos - chunkStart) % WordSize; rem != 0 {
+			pos += WordSize - rem
+		}
+	}
+	if produced != uncomp {
+		return dst, fmt.Errorf("%w: produced %d of %d bytes", ErrCorrupt, produced, uncomp)
+	}
+	return dst, nil
+}
+
+// wordLen returns how many bytes of a matched word are emitted: through
+// the newline if present, else the full word, capped by the remaining
+// output budget.
+func (c *Codec) wordLen(w [WordSize]byte, remaining int) int {
+	n := WordSize
+	if !c.opts.DisableNewlineAlign {
+		for i := 0; i < WordSize; i++ {
+			if w[i] == '\n' {
+				n = i + 1
+				break
+			}
+		}
+	}
+	if n > remaining {
+		n = remaining
+	}
+	return n
+}
+
+// Ratio is a convenience: original size divided by compressed size.
+func Ratio(originalLen, compressedLen int) float64 {
+	if compressedLen == 0 {
+		return 0
+	}
+	return float64(originalLen) / float64(compressedLen)
+}

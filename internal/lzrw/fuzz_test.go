@@ -1,0 +1,31 @@
+package lzrw
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip asserts compress→decompress identity on arbitrary bytes.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("repeated repeated repeated"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewCompressor()
+		got, err := Decompress(nil, c.Compress(nil, data))
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecompressNeverPanics feeds arbitrary bytes to the decoder.
+func FuzzDecompressNeverPanics(f *testing.F) {
+	c := NewCompressor()
+	f.Add(c.Compress(nil, []byte("seed data")))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Decompress(nil, data)
+	})
+}

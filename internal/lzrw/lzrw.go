@@ -1,0 +1,167 @@
+// Package lzrw implements LZRW1, Ross Williams' extremely fast Ziv-Lempel
+// compressor (DCC 1991), which LZAH derives from and which the paper uses
+// as a compression-ratio baseline (Table 5) and a resource-efficiency
+// comparison point (Table 4).
+//
+// The format follows the original: the output is a sequence of groups,
+// each led by a 16-bit control word whose bits select, for up to 16 items,
+// between a literal byte (bit 0) and a copy item (bit 1). A copy item is
+// two bytes encoding a 12-bit offset (1..4095) and a 4-bit length code for
+// copies of 3..18 bytes. Matches are found with a 4096-entry hash table
+// over 3-byte prefixes; like the original, the table is never cleared
+// within a block and stale entries are verified before use.
+package lzrw
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// maxOffset is the 12-bit copy window.
+const maxOffset = 1 << 12
+
+// minMatch and maxMatch bound copy lengths (length code 0 => 3).
+const (
+	minMatch = 3
+	maxMatch = 18
+)
+
+// hashEntries is the size of the compressor's prefix hash table.
+const hashEntries = 4096
+
+// headerBytes carries the uncompressed length for exact decoding.
+const headerBytes = 4
+
+// ErrCorrupt reports a malformed compressed block.
+var ErrCorrupt = errors.New("lzrw: corrupt compressed block")
+
+// Compressor holds the reusable hash table. Not safe for concurrent use.
+type Compressor struct {
+	table [hashEntries]int32
+	gen   [hashEntries]uint32
+	cur   uint32
+}
+
+// NewCompressor returns a ready compressor.
+func NewCompressor() *Compressor { return &Compressor{} }
+
+func (c *Compressor) newBlock() {
+	c.cur++
+	if c.cur == 0 {
+		for i := range c.gen {
+			c.gen[i] = 0
+		}
+		c.cur = 1
+	}
+}
+
+func hash3(a, b, d byte) int {
+	h := uint32(a)<<16 | uint32(b)<<8 | uint32(d)
+	h = (h * 2654435761) >> 20
+	return int(h % hashEntries)
+}
+
+// Compress appends the LZRW1-compressed form of src to dst.
+func (c *Compressor) Compress(dst, src []byte) []byte {
+	c.newBlock()
+	base := len(dst)
+	dst = append(dst, make([]byte, headerBytes)...)
+	binary.LittleEndian.PutUint32(dst[base:], uint32(len(src)))
+
+	pos := 0
+	for pos < len(src) {
+		ctrlPos := len(dst)
+		dst = append(dst, 0, 0) // control word placeholder
+		var ctrl uint16
+		for item := 0; item < 16 && pos < len(src); item++ {
+			if pos+minMatch <= len(src) {
+				h := hash3(src[pos], src[pos+1], src[pos+2])
+				cand := int(c.table[h])
+				fresh := c.gen[h] == c.cur
+				c.table[h] = int32(pos)
+				c.gen[h] = c.cur
+				if fresh && cand < pos && pos-cand < maxOffset {
+					// Verify and extend the match.
+					n := 0
+					limit := len(src) - pos
+					if limit > maxMatch {
+						limit = maxMatch
+					}
+					for n < limit && src[cand+n] == src[pos+n] {
+						n++
+					}
+					if n >= minMatch {
+						off := pos - cand
+						ctrl |= 1 << uint(item)
+						// Copy item: oooo oooo | oooo llll (offset 12 bits,
+						// length-3 in 4 bits).
+						dst = append(dst,
+							byte(off>>4),
+							byte(off<<4)|byte(n-minMatch))
+						pos += n
+						continue
+					}
+				}
+			}
+			dst = append(dst, src[pos])
+			pos++
+		}
+		binary.LittleEndian.PutUint16(dst[ctrlPos:], ctrl)
+	}
+	return dst
+}
+
+// Decompress appends the decompressed contents of a block to dst.
+func Decompress(dst, block []byte) ([]byte, error) {
+	if len(block) < headerBytes {
+		return dst, ErrCorrupt
+	}
+	uncomp := int(binary.LittleEndian.Uint32(block))
+	in := block[headerBytes:]
+	start := len(dst)
+	pos := 0
+	for len(dst)-start < uncomp {
+		if pos+2 > len(in) {
+			return dst, fmt.Errorf("%w: truncated control word", ErrCorrupt)
+		}
+		ctrl := binary.LittleEndian.Uint16(in[pos:])
+		pos += 2
+		for item := 0; item < 16 && len(dst)-start < uncomp; item++ {
+			if ctrl&(1<<uint(item)) != 0 {
+				if pos+2 > len(in) {
+					return dst, fmt.Errorf("%w: truncated copy item", ErrCorrupt)
+				}
+				off := int(in[pos])<<4 | int(in[pos+1])>>4
+				n := int(in[pos+1]&0x0f) + minMatch
+				pos += 2
+				srcPos := len(dst) - off
+				if off == 0 || srcPos < start {
+					return dst, fmt.Errorf("%w: copy offset %d out of range", ErrCorrupt, off)
+				}
+				// Byte-by-byte copy: overlapping copies are legal.
+				for i := 0; i < n; i++ {
+					dst = append(dst, dst[srcPos+i])
+				}
+			} else {
+				if pos >= len(in) {
+					return dst, fmt.Errorf("%w: truncated literal", ErrCorrupt)
+				}
+				dst = append(dst, in[pos])
+				pos++
+			}
+		}
+	}
+	if len(dst)-start != uncomp {
+		return dst, fmt.Errorf("%w: produced %d of %d bytes", ErrCorrupt, len(dst)-start, uncomp)
+	}
+	return dst, nil
+}
+
+// Ratio is original size divided by compressed size.
+func Ratio(originalLen, compressedLen int) float64 {
+	if compressedLen == 0 {
+		return 0
+	}
+	return float64(originalLen) / float64(compressedLen)
+}

@@ -1,0 +1,163 @@
+package lzrw
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func logSample(lines int) []byte {
+	var sb strings.Builder
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(&sb, "2005.11.09 dn%03d RAS KERNEL INFO instruction cache parity error corrected %d\n", i%256, i%13)
+	}
+	return []byte(sb.String())
+}
+
+func roundTrip(t testing.TB, src []byte) []byte {
+	t.Helper()
+	c := NewCompressor()
+	comp := c.Compress(nil, src)
+	got, err := Decompress(nil, comp)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch (%d vs %d bytes)", len(got), len(src))
+	}
+	return comp
+}
+
+func TestRoundTripCases(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"a",
+		"ab",
+		"abc",
+		"aaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+		"abcabcabcabcabcabc",
+		strings.Repeat("pattern repeats ", 100),
+		"no repeats whatsoever 0123456789",
+	} {
+		roundTrip(t, []byte(s))
+	}
+}
+
+func TestRoundTripLogAndRatio(t *testing.T) {
+	src := logSample(5000)
+	comp := roundTrip(t, src)
+	r := Ratio(len(src), len(comp))
+	if r < 3 {
+		t.Fatalf("LZRW1 ratio on repetitive logs = %.2f, expected > 3", r)
+	}
+	t.Logf("LZRW1 log ratio %.2fx", r)
+}
+
+func TestOverlappingCopy(t *testing.T) {
+	// RLE-style data forces overlapping copies (offset < length).
+	src := append([]byte("start"), bytes.Repeat([]byte{'z'}, 200)...)
+	roundTrip(t, src)
+}
+
+func TestLongOffsetsExcluded(t *testing.T) {
+	// A repeat farther than 4095 bytes back must not be used; round trip
+	// must still succeed via literals.
+	pattern := []byte("unique-pattern-here!")
+	var src []byte
+	src = append(src, pattern...)
+	src = append(src, bytes.Repeat([]byte("-"), 5000)...)
+	src = append(src, pattern...)
+	roundTrip(t, src)
+}
+
+func TestIncompressibleExpansionBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := make([]byte, 32*1024)
+	rng.Read(src)
+	comp := roundTrip(t, src)
+	// Worst case: 2 control bytes per 16 literals = 12.5% + header.
+	if len(comp) > len(src)+len(src)/7+headerBytes {
+		t.Fatalf("expansion too large: %d -> %d", len(src), len(comp))
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	src := logSample(100)
+	comp := NewCompressor().Compress(nil, src)
+	for name, blk := range map[string][]byte{
+		"empty":     {},
+		"header":    comp[:3],
+		"truncated": comp[:len(comp)/3],
+	} {
+		if _, err := Decompress(nil, blk); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Copy offset pointing before block start.
+	bad := []byte{4, 0, 0, 0, 0xff, 0xff, 0xff, 0x00}
+	if _, err := Decompress(nil, bad); err == nil {
+		t.Error("bad offset: expected error")
+	}
+}
+
+func TestCompressorReuseAcrossBlocks(t *testing.T) {
+	c := NewCompressor()
+	a := logSample(50)
+	b := []byte(strings.Repeat("different content\n", 50))
+	ca := c.Compress(nil, a)
+	cb := c.Compress(nil, b)
+	if got, err := Decompress(nil, ca); err != nil || !bytes.Equal(got, a) {
+		t.Fatalf("block a: %v", err)
+	}
+	if got, err := Decompress(nil, cb); err != nil || !bytes.Equal(got, b) {
+		t.Fatalf("block b: %v", err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8192)
+		src := make([]byte, n)
+		// Skewed alphabet to produce plenty of matches.
+		for i := range src {
+			src[i] = byte('a' + rng.Intn(1+rng.Intn(26)))
+		}
+		c := NewCompressor()
+		comp := c.Compress(nil, src)
+		got, err := Decompress(nil, comp)
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	c := NewCompressor()
+	src := logSample(10000)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	var dst []byte
+	for i := 0; i < b.N; i++ {
+		dst = c.Compress(dst[:0], src)
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	src := logSample(10000)
+	comp := NewCompressor().Compress(nil, src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	var dst []byte
+	var err error
+	for i := 0; i < b.N; i++ {
+		dst, err = Decompress(dst[:0], comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

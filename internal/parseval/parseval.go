@@ -1,0 +1,135 @@
+// Package parseval evaluates log-template extraction quality against
+// generation ground truth, using the two standard metrics of the log
+// parsing benchmark literature the paper cites (Zhu et al. [86]):
+//
+//   - Grouping Accuracy (GA): the fraction of lines whose predicted group
+//     contains exactly the same set of lines as their ground-truth group.
+//   - Pairwise F1: precision/recall/F1 over all line pairs, where a pair
+//     is positive when both lines share a group.
+//
+// Predictions use -1 for unparsed lines; each unparsed line counts as its
+// own singleton group.
+package parseval
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrLengthMismatch reports prediction/truth slices of different lengths.
+var ErrLengthMismatch = errors.New("parseval: prediction and truth lengths differ")
+
+// Result holds the evaluation metrics.
+type Result struct {
+	// GroupingAccuracy in [0, 1].
+	GroupingAccuracy float64
+	// Precision, Recall, F1 of pairwise same-group decisions.
+	Precision, Recall, F1 float64
+	// PredictedGroups and TrueGroups count the distinct groups.
+	PredictedGroups, TrueGroups int
+	// Lines evaluated.
+	Lines int
+}
+
+// Evaluate compares predicted group IDs against ground-truth template IDs.
+func Evaluate(predicted, truth []int) (Result, error) {
+	if len(predicted) != len(truth) {
+		return Result{}, ErrLengthMismatch
+	}
+	n := len(predicted)
+	res := Result{Lines: n}
+	if n == 0 {
+		return res, nil
+	}
+
+	// Normalize: unparsed lines become unique singleton groups.
+	pred := make([]int, n)
+	next := 0
+	remap := make(map[int]int)
+	for i, p := range predicted {
+		if p < 0 {
+			pred[i] = -(i + 1) // unique negative key
+			continue
+		}
+		id, ok := remap[p]
+		if !ok {
+			id = next
+			next++
+			remap[p] = id
+		}
+		pred[i] = id
+	}
+
+	// Build group memberships.
+	predGroups := make(map[int][]int)
+	trueGroups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		predGroups[pred[i]] = append(predGroups[pred[i]], i)
+		trueGroups[truth[i]] = append(trueGroups[truth[i]], i)
+	}
+	res.PredictedGroups = len(predGroups)
+	res.TrueGroups = len(trueGroups)
+
+	// Grouping accuracy: a line is correct iff its predicted group's
+	// member set equals its true group's member set. Equivalently, for
+	// each predicted group, all members share one true template AND that
+	// template's group has the same size.
+	correct := 0
+	for _, members := range predGroups {
+		tid := truth[members[0]]
+		pure := true
+		for _, m := range members[1:] {
+			if truth[m] != tid {
+				pure = false
+				break
+			}
+		}
+		if pure && len(trueGroups[tid]) == len(members) {
+			correct += len(members)
+		}
+	}
+	res.GroupingAccuracy = float64(correct) / float64(n)
+
+	// Pairwise counts via group-size combinatorics: true positives are
+	// pairs in the same predicted AND same true group; count via the
+	// contingency table.
+	type cell struct{ p, t int }
+	contingency := make(map[cell]int)
+	for i := 0; i < n; i++ {
+		contingency[cell{pred[i], truth[i]}]++
+	}
+	var tp, predPairs, truePairs float64
+	for _, c := range contingency {
+		tp += choose2(c)
+	}
+	for _, members := range predGroups {
+		predPairs += choose2(len(members))
+	}
+	for _, members := range trueGroups {
+		truePairs += choose2(len(members))
+	}
+	res.Precision = safeDiv(tp, predPairs)
+	res.Recall = safeDiv(tp, truePairs)
+	if res.Precision+res.Recall > 0 {
+		res.F1 = 2 * res.Precision * res.Recall / (res.Precision + res.Recall)
+	}
+	return res, nil
+}
+
+func choose2(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return float64(n) * float64(n-1) / 2
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	v := a / b
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

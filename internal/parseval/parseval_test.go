@@ -1,0 +1,111 @@
+package parseval
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPerfectGrouping(t *testing.T) {
+	pred := []int{0, 0, 1, 1, 2}
+	truth := []int{7, 7, 3, 3, 9}
+	r, err := Evaluate(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r.GroupingAccuracy, 1) || !almost(r.F1, 1) || !almost(r.Precision, 1) || !almost(r.Recall, 1) {
+		t.Fatalf("perfect grouping scored %+v", r)
+	}
+	if r.PredictedGroups != 3 || r.TrueGroups != 3 {
+		t.Fatalf("group counts %+v", r)
+	}
+}
+
+func TestOverMerging(t *testing.T) {
+	// Everything in one predicted group; truth has two groups of 2.
+	pred := []int{0, 0, 0, 0}
+	truth := []int{1, 1, 2, 2}
+	r, err := Evaluate(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GroupingAccuracy != 0 {
+		t.Fatalf("over-merged GA = %v", r.GroupingAccuracy)
+	}
+	// Pairs: tp = C(2,2)*2 = 2; predicted pairs = C(4,2) = 6; true = 2.
+	if !almost(r.Precision, 2.0/6) || !almost(r.Recall, 1) {
+		t.Fatalf("P=%v R=%v", r.Precision, r.Recall)
+	}
+}
+
+func TestOverSplitting(t *testing.T) {
+	// Truth is one group of 4; prediction splits into singletons.
+	pred := []int{0, 1, 2, 3}
+	truth := []int{5, 5, 5, 5}
+	r, err := Evaluate(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GroupingAccuracy != 0 {
+		t.Fatalf("over-split GA = %v", r.GroupingAccuracy)
+	}
+	if r.Recall != 0 || r.Precision != 0 || r.F1 != 0 {
+		t.Fatalf("no shared pairs: %+v", r)
+	}
+}
+
+func TestPartialCredit(t *testing.T) {
+	// Group {0,1} correct; lines 2,3 merged across true groups.
+	pred := []int{0, 0, 1, 1}
+	truth := []int{4, 4, 5, 6}
+	r, err := Evaluate(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r.GroupingAccuracy, 0.5) {
+		t.Fatalf("GA = %v, want 0.5", r.GroupingAccuracy)
+	}
+}
+
+func TestUnparsedAreSingletons(t *testing.T) {
+	pred := []int{-1, -1, 0, 0}
+	truth := []int{1, 1, 2, 2}
+	r, err := Evaluate(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lines 2,3 form a correct group; lines 0,1 are singletons that do not
+	// cover their true group of size 2.
+	if !almost(r.GroupingAccuracy, 0.5) {
+		t.Fatalf("GA = %v", r.GroupingAccuracy)
+	}
+	// Two distinct unparsed singletons must not merge with each other.
+	if r.Recall >= 1 {
+		t.Fatalf("recall %v should miss the unparsed pair", r.Recall)
+	}
+}
+
+func TestSizeMismatchMatters(t *testing.T) {
+	// Predicted group is pure but smaller than the true group: GA must
+	// penalize both the subgroup and the stragglers.
+	pred := []int{0, 0, 1}
+	truth := []int{3, 3, 3}
+	r, err := Evaluate(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GroupingAccuracy != 0 {
+		t.Fatalf("GA = %v", r.GroupingAccuracy)
+	}
+}
+
+func TestErrorsAndEmpty(t *testing.T) {
+	if _, err := Evaluate([]int{1}, []int{1, 2}); err != ErrLengthMismatch {
+		t.Fatal("length mismatch not detected")
+	}
+	r, err := Evaluate(nil, nil)
+	if err != nil || r.Lines != 0 {
+		t.Fatalf("empty: %+v, %v", r, err)
+	}
+}

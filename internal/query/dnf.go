@@ -1,0 +1,169 @@
+package query
+
+import "fmt"
+
+// MaxDNFSets caps the number of intersection sets a parsed expression may
+// expand into during DNF distribution, protecting against exponential
+// blowup from expressions like (a OR b) AND (c OR d) AND …
+const MaxDNFSets = 4096
+
+// Node is a boolean expression AST node produced by the parser. Call ToDNF
+// to flatten a tree into the engine's Query form.
+type Node interface {
+	// nnf rewrites the subtree to negation normal form. neg indicates an
+	// enclosing odd number of negations (De Morgan push-down).
+	nnf(neg bool) Node
+}
+
+// TokNode is a leaf holding a single term.
+type TokNode struct{ Term Term }
+
+// AndNode is a binary conjunction.
+type AndNode struct{ L, R Node }
+
+// OrNode is a binary disjunction.
+type OrNode struct{ L, R Node }
+
+// NotNode negates its child.
+type NotNode struct{ X Node }
+
+func (n TokNode) nnf(neg bool) Node {
+	if neg {
+		return TokNode{n.Term.Not()}
+	}
+	return n
+}
+
+func (n AndNode) nnf(neg bool) Node {
+	if neg {
+		return OrNode{n.L.nnf(true), n.R.nnf(true)}
+	}
+	return AndNode{n.L.nnf(false), n.R.nnf(false)}
+}
+
+func (n OrNode) nnf(neg bool) Node {
+	if neg {
+		return AndNode{n.L.nnf(true), n.R.nnf(true)}
+	}
+	return OrNode{n.L.nnf(false), n.R.nnf(false)}
+}
+
+func (n NotNode) nnf(neg bool) Node { return n.X.nnf(!neg) }
+
+// ToDNF converts the expression to disjunctive normal form and returns the
+// corresponding Query. The input is first rewritten to negation normal
+// form, then OR is distributed over AND bottom-up.
+func ToDNF(n Node) (Query, error) {
+	sets, err := distribute(n.nnf(false))
+	if err != nil {
+		return Query{}, err
+	}
+	return Query{Sets: dedupeSets(sets)}, nil
+}
+
+// distribute assumes NNF input (negations only at leaves).
+func distribute(n Node) ([]Intersection, error) {
+	switch v := n.(type) {
+	case TokNode:
+		return []Intersection{{Terms: []Term{v.Term}}}, nil
+	case OrNode:
+		l, err := distribute(v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := distribute(v.R)
+		if err != nil {
+			return nil, err
+		}
+		out := append(l, r...)
+		if len(out) > MaxDNFSets {
+			return nil, fmt.Errorf("query: DNF expansion exceeds %d sets", MaxDNFSets)
+		}
+		return out, nil
+	case AndNode:
+		l, err := distribute(v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := distribute(v.R)
+		if err != nil {
+			return nil, err
+		}
+		if len(l)*len(r) > MaxDNFSets {
+			return nil, fmt.Errorf("query: DNF expansion exceeds %d sets", MaxDNFSets)
+		}
+		out := make([]Intersection, 0, len(l)*len(r))
+		for _, a := range l {
+			for _, b := range r {
+				out = append(out, mergeSets(a, b))
+			}
+		}
+		return out, nil
+	case NotNode:
+		return nil, fmt.Errorf("query: internal error: NOT survived NNF rewrite")
+	default:
+		return nil, fmt.Errorf("query: unknown AST node %T", n)
+	}
+}
+
+// mergeSets concatenates two intersections, dropping duplicate terms.
+func mergeSets(a, b Intersection) Intersection {
+	out := Intersection{Terms: make([]Term, 0, len(a.Terms)+len(b.Terms))}
+	seen := make(map[Term]bool, len(a.Terms)+len(b.Terms))
+	for _, t := range a.Terms {
+		if !seen[t] {
+			seen[t] = true
+			out.Terms = append(out.Terms, t)
+		}
+	}
+	for _, t := range b.Terms {
+		if !seen[t] {
+			seen[t] = true
+			out.Terms = append(out.Terms, t)
+		}
+	}
+	return out
+}
+
+// dedupeSets removes intersections that are contradictions (a token both
+// required and forbidden at the same column constraint) and exact-duplicate
+// intersection sets.
+func dedupeSets(sets []Intersection) []Intersection {
+	var out []Intersection
+	seen := make(map[string]bool, len(sets))
+	for _, s := range sets {
+		if contradicts(s) {
+			continue
+		}
+		key := s.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+func contradicts(s Intersection) bool {
+	type pk struct {
+		tok string
+		col int
+	}
+	pos := make(map[pk]bool)
+	neg := make(map[pk]bool)
+	for _, t := range s.Terms {
+		k := pk{t.Token, t.Column}
+		if t.Negated {
+			neg[k] = true
+		} else {
+			pos[k] = true
+		}
+	}
+	for k := range pos {
+		if neg[k] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,27 @@
+package query
+
+import "testing"
+
+// FuzzParse asserts the parser never panics, and that successfully parsed
+// queries render and re-parse to the same semantics witness (the string
+// form round-trips).
+func FuzzParse(f *testing.F) {
+	f.Add(`a AND b`)
+	f.Add(`(a OR b) AND NOT c`)
+	f.Add(`"quoted token"@3 OR x`)
+	f.Add(`NOT (a AND (b OR c))`)
+	f.Add(`((((`)
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		re, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("rendered query %q does not re-parse: %v", q.String(), err)
+		}
+		if re.String() != q.String() {
+			t.Fatalf("string form unstable: %q -> %q", q.String(), re.String())
+		}
+	})
+}

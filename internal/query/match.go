@@ -1,0 +1,147 @@
+package query
+
+import "strings"
+
+// Delimiters are the characters that separate tokens in a log line. The
+// paper defines a token ("term") as a textual word separated by delimiters;
+// the prototype splits on whitespace, leaving punctuation attached to tokens
+// (e.g. "pbs_mom:" is a single token, as in the §7.5 example query).
+const Delimiters = " \t"
+
+// SplitTokens splits a log line into tokens using Delimiters, skipping empty
+// fields produced by consecutive delimiters. This is the reference
+// tokenization that the hardware tokenizer must agree with.
+func SplitTokens(line string) []string {
+	return strings.FieldsFunc(line, func(r rune) bool {
+		return r == ' ' || r == '\t'
+	})
+}
+
+// LineSet is a pre-tokenized view of a log line used by the reference
+// matcher: token -> first column at which the token appears.
+type LineSet struct {
+	first map[string]int
+	n     int
+}
+
+// NewLineSet tokenizes a line into a LineSet.
+func NewLineSet(line string) LineSet {
+	toks := SplitTokens(line)
+	ls := LineSet{first: make(map[string]int, len(toks)), n: len(toks)}
+	for i, t := range toks {
+		if _, ok := ls.first[t]; !ok {
+			ls.first[t] = i
+		}
+	}
+	return ls
+}
+
+// Contains reports whether the token appears anywhere in the line.
+func (ls LineSet) Contains(tok string) bool {
+	_, ok := ls.first[tok]
+	return ok
+}
+
+// Len returns the number of tokens in the line.
+func (ls LineSet) Len() int { return ls.n }
+
+// ColumnLineSet stores every position of every token; it is the reference
+// view for prefix-tree (column-constrained) queries.
+type ColumnLineSet struct {
+	pos map[string][]int
+	n   int
+}
+
+// NewColumnLineSet tokenizes a line retaining all token positions.
+func NewColumnLineSet(line string) ColumnLineSet {
+	toks := SplitTokens(line)
+	cls := ColumnLineSet{pos: make(map[string][]int, len(toks)), n: len(toks)}
+	for i, t := range toks {
+		cls.pos[t] = append(cls.pos[t], i)
+	}
+	return cls
+}
+
+// Contains reports whether the token appears anywhere in the line.
+func (c ColumnLineSet) Contains(tok string) bool { return len(c.pos[tok]) > 0 }
+
+// ContainsAt reports whether the token appears at exactly the given column.
+func (c ColumnLineSet) ContainsAt(tok string, col int) bool {
+	for _, p := range c.pos[tok] {
+		if p == col {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of tokens in the line.
+func (c ColumnLineSet) Len() int { return c.n }
+
+// Match is the reference semantics for query evaluation: the line satisfies
+// the query iff at least one intersection set has all its positive terms
+// present and all its negative terms absent. This simple matcher is the
+// oracle against which the cuckoo-hash filter engine is property-tested.
+func (q Query) Match(line string) bool {
+	if q.UsesColumns() {
+		return q.matchColumns(NewColumnLineSet(line))
+	}
+	ls := NewLineSet(line)
+	for _, s := range q.Sets {
+		if s.match(ls) {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchSet evaluates the query against a pre-tokenized line and returns,
+// for each intersection set, whether it is satisfied.
+func (q Query) MatchSet(line string) []bool {
+	out := make([]bool, len(q.Sets))
+	if q.UsesColumns() {
+		cls := NewColumnLineSet(line)
+		for i, s := range q.Sets {
+			out[i] = s.matchColumns(cls)
+		}
+		return out
+	}
+	ls := NewLineSet(line)
+	for i, s := range q.Sets {
+		out[i] = s.match(ls)
+	}
+	return out
+}
+
+func (s Intersection) match(ls LineSet) bool {
+	for _, t := range s.Terms {
+		if ls.Contains(t.Token) == t.Negated {
+			return false
+		}
+	}
+	return true
+}
+
+func (q Query) matchColumns(cls ColumnLineSet) bool {
+	for _, s := range q.Sets {
+		if s.matchColumns(cls) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s Intersection) matchColumns(cls ColumnLineSet) bool {
+	for _, t := range s.Terms {
+		var present bool
+		if t.Column == AnyColumn {
+			present = cls.Contains(t.Token)
+		} else {
+			present = cls.ContainsAt(t.Token, t.Column)
+		}
+		if present == t.Negated {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,273 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse compiles a boolean query expression into the engine's
+// union-of-intersections form. The grammar is:
+//
+//	expr   := and ('OR' and)*
+//	and    := unary ('AND' unary)*
+//	unary  := 'NOT' unary | '(' expr ')' | token
+//	token  := bareword | "quoted string" [ '@' column ]
+//
+// Arbitrary nesting and negation are allowed; the expression is first
+// rewritten to negation normal form (De Morgan) and then distributed into
+// disjunctive normal form. DNF blowup is capped by MaxDNFSets.
+func Parse(input string) (Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return Query{}, err
+	}
+	p := &parser{toks: toks}
+	node, err := p.parseExpr()
+	if err != nil {
+		return Query{}, err
+	}
+	if !p.eof() {
+		return Query{}, fmt.Errorf("query: unexpected %q after expression", p.peek().text)
+	}
+	q, err := ToDNF(node)
+	if err != nil {
+		return Query{}, err
+	}
+	if err := q.Validate(); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and examples.
+func MustParse(input string) Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokenKind int
+
+const (
+	tkWord tokenKind = iota
+	tkAnd
+	tkOr
+	tkNot
+	tkLParen
+	tkRParen
+)
+
+type lexToken struct {
+	kind   tokenKind
+	text   string
+	column int // token-position constraint, AnyColumn if absent
+}
+
+func lex(input string) ([]lexToken, error) {
+	var out []lexToken
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			out = append(out, lexToken{kind: tkLParen, text: "("})
+			i++
+		case c == ')':
+			out = append(out, lexToken{kind: tkRParen, text: ")"})
+			i++
+		case c == '"':
+			word, next, err := lexQuoted(input, i)
+			if err != nil {
+				return nil, err
+			}
+			i = next
+			col := AnyColumn
+			if i < len(input) && input[i] == '@' {
+				var err error
+				col, i, err = lexColumn(input, i+1)
+				if err != nil {
+					return nil, err
+				}
+			}
+			out = append(out, lexToken{kind: tkWord, text: word, column: col})
+		default:
+			start := i
+			for i < len(input) && !isQueryBreak(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			switch strings.ToUpper(word) {
+			case "AND":
+				out = append(out, lexToken{kind: tkAnd, text: word})
+			case "OR":
+				out = append(out, lexToken{kind: tkOr, text: word})
+			case "NOT":
+				out = append(out, lexToken{kind: tkNot, text: word})
+			default:
+				word, col, err := splitColumnSuffix(word)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, lexToken{kind: tkWord, text: word, column: col})
+			}
+		}
+	}
+	return out, nil
+}
+
+func lexQuoted(input string, start int) (word string, next int, err error) {
+	var sb strings.Builder
+	i := start + 1
+	for i < len(input) {
+		switch input[i] {
+		case '\\':
+			if i+1 >= len(input) {
+				return "", 0, fmt.Errorf("query: trailing backslash in quoted token")
+			}
+			sb.WriteByte(input[i+1])
+			i += 2
+		case '"':
+			return sb.String(), i + 1, nil
+		default:
+			sb.WriteByte(input[i])
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("query: unterminated quoted token")
+}
+
+func lexColumn(input string, start int) (col, next int, err error) {
+	i := start
+	for i < len(input) && input[i] >= '0' && input[i] <= '9' {
+		i++
+	}
+	if i == start {
+		return 0, 0, fmt.Errorf("query: expected column number after '@'")
+	}
+	n, err := strconv.Atoi(input[start:i])
+	if err != nil {
+		return 0, 0, fmt.Errorf("query: bad column number: %v", err)
+	}
+	return n, i, nil
+}
+
+// splitColumnSuffix handles barewords of the form "tok@3".
+func splitColumnSuffix(word string) (string, int, error) {
+	at := strings.LastIndexByte(word, '@')
+	if at <= 0 || at == len(word)-1 {
+		return word, AnyColumn, nil
+	}
+	suffix := word[at+1:]
+	for _, r := range suffix {
+		if !unicode.IsDigit(r) {
+			return word, AnyColumn, nil
+		}
+	}
+	n, err := strconv.Atoi(suffix)
+	if err != nil {
+		return word, AnyColumn, nil
+	}
+	return word[:at], n, nil
+}
+
+func isQueryBreak(r rune) bool {
+	return r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == '(' || r == ')' || r == '"'
+}
+
+type parser struct {
+	toks []lexToken
+	pos  int
+}
+
+func (p *parser) eof() bool      { return p.pos >= len(p.toks) }
+func (p *parser) peek() lexToken { return p.toks[p.pos] }
+func (p *parser) next() lexToken { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) accept(k tokenKind) bool {
+	if !p.eof() && p.toks[p.pos].kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseExpr() (Node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tkOr) {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = OrNode{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		// Explicit AND, or implicit conjunction of adjacent operands
+		// ("a b" means "a AND b", matching common log search syntax).
+		if p.accept(tkAnd) {
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = AndNode{left, right}
+			continue
+		}
+		if !p.eof() {
+			k := p.peek().kind
+			if k == tkWord || k == tkNot || k == tkLParen {
+				right, err := p.parseUnary()
+				if err != nil {
+					return nil, err
+				}
+				left = AndNode{left, right}
+				continue
+			}
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	if p.eof() {
+		return nil, fmt.Errorf("query: unexpected end of expression")
+	}
+	switch t := p.next(); t.kind {
+	case tkNot:
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return NotNode{inner}, nil
+	case tkLParen:
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(tkRParen) {
+			return nil, fmt.Errorf("query: missing ')'")
+		}
+		return inner, nil
+	case tkWord:
+		if t.text == "" {
+			return nil, fmt.Errorf("query: empty token")
+		}
+		return TokNode{Term{Token: t.text, Column: t.column}}, nil
+	default:
+		return nil, fmt.Errorf("query: unexpected %q", t.text)
+	}
+}

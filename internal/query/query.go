@@ -1,0 +1,215 @@
+// Package query defines MithriLog's query model: a union (∪) of
+// intersection sets (∩) of possibly negated tokens, as described in §4 of
+// the paper. It also provides a parser for a small boolean query language,
+// a DNF compiler that flattens arbitrary boolean expressions into the
+// engine-offloadable union-of-intersections form, and a reference matcher
+// that serves as the correctness oracle for the accelerated path.
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AnyColumn marks a term that may appear at any position in the line.
+// Column constraints are only used in prefix-tree template mode (§4.3).
+const AnyColumn = -1
+
+// Term is a single token predicate. A token is a textual word separated by
+// delimiters (§1). If Negated is set the token must NOT appear in the line.
+// If Column is >= 0 the token must appear at exactly that token position
+// (prefix-tree template mode); AnyColumn disables the position constraint.
+type Term struct {
+	Token   string
+	Negated bool
+	Column  int
+}
+
+// NewTerm returns a positive term with no column constraint.
+func NewTerm(token string) Term { return Term{Token: token, Column: AnyColumn} }
+
+// Not returns a negated copy of the term.
+func (t Term) Not() Term { t.Negated = !t.Negated; return t }
+
+// At returns a copy of the term constrained to the given token column.
+func (t Term) At(col int) Term { t.Column = col; return t }
+
+// String renders the term in the query language syntax.
+func (t Term) String() string {
+	s := quoteToken(t.Token)
+	if t.Column != AnyColumn {
+		s = fmt.Sprintf("%s@%d", s, t.Column)
+	}
+	if t.Negated {
+		return "NOT " + s
+	}
+	return s
+}
+
+// Intersection is a conjunction of terms: the line must contain every
+// positive term and none of the negative terms.
+type Intersection struct {
+	Terms []Term
+}
+
+// And returns a new intersection with the given terms appended.
+func (s Intersection) And(terms ...Term) Intersection {
+	out := Intersection{Terms: make([]Term, 0, len(s.Terms)+len(terms))}
+	out.Terms = append(out.Terms, s.Terms...)
+	out.Terms = append(out.Terms, terms...)
+	return out
+}
+
+// Positives returns the number of non-negated terms.
+func (s Intersection) Positives() int {
+	n := 0
+	for _, t := range s.Terms {
+		if !t.Negated {
+			n++
+		}
+	}
+	return n
+}
+
+// Negatives returns the number of negated terms.
+func (s Intersection) Negatives() int { return len(s.Terms) - s.Positives() }
+
+// String renders the intersection as "(a AND NOT b AND c)".
+func (s Intersection) String() string {
+	if len(s.Terms) == 0 {
+		return "(TRUE)"
+	}
+	parts := make([]string, len(s.Terms))
+	for i, t := range s.Terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, " AND ") + ")"
+}
+
+// Query is a union of intersection sets. A line satisfies the query if it
+// satisfies at least one intersection set. This is the exact form the
+// hardware filter engine offloads (Equation 1 in the paper).
+type Query struct {
+	Sets []Intersection
+}
+
+// New builds a query from intersection sets.
+func New(sets ...Intersection) Query { return Query{Sets: sets} }
+
+// Single builds a one-intersection query from terms.
+func Single(terms ...Term) Query {
+	return Query{Sets: []Intersection{{Terms: terms}}}
+}
+
+// Or returns the union of q and others, the "joining with unions" operation
+// used to batch multiple queries into one accelerator configuration (§4).
+func (q Query) Or(others ...Query) Query {
+	out := Query{Sets: append([]Intersection(nil), q.Sets...)}
+	for _, o := range others {
+		out.Sets = append(out.Sets, o.Sets...)
+	}
+	return out
+}
+
+// Tokens returns every distinct token mentioned by the query, in first-use
+// order. The size of this set bounds cuckoo hash occupancy.
+func (q Query) Tokens() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range q.Sets {
+		for _, t := range s.Terms {
+			if !seen[t.Token] {
+				seen[t.Token] = true
+				out = append(out, t.Token)
+			}
+		}
+	}
+	return out
+}
+
+// TermCount returns the total number of terms across all intersection sets.
+func (q Query) TermCount() int {
+	n := 0
+	for _, s := range q.Sets {
+		n += len(s.Terms)
+	}
+	return n
+}
+
+// UsesColumns reports whether any term carries a column constraint,
+// i.e. whether prefix-tree mode is required.
+func (q Query) UsesColumns() bool {
+	for _, s := range q.Sets {
+		for _, t := range s.Terms {
+			if t.Column != AnyColumn {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the query as "(…) OR (…)".
+func (q Query) String() string {
+	if len(q.Sets) == 0 {
+		return "(FALSE)"
+	}
+	parts := make([]string, len(q.Sets))
+	for i, s := range q.Sets {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " OR ")
+}
+
+// Validate checks structural constraints: at least one intersection set,
+// every set non-empty, and no empty or delimiter-containing tokens.
+// Pure-negative sets are allowed: in the hardware bitmap scheme (§4.2.3) a
+// set with no positive terms has an all-zero query bitmap, which the line
+// bitmap trivially matches unless a negative term fires.
+func (q Query) Validate() error {
+	if len(q.Sets) == 0 {
+		return fmt.Errorf("query: no intersection sets")
+	}
+	for i, s := range q.Sets {
+		if len(s.Terms) == 0 {
+			return fmt.Errorf("query: intersection set %d is empty", i)
+		}
+		for _, t := range s.Terms {
+			if t.Token == "" {
+				return fmt.Errorf("query: intersection set %d has an empty token", i)
+			}
+			if strings.ContainsAny(t.Token, Delimiters) {
+				return fmt.Errorf("query: token %q contains a delimiter", t.Token)
+			}
+		}
+	}
+	return nil
+}
+
+func quoteToken(tok string) string {
+	// Quote anything the lexer treats specially: delimiters and newlines
+	// (token breaks), quotes, parentheses, and keywords. Backslashes must
+	// be escaped first so quoted contents round-trip.
+	if tok == "" || strings.ContainsAny(tok, " \t\n\r\"()\\") || isKeyword(tok) || splitsAsColumnSuffix(tok) {
+		escaped := strings.ReplaceAll(tok, `\`, `\\`)
+		escaped = strings.ReplaceAll(escaped, `"`, `\"`)
+		return `"` + escaped + `"`
+	}
+	return tok
+}
+
+// splitsAsColumnSuffix reports whether a bareword rendering of tok would
+// be re-lexed as "token@column" (an all-digit suffix after '@'); such
+// tokens must be quoted to round-trip.
+func splitsAsColumnSuffix(tok string) bool {
+	base, col, err := splitColumnSuffix(tok)
+	return err == nil && (base != tok || col != AnyColumn)
+}
+
+func isKeyword(s string) bool {
+	switch strings.ToUpper(s) {
+	case "AND", "OR", "NOT":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,330 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSplitTokens(t *testing.T) {
+	cases := []struct {
+		line string
+		want []string
+	}{
+		{"", nil},
+		{"   ", nil},
+		{"one", []string{"one"}},
+		{"RAS KERNEL INFO", []string{"RAS", "KERNEL", "INFO"}},
+		{"  leading and   multiple\tspaces ", []string{"leading", "and", "multiple", "spaces"}},
+		{"pbs_mom: failed", []string{"pbs_mom:", "failed"}},
+		{"a\tb\tc", []string{"a", "b", "c"}},
+	}
+	for _, c := range cases {
+		got := SplitTokens(c.line)
+		if len(got) != len(c.want) {
+			t.Fatalf("SplitTokens(%q) = %v, want %v", c.line, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("SplitTokens(%q)[%d] = %q, want %q", c.line, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestTermBuilders(t *testing.T) {
+	tm := NewTerm("FATAL")
+	if tm.Negated || tm.Column != AnyColumn || tm.Token != "FATAL" {
+		t.Fatalf("NewTerm produced %+v", tm)
+	}
+	neg := tm.Not()
+	if !neg.Negated || tm.Negated {
+		t.Fatalf("Not should copy: %+v / %+v", neg, tm)
+	}
+	at := tm.At(3)
+	if at.Column != 3 || tm.Column != AnyColumn {
+		t.Fatalf("At should copy: %+v / %+v", at, tm)
+	}
+}
+
+func TestMatchSingleIntersection(t *testing.T) {
+	q := Single(NewTerm("RAS"), NewTerm("KERNEL"), NewTerm("FATAL").Not())
+	cases := []struct {
+		line string
+		want bool
+	}{
+		{"RAS KERNEL INFO ok", true},
+		{"RAS KERNEL FATAL bad", false},
+		{"RAS other INFO", false},
+		{"KERNEL RAS reordered fine", true},
+		{"", false},
+		{"FATAL only", false},
+	}
+	for _, c := range cases {
+		if got := q.Match(c.line); got != c.want {
+			t.Errorf("Match(%q) = %v, want %v", c.line, got, c.want)
+		}
+	}
+}
+
+func TestMatchUnion(t *testing.T) {
+	q := New(
+		Intersection{}.And(NewTerm("A"), NewTerm("B")),
+		Intersection{}.And(NewTerm("C"), NewTerm("D").Not()),
+	)
+	cases := []struct {
+		line string
+		want bool
+	}{
+		{"A B", true},
+		{"A x", false},
+		{"C x", true},
+		{"C D", false},
+		{"A B C D", true}, // first set satisfied
+	}
+	for _, c := range cases {
+		if got := q.Match(c.line); got != c.want {
+			t.Errorf("Match(%q) = %v, want %v", c.line, got, c.want)
+		}
+	}
+}
+
+func TestMatchPureNegativeSet(t *testing.T) {
+	q := MustParse(`NOT pbs_mom:`)
+	if !q.Match("some other line") {
+		t.Fatal("pure negative set should match a line without the token")
+	}
+	if q.Match("pbs_mom: here") {
+		t.Fatal("pure negative set must reject a line containing the token")
+	}
+}
+
+func TestMatchSetPerSetResults(t *testing.T) {
+	q := New(
+		Intersection{}.And(NewTerm("A")),
+		Intersection{}.And(NewTerm("B")),
+	)
+	got := q.MatchSet("B only")
+	if got[0] || !got[1] {
+		t.Fatalf("MatchSet = %v, want [false true]", got)
+	}
+}
+
+func TestColumnMatch(t *testing.T) {
+	q := Single(NewTerm("RAS").At(2), NewTerm("FATAL"))
+	if !q.Match("x y RAS z FATAL") {
+		t.Fatal("RAS at column 2 should match")
+	}
+	if q.Match("RAS y z w FATAL") {
+		t.Fatal("RAS at column 0 should not match @2 constraint")
+	}
+	// Token appears at multiple positions; any matching column counts.
+	q2 := Single(NewTerm("A").At(2))
+	if !q2.Match("A B A") {
+		t.Fatal("second occurrence at column 2 should match")
+	}
+}
+
+func TestParseSimple(t *testing.T) {
+	q, err := Parse(`failed AND NOT pbs_mom:`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Sets) != 1 {
+		t.Fatalf("want 1 set, got %d", len(q.Sets))
+	}
+	s := q.Sets[0]
+	if len(s.Terms) != 2 || s.Terms[0].Token != "failed" || s.Terms[0].Negated ||
+		s.Terms[1].Token != "pbs_mom:" || !s.Terms[1].Negated {
+		t.Fatalf("parsed %+v", s)
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	q := MustParse(`(A AND B) OR (C AND NOT D AND E)`)
+	if len(q.Sets) != 2 {
+		t.Fatalf("want 2 sets, got %d: %s", len(q.Sets), q)
+	}
+	if q.Sets[1].Negatives() != 1 || q.Sets[1].Positives() != 2 {
+		t.Fatalf("second set wrong: %s", q.Sets[1])
+	}
+}
+
+func TestParseImplicitAnd(t *testing.T) {
+	q := MustParse(`error disk sda`)
+	if len(q.Sets) != 1 || len(q.Sets[0].Terms) != 3 {
+		t.Fatalf("implicit AND: %s", q)
+	}
+}
+
+func TestParseQuoted(t *testing.T) {
+	q := MustParse(`"FATAL" OR "quoted\"escape"`)
+	if len(q.Sets) != 2 {
+		t.Fatalf("want 2 sets: %s", q)
+	}
+	if q.Sets[0].Terms[0].Token != "FATAL" {
+		t.Fatalf("quoted token mangled: %q", q.Sets[0].Terms[0].Token)
+	}
+	if q.Sets[1].Terms[0].Token != `quoted"escape` {
+		t.Fatalf("escape mangled: %q", q.Sets[1].Terms[0].Token)
+	}
+	// A quoted token containing a delimiter can never match a tokenized
+	// line, so Parse rejects it up front.
+	if _, err := Parse(`"data TLB error"`); err == nil {
+		t.Fatal("token with embedded space should be rejected")
+	}
+}
+
+func TestParseColumnSuffix(t *testing.T) {
+	q := MustParse(`RAS@0 AND "APP"@2`)
+	if q.Sets[0].Terms[0].Column != 0 || q.Sets[0].Terms[1].Column != 2 {
+		t.Fatalf("columns: %+v", q.Sets[0].Terms)
+	}
+	if !q.UsesColumns() {
+		t.Fatal("UsesColumns should be true")
+	}
+	// '@' inside a token that is not followed by digits stays literal.
+	q2 := MustParse(`user@host`)
+	if q2.Sets[0].Terms[0].Token != "user@host" || q2.Sets[0].Terms[0].Column != AnyColumn {
+		t.Fatalf("literal @: %+v", q2.Sets[0].Terms[0])
+	}
+}
+
+func TestParseDeMorgan(t *testing.T) {
+	// NOT (A OR B) == NOT A AND NOT B
+	q := MustParse(`C AND NOT (A OR B)`)
+	if len(q.Sets) != 1 {
+		t.Fatalf("want 1 set: %s", q)
+	}
+	line := "C x y"
+	if !q.Match(line) {
+		t.Fatal("C alone should match")
+	}
+	if q.Match("C A") || q.Match("C B") {
+		t.Fatal("A or B present must reject")
+	}
+
+	// NOT (A AND B) == NOT A OR NOT B — needs two sets.
+	q2 := MustParse(`C AND NOT (A AND B)`)
+	if q2.Match("C A B") {
+		t.Fatal("both present must reject")
+	}
+	if !q2.Match("C A") || !q2.Match("C") {
+		t.Fatal("one absent should match")
+	}
+}
+
+func TestParseDNFDistribution(t *testing.T) {
+	q := MustParse(`(A OR B) AND (C OR D)`)
+	if len(q.Sets) != 4 {
+		t.Fatalf("want 4 sets, got %d: %s", len(q.Sets), q)
+	}
+	for _, line := range []string{"A C", "A D", "B C", "B D"} {
+		if !q.Match(line) {
+			t.Errorf("%q should match", line)
+		}
+	}
+	if q.Match("A B") || q.Match("C D") {
+		t.Error("cross terms must not match")
+	}
+}
+
+func TestParseContradictionPruned(t *testing.T) {
+	q := MustParse(`(A AND NOT A) OR B`)
+	if len(q.Sets) != 1 {
+		t.Fatalf("contradictory set should be pruned: %s", q)
+	}
+	if !q.Match("B") || q.Match("A") {
+		t.Fatal("only B should match")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"AND",
+		"A AND",
+		"NOT",
+		"(A",
+		"A)",
+		`"unterminated`,
+		`"A"@`,
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestDNFBlowupCapped(t *testing.T) {
+	// (a0 OR b0) AND (a1 OR b1) AND ... doubles each clause: 2^13 > 4096.
+	var sb strings.Builder
+	for i := 0; i < 13; i++ {
+		if i > 0 {
+			sb.WriteString(" AND ")
+		}
+		sb.WriteString("(a OR b")
+		sb.WriteString(strings.Repeat("x", i))
+		sb.WriteString(")")
+	}
+	if _, err := Parse(sb.String()); err == nil {
+		t.Fatal("expected DNF blowup error")
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	orig := MustParse(`(error AND NOT kernel) OR (panic AND cpu@3)`)
+	re := MustParse(orig.String())
+	lines := []string{"error x", "error kernel", "a b c panic", "x y z cpu panic", "cpu panic"}
+	for _, l := range lines {
+		if orig.Match(l) != re.Match(l) {
+			t.Fatalf("round-trip mismatch on %q: %s vs %s", l, orig, re)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Query{}).Validate(); err == nil {
+		t.Error("empty query should fail validation")
+	}
+	if err := New(Intersection{}).Validate(); err == nil {
+		t.Error("empty intersection should fail validation")
+	}
+	if err := Single(Term{Token: "", Column: AnyColumn}).Validate(); err == nil {
+		t.Error("empty token should fail validation")
+	}
+	if err := Single(Term{Token: "has space", Column: AnyColumn}).Validate(); err == nil {
+		t.Error("delimiter in token should fail validation")
+	}
+	if err := Single(NewTerm("ok")).Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+}
+
+func TestOrCombination(t *testing.T) {
+	a := MustParse("x AND y")
+	b := MustParse("z")
+	c := a.Or(b)
+	if len(c.Sets) != 2 {
+		t.Fatalf("Or: %s", c)
+	}
+	if !c.Match("z only") || !c.Match("x y") || c.Match("x only") {
+		t.Fatal("combined semantics wrong")
+	}
+	// Or must not alias the receiver's backing array.
+	_ = a.Or(b, b, b)
+	if len(a.Sets) != 1 {
+		t.Fatal("Or mutated receiver")
+	}
+}
+
+func TestTokensAndTermCount(t *testing.T) {
+	q := MustParse(`(A AND B) OR (A AND NOT C)`)
+	toks := q.Tokens()
+	if len(toks) != 3 {
+		t.Fatalf("Tokens: %v", toks)
+	}
+	if q.TermCount() != 4 {
+		t.Fatalf("TermCount = %d", q.TermCount())
+	}
+}

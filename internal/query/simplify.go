@@ -1,0 +1,63 @@
+package query
+
+// Simplify removes redundant intersection sets from a union. A set B is
+// redundant when some other set A's terms are a subset of B's: every line
+// satisfying B (the more constrained set) already satisfies A, so B never
+// changes the union's outcome. Duplicate sets collapse the same way.
+//
+// Batched queries built with Or often contain such redundancy (the same
+// template sampled twice, or one template refining another); simplifying
+// before offload frees intersection-set slots, letting more queries share
+// one accelerator configuration (§4).
+func (q Query) Simplify() Query {
+	type setInfo struct {
+		terms map[Term]bool
+		src   Intersection
+	}
+	infos := make([]setInfo, 0, len(q.Sets))
+	for _, s := range q.Sets {
+		m := make(map[Term]bool, len(s.Terms))
+		for _, t := range s.Terms {
+			m[t] = true
+		}
+		infos = append(infos, setInfo{terms: m, src: s})
+	}
+	redundant := make([]bool, len(infos))
+	for i := range infos {
+		if redundant[i] {
+			continue
+		}
+		for j := range infos {
+			if i == j || redundant[j] {
+				continue
+			}
+			if isSubset(infos[i].terms, infos[j].terms) {
+				if len(infos[i].terms) == len(infos[j].terms) && j < i {
+					// Exact duplicates: keep the earlier one.
+					continue
+				}
+				redundant[j] = true
+			}
+		}
+	}
+	out := Query{Sets: make([]Intersection, 0, len(q.Sets))}
+	for i, inf := range infos {
+		if !redundant[i] {
+			out.Sets = append(out.Sets, inf.src)
+		}
+	}
+	return out
+}
+
+// isSubset reports whether every term of a is in b.
+func isSubset(a, b map[Term]bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for t := range a {
+		if !b[t] {
+			return false
+		}
+	}
+	return true
+}

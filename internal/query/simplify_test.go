@@ -1,0 +1,111 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplifyDropsSupersets(t *testing.T) {
+	// (A ∩ B) subsumes (A ∩ B ∩ C): any line with A,B,C has A,B.
+	q := MustParse(`(A AND B) OR (A AND B AND C)`)
+	s := q.Simplify()
+	if len(s.Sets) != 1 {
+		t.Fatalf("simplified to %d sets: %s", len(s.Sets), s)
+	}
+	if s.Sets[0].String() != "(A AND B)" {
+		t.Fatalf("kept wrong set: %s", s)
+	}
+}
+
+func TestSimplifyKeepsIncomparableSets(t *testing.T) {
+	q := MustParse(`(A AND B) OR (A AND C) OR (D)`)
+	s := q.Simplify()
+	if len(s.Sets) != 3 {
+		t.Fatalf("lost incomparable sets: %s", s)
+	}
+}
+
+func TestSimplifyRespectsPolarity(t *testing.T) {
+	// (A) does NOT subsume (A ∩ ¬B)? It does: any line matching (A ∩ ¬B)
+	// matches (A). But (¬B alone) vs (A ∩ ¬B): ¬B ⊆ {A, ¬B} so the pure
+	// negative set subsumes.
+	q := MustParse(`(A) OR (A AND NOT B)`)
+	s := q.Simplify()
+	if len(s.Sets) != 1 || s.Sets[0].String() != "(A)" {
+		t.Fatalf("polarity-aware subsumption failed: %s", s)
+	}
+	// A positive term does not subsume its negation.
+	q2 := MustParse(`(A) OR (NOT A)`)
+	if s2 := q2.Simplify(); len(s2.Sets) != 2 {
+		t.Fatalf("A and NOT A are incomparable: %s", s2)
+	}
+}
+
+func TestSimplifyRespectsColumns(t *testing.T) {
+	q := New(
+		Intersection{}.And(NewTerm("A")),
+		Intersection{}.And(NewTerm("A").At(2)),
+	)
+	// A@any ⊄ {A@2} as terms differ; both kept.
+	if s := q.Simplify(); len(s.Sets) != 2 {
+		t.Fatalf("column constraints must distinguish terms: %s", s)
+	}
+}
+
+func TestSimplifyDeduplicates(t *testing.T) {
+	a := MustParse(`x AND y`)
+	q := a.Or(a, a)
+	if s := q.Simplify(); len(s.Sets) != 1 {
+		t.Fatalf("duplicates survived: %s", s)
+	}
+}
+
+func TestQuickSimplifyPreservesSemantics(t *testing.T) {
+	alphabet := []string{"A", "B", "C", "D", "E"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var sets []Intersection
+		for s := 0; s < rng.Intn(5)+1; s++ {
+			var set Intersection
+			used := map[string]bool{}
+			for i := 0; i < rng.Intn(3)+1; i++ {
+				tok := alphabet[rng.Intn(len(alphabet))]
+				if used[tok] {
+					continue
+				}
+				used[tok] = true
+				term := NewTerm(tok)
+				if rng.Intn(3) == 0 {
+					term = term.Not()
+				}
+				set.Terms = append(set.Terms, term)
+			}
+			sets = append(sets, set)
+		}
+		q := New(sets...)
+		s := q.Simplify()
+		if len(s.Sets) > len(q.Sets) {
+			return false
+		}
+		// Exhaustive semantic equivalence over all 2^5 token subsets.
+		for mask := 0; mask < 32; mask++ {
+			var toks []string
+			for b := 0; b < 5; b++ {
+				if mask&(1<<b) != 0 {
+					toks = append(toks, alphabet[b])
+				}
+			}
+			line := strings.Join(toks, " ")
+			if q.Match(line) != s.Match(line) {
+				t.Logf("seed %d line %q: %s vs %s", seed, line, q, s)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

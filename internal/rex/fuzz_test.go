@@ -1,0 +1,19 @@
+package rex
+
+import "testing"
+
+// FuzzCompileAndMatch asserts the regex engine neither panics nor hangs
+// on arbitrary patterns and inputs.
+func FuzzCompileAndMatch(f *testing.F) {
+	f.Add(`a*b+c?`, "aabbc")
+	f.Add(`[a-z]+\d*`, "abc123")
+	f.Add(`(x|y)*z$`, "xyxyz")
+	f.Add(`\`, "")
+	f.Fuzz(func(t *testing.T, pattern, input string) {
+		re, err := Compile(pattern)
+		if err != nil {
+			return
+		}
+		_ = re.MatchString(input)
+	})
+}

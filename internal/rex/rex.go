@@ -1,0 +1,482 @@
+// Package rex is a compact regular expression engine used for the
+// paper's §8 extension target: "matching other template structures such
+// as regular expressions". It implements Thompson construction to an NFA
+// and the standard two-list simulation, giving linear-time matching with
+// no backtracking — the same guarantee hardware regex accelerators (HARE
+// [13], and the FPGA regex literature the paper cites) provide, which is
+// what makes the software fallback's cost model predictable.
+//
+// Supported syntax: literals, '.', character classes '[a-z0-9_]' with
+// negation '[^...]', escapes (\d \w \s \. etc.), grouping '(...)',
+// alternation '|', repetition '*', '+', '?', and anchors '^' and '$'.
+// Matching is unanchored substring search unless anchors are used.
+package rex
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSyntax reports a malformed pattern.
+var ErrSyntax = errors.New("rex: syntax error")
+
+// opcodes for NFA states.
+type opcode uint8
+
+const (
+	opChar  opcode = iota // match one byte
+	opClass               // match a byte class
+	opAny                 // match any byte except newline
+	opSplit               // epsilon split to out and out1
+	opMatch               // accept
+	opBOL                 // assert beginning of input
+	opEOL                 // assert end of input
+)
+
+type state struct {
+	op        opcode
+	c         byte
+	class     *byteClass
+	out, out1 int32
+}
+
+// byteClass is a 256-bit membership set.
+type byteClass struct {
+	bits [4]uint64
+	neg  bool
+}
+
+func (bc *byteClass) add(b byte) { bc.bits[b>>6] |= 1 << (b & 63) }
+
+func (bc *byteClass) addRange(lo, hi byte) {
+	for b := int(lo); b <= int(hi); b++ {
+		bc.add(byte(b))
+	}
+}
+
+func (bc *byteClass) contains(b byte) bool {
+	in := bc.bits[b>>6]&(1<<(b&63)) != 0
+	return in != bc.neg
+}
+
+// Regexp is a compiled pattern.
+type Regexp struct {
+	pattern  string
+	states   []state
+	start    int32
+	anchored bool // pattern begins with ^
+
+	// scratch for the two-list simulation, reused across matches.
+	clist, nlist []int32
+	onList       []uint32
+	gen          uint32
+}
+
+// Pattern returns the source pattern.
+func (r *Regexp) Pattern() string { return r.pattern }
+
+// Compile parses and compiles a pattern.
+func Compile(pattern string) (*Regexp, error) {
+	p := &parser{src: pattern}
+	frag, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("%w: unexpected %q at %d", ErrSyntax, p.src[p.pos], p.pos)
+	}
+	// Append the match state and patch the fragment's dangling arrows.
+	match := p.addState(state{op: opMatch})
+	p.patch(frag.out, match)
+	re := &Regexp{
+		pattern: pattern,
+		states:  p.states,
+		start:   frag.start,
+		onList:  make([]uint32, len(p.states)),
+	}
+	if len(pattern) > 0 && pattern[0] == '^' {
+		re.anchored = true
+	}
+	return re, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(pattern string) *Regexp {
+	re, err := Compile(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return re
+}
+
+// parser builds the NFA with Thompson construction.
+type parser struct {
+	src    string
+	pos    int
+	states []state
+}
+
+// frag is an NFA fragment: a start state and a list of dangling arrows to
+// patch. Arrows are encoded as state*2 (out) or state*2+1 (out1).
+type frag struct {
+	start int32
+	out   []int32
+}
+
+func (p *parser) eof() bool  { return p.pos >= len(p.src) }
+func (p *parser) peek() byte { return p.src[p.pos] }
+
+func (p *parser) addState(s state) int32 {
+	p.states = append(p.states, s)
+	return int32(len(p.states) - 1)
+}
+
+func (p *parser) patch(arrows []int32, target int32) {
+	for _, a := range arrows {
+		if a&1 == 0 {
+			p.states[a>>1].out = target
+		} else {
+			p.states[a>>1].out1 = target
+		}
+	}
+}
+
+// parseAlt := parseConcat ('|' parseConcat)*
+func (p *parser) parseAlt() (frag, error) {
+	left, err := p.parseConcat()
+	if err != nil {
+		return frag{}, err
+	}
+	for !p.eof() && p.peek() == '|' {
+		p.pos++
+		right, err := p.parseConcat()
+		if err != nil {
+			return frag{}, err
+		}
+		split := p.addState(state{op: opSplit, out: left.start, out1: right.start})
+		left = frag{start: split, out: append(left.out, right.out...)}
+	}
+	return left, nil
+}
+
+// parseConcat := parseRepeat*
+func (p *parser) parseConcat() (frag, error) {
+	var cur *frag
+	for !p.eof() && p.peek() != '|' && p.peek() != ')' {
+		next, err := p.parseRepeat()
+		if err != nil {
+			return frag{}, err
+		}
+		if cur == nil {
+			cur = &next
+			continue
+		}
+		p.patch(cur.out, next.start)
+		cur = &frag{start: cur.start, out: next.out}
+	}
+	if cur == nil {
+		// Empty alternative: a split with both arrows dangling acts as an
+		// epsilon fragment.
+		s := p.addState(state{op: opSplit, out: -1, out1: -1})
+		return frag{start: s, out: []int32{s * 2}}, nil
+	}
+	return *cur, nil
+}
+
+// parseRepeat := parseAtom ('*' | '+' | '?')?
+func (p *parser) parseRepeat() (frag, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return frag{}, err
+	}
+	if p.eof() {
+		return atom, nil
+	}
+	switch p.peek() {
+	case '*':
+		p.pos++
+		split := p.addState(state{op: opSplit, out: atom.start, out1: -1})
+		p.patch(atom.out, split)
+		return frag{start: split, out: []int32{split*2 + 1}}, nil
+	case '+':
+		p.pos++
+		split := p.addState(state{op: opSplit, out: atom.start, out1: -1})
+		p.patch(atom.out, split)
+		return frag{start: atom.start, out: []int32{split*2 + 1}}, nil
+	case '?':
+		p.pos++
+		split := p.addState(state{op: opSplit, out: atom.start, out1: -1})
+		return frag{start: split, out: append(atom.out, split*2+1)}, nil
+	}
+	return atom, nil
+}
+
+// parseAtom := '(' alt ')' | '[' class ']' | '.' | '^' | '$' | escaped | literal
+func (p *parser) parseAtom() (frag, error) {
+	if p.eof() {
+		return frag{}, fmt.Errorf("%w: unexpected end of pattern", ErrSyntax)
+	}
+	switch c := p.peek(); c {
+	case '(':
+		p.pos++
+		inner, err := p.parseAlt()
+		if err != nil {
+			return frag{}, err
+		}
+		if p.eof() || p.peek() != ')' {
+			return frag{}, fmt.Errorf("%w: missing ')'", ErrSyntax)
+		}
+		p.pos++
+		return inner, nil
+	case '[':
+		return p.parseClass()
+	case '.':
+		p.pos++
+		s := p.addState(state{op: opAny, out: -1})
+		return frag{start: s, out: []int32{s * 2}}, nil
+	case '^':
+		p.pos++
+		s := p.addState(state{op: opBOL, out: -1})
+		return frag{start: s, out: []int32{s * 2}}, nil
+	case '$':
+		p.pos++
+		s := p.addState(state{op: opEOL, out: -1})
+		return frag{start: s, out: []int32{s * 2}}, nil
+	case '*', '+', '?':
+		return frag{}, fmt.Errorf("%w: dangling quantifier at %d", ErrSyntax, p.pos)
+	case ')':
+		return frag{}, fmt.Errorf("%w: unmatched ')'", ErrSyntax)
+	case '\\':
+		p.pos++
+		if p.eof() {
+			return frag{}, fmt.Errorf("%w: trailing backslash", ErrSyntax)
+		}
+		return p.parseEscape()
+	default:
+		p.pos++
+		s := p.addState(state{op: opChar, c: c, out: -1})
+		return frag{start: s, out: []int32{s * 2}}, nil
+	}
+}
+
+func (p *parser) parseEscape() (frag, error) {
+	c := p.src[p.pos]
+	p.pos++
+	if cls := metaClass(c); cls != nil {
+		s := p.addState(state{op: opClass, class: cls, out: -1})
+		return frag{start: s, out: []int32{s * 2}}, nil
+	}
+	lit := unescape(c)
+	s := p.addState(state{op: opChar, c: lit, out: -1})
+	return frag{start: s, out: []int32{s * 2}}, nil
+}
+
+// metaClass returns the class for \d \D \w \W \s \S, or nil for literal
+// escapes.
+func metaClass(c byte) *byteClass {
+	mk := func(neg bool, fill func(*byteClass)) *byteClass {
+		bc := &byteClass{neg: neg}
+		fill(bc)
+		return bc
+	}
+	digits := func(bc *byteClass) { bc.addRange('0', '9') }
+	words := func(bc *byteClass) {
+		bc.addRange('a', 'z')
+		bc.addRange('A', 'Z')
+		bc.addRange('0', '9')
+		bc.add('_')
+	}
+	spaces := func(bc *byteClass) {
+		for _, b := range []byte{' ', '\t', '\n', '\r', '\f', '\v'} {
+			bc.add(b)
+		}
+	}
+	switch c {
+	case 'd':
+		return mk(false, digits)
+	case 'D':
+		return mk(true, digits)
+	case 'w':
+		return mk(false, words)
+	case 'W':
+		return mk(true, words)
+	case 's':
+		return mk(false, spaces)
+	case 'S':
+		return mk(true, spaces)
+	}
+	return nil
+}
+
+func unescape(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	}
+	return c
+}
+
+func (p *parser) parseClass() (frag, error) {
+	p.pos++ // consume '['
+	bc := &byteClass{}
+	if !p.eof() && p.peek() == '^' {
+		bc.neg = true
+		p.pos++
+	}
+	first := true
+	for {
+		if p.eof() {
+			return frag{}, fmt.Errorf("%w: missing ']'", ErrSyntax)
+		}
+		c := p.peek()
+		if c == ']' && !first {
+			p.pos++
+			break
+		}
+		first = false
+		p.pos++
+		if c == '\\' {
+			if p.eof() {
+				return frag{}, fmt.Errorf("%w: trailing backslash in class", ErrSyntax)
+			}
+			e := p.src[p.pos]
+			p.pos++
+			if mc := metaClass(e); mc != nil {
+				// Merge the meta class bits (negated metas inside classes
+				// are expanded).
+				for b := 0; b < 256; b++ {
+					if mc.contains(byte(b)) {
+						bc.add(byte(b))
+					}
+				}
+				continue
+			}
+			c = unescape(e)
+		}
+		// Range?
+		if !p.eof() && p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			p.pos++
+			hi := p.src[p.pos]
+			p.pos++
+			if hi == '\\' {
+				if p.eof() {
+					return frag{}, fmt.Errorf("%w: trailing backslash in class", ErrSyntax)
+				}
+				hi = unescape(p.src[p.pos])
+				p.pos++
+			}
+			if hi < c {
+				return frag{}, fmt.Errorf("%w: inverted range %c-%c", ErrSyntax, c, hi)
+			}
+			bc.addRange(c, hi)
+			continue
+		}
+		bc.add(c)
+	}
+	s := p.addState(state{op: opClass, class: bc, out: -1})
+	return frag{start: s, out: []int32{s * 2}}, nil
+}
+
+// Match reports whether the pattern matches anywhere in b (or at the
+// start/end when anchored).
+func (r *Regexp) Match(b []byte) bool {
+	return r.run(b)
+}
+
+// MatchString is Match over a string.
+func (r *Regexp) MatchString(s string) bool {
+	return r.run([]byte(s))
+}
+
+// run is the two-list NFA simulation: O(len(input) × states).
+func (r *Regexp) run(input []byte) bool {
+	r.gen++
+	if r.gen == 0 {
+		for i := range r.onList {
+			r.onList[i] = 0
+		}
+		r.gen = 1
+	}
+	r.clist = r.clist[:0]
+	r.addState(&r.clist, r.start, 0, len(input))
+	if r.containsMatch(r.clist) {
+		return true
+	}
+	for pos := 0; pos < len(input); pos++ {
+		c := input[pos]
+		r.nlist = r.nlist[:0]
+		r.gen++
+		if r.gen == 0 {
+			for i := range r.onList {
+				r.onList[i] = 0
+			}
+			r.gen = 1
+		}
+		for _, si := range r.clist {
+			st := &r.states[si]
+			ok := false
+			switch st.op {
+			case opChar:
+				ok = st.c == c
+			case opClass:
+				ok = st.class.contains(c)
+			case opAny:
+				ok = c != '\n'
+			}
+			if ok {
+				r.addState(&r.nlist, st.out, pos+1, len(input))
+			}
+		}
+		if !r.anchored {
+			// Unanchored: keep seeding the start state at every offset.
+			r.addState(&r.nlist, r.start, pos+1, len(input))
+		}
+		r.clist, r.nlist = r.nlist, r.clist
+		if r.containsMatch(r.clist) {
+			return true
+		}
+	}
+	return false
+}
+
+// addState adds a state and its epsilon closure to the list.
+func (r *Regexp) addState(list *[]int32, si int32, pos, inputLen int) {
+	if si < 0 {
+		return
+	}
+	if r.onList[si] == r.gen {
+		return
+	}
+	r.onList[si] = r.gen
+	st := &r.states[si]
+	switch st.op {
+	case opSplit:
+		r.addState(list, st.out, pos, inputLen)
+		r.addState(list, st.out1, pos, inputLen)
+		return
+	case opBOL:
+		if pos == 0 {
+			r.addState(list, st.out, pos, inputLen)
+		}
+		return
+	case opEOL:
+		if pos == inputLen {
+			r.addState(list, st.out, pos, inputLen)
+		}
+		return
+	}
+	*list = append(*list, si)
+}
+
+func (r *Regexp) containsMatch(list []int32) bool {
+	for _, si := range list {
+		if r.states[si].op == opMatch {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,278 @@
+// Package server exposes a MithriLog engine over HTTP with a small JSON
+// API, turning the library into the long-running log analytics service
+// the paper's deployment story implies (logs stream in continuously;
+// queries arrive from operators and detection pipelines).
+//
+// Endpoints:
+//
+//	POST /ingest    newline-separated log text in the body
+//	POST /flush     force buffered lines into storage pages
+//	POST /snapshot  record a time boundary (RFC 3339 "time" form value)
+//	GET  /search    q=<expr> [limit=N] [noindex=1] [from=RFC3339] [to=RFC3339]
+//	GET  /grep      e=<regex> [limit=N]
+//	GET  /stats     engine statistics
+//	GET  /healthz   liveness probe
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"mithrilog"
+)
+
+// Server is the HTTP facade over one engine.
+type Server struct {
+	eng *mithrilog.Engine
+	mux *http.ServeMux
+
+	ingested atomic.Uint64
+	queries  atomic.Uint64
+}
+
+// New wraps an engine. The engine is safe for the concurrent requests an
+// HTTP server delivers.
+func New(eng *mithrilog.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/ingest", s.handleIngest)
+	s.mux.HandleFunc("/flush", s.handleFlush)
+	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/grep", s.handleGrep)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// ingestResponse reports an ingest call.
+type ingestResponse struct {
+	Lines         int    `json:"lines"`
+	TotalIngested uint64 `json:"totalIngested"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var batch [][]byte
+	n := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := s.eng.IngestBytes(batch); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for sc.Scan() {
+		line := make([]byte, len(sc.Bytes()))
+		copy(line, sc.Bytes())
+		batch = append(batch, line)
+		n++
+		if len(batch) == 4096 {
+			if err := flush(); err != nil {
+				writeErr(w, http.StatusInternalServerError, "ingest: %v", err)
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		writeErr(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if err := flush(); err != nil {
+		writeErr(w, http.StatusInternalServerError, "ingest: %v", err)
+		return
+	}
+	s.ingested.Add(uint64(n))
+	writeJSON(w, http.StatusOK, ingestResponse{Lines: n, TotalIngested: s.ingested.Load()})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if err := s.eng.Flush(); err != nil {
+		writeErr(w, http.StatusInternalServerError, "flush: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	ts := time.Now()
+	if v := r.FormValue("time"); v != "" {
+		parsed, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad time: %v", err)
+			return
+		}
+		ts = parsed
+	}
+	if err := s.eng.Snapshot(ts); err != nil {
+		writeErr(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"time": ts.Format(time.RFC3339)})
+}
+
+// searchResponse reports a query.
+type searchResponse struct {
+	Matches        int      `json:"matches"`
+	Lines          []string `json:"lines,omitempty"`
+	Offloaded      bool     `json:"offloaded"`
+	UsedIndex      bool     `json:"usedIndex"`
+	CandidatePages int      `json:"candidatePages"`
+	TotalPages     int      `json:"totalPages"`
+	SimElapsedNs   int64    `json:"simElapsedNs"`
+	WallElapsedNs  int64    `json:"wallElapsedNs"`
+	EffectiveGBps  float64  `json:"effectiveGBps"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	expr := r.FormValue("q")
+	if expr == "" {
+		writeErr(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	limit := 100
+	if v := r.FormValue("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	opts := mithrilog.SearchOptions{
+		CollectLines: limit > 0,
+		NoIndex:      r.FormValue("noindex") == "1",
+	}
+	for name, dst := range map[string]*time.Time{"from": &opts.From, "to": &opts.To} {
+		if v := r.FormValue(name); v != "" {
+			parsed, err := time.Parse(time.RFC3339, v)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "bad %s: %v", name, err)
+				return
+			}
+			*dst = parsed
+		}
+	}
+	res, err := s.eng.Search(expr, opts)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "search: %v", err)
+		return
+	}
+	s.queries.Add(1)
+	lines := res.Lines
+	if len(lines) > limit {
+		lines = lines[:limit]
+	}
+	writeJSON(w, http.StatusOK, searchResponse{
+		Matches:        res.Matches,
+		Lines:          lines,
+		Offloaded:      res.Offloaded,
+		UsedIndex:      res.UsedIndex,
+		CandidatePages: res.CandidatePages,
+		TotalPages:     res.TotalPages,
+		SimElapsedNs:   res.SimElapsed.Nanoseconds(),
+		WallElapsedNs:  res.WallElapsed.Nanoseconds(),
+		EffectiveGBps:  res.EffectiveGBps,
+	})
+}
+
+func (s *Server) handleGrep(w http.ResponseWriter, r *http.Request) {
+	pattern := r.FormValue("e")
+	if pattern == "" {
+		writeErr(w, http.StatusBadRequest, "missing e parameter")
+		return
+	}
+	limit := 100
+	if v := r.FormValue("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	res, err := s.eng.SearchRegex(pattern, limit > 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "grep: %v", err)
+		return
+	}
+	s.queries.Add(1)
+	lines := res.Lines
+	if len(lines) > limit {
+		lines = lines[:limit]
+	}
+	writeJSON(w, http.StatusOK, searchResponse{
+		Matches:       res.Matches,
+		Lines:         lines,
+		SimElapsedNs:  res.SimElapsed.Nanoseconds(),
+		WallElapsedNs: res.WallElapsed.Nanoseconds(),
+	})
+}
+
+// statsResponse reports engine state.
+type statsResponse struct {
+	Lines            uint64  `json:"lines"`
+	RawBytes         uint64  `json:"rawBytes"`
+	CompressedBytes  uint64  `json:"compressedBytes"`
+	CompressionRatio float64 `json:"compressionRatio"`
+	DataPages        int     `json:"dataPages"`
+	IndexMemoryBytes int     `json:"indexMemoryBytes"`
+	QueriesServed    uint64  `json:"queriesServed"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Lines:            st.Lines,
+		RawBytes:         st.RawBytes,
+		CompressedBytes:  st.CompressedBytes,
+		CompressionRatio: st.CompressionRatio,
+		DataPages:        st.DataPages,
+		IndexMemoryBytes: st.IndexMemoryBytes,
+		QueriesServed:    s.queries.Load(),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}

@@ -1,0 +1,233 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mithrilog"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *mithrilog.Engine) {
+	t.Helper()
+	eng := mithrilog.Open(mithrilog.Config{})
+	ts := httptest.NewServer(New(eng))
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	if _, err := fmt.Fprint(&buf, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	return resp, []byte(buf.String())
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func get(t *testing.T, rawURL string, into interface{}) int {
+	t.Helper()
+	resp, err := http.Get(rawURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp.StatusCode
+}
+
+func TestIngestSearchCycle(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := "alpha event one\nbeta event two\nalpha event three\n"
+	resp, _ := post(t, ts.URL+"/ingest", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	var sr searchResponse
+	if code := get(t, ts.URL+"/search?q="+url.QueryEscape("alpha AND event"), &sr); code != http.StatusOK {
+		t.Fatalf("search status %d", code)
+	}
+	if sr.Matches != 2 || len(sr.Lines) != 2 {
+		t.Fatalf("search: %+v", sr)
+	}
+	if !sr.Offloaded {
+		t.Fatal("expected accelerator offload")
+	}
+	if sr.SimElapsedNs <= 0 {
+		t.Fatal("timing missing")
+	}
+}
+
+func TestSearchLimitAndNoIndex(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var lines []string
+	for i := 0; i < 50; i++ {
+		lines = append(lines, fmt.Sprintf("needle item %d", i))
+	}
+	post(t, ts.URL+"/ingest", strings.Join(lines, "\n"))
+	var sr searchResponse
+	get(t, ts.URL+"/search?q=needle&limit=5&noindex=1", &sr)
+	if sr.Matches != 50 || len(sr.Lines) != 5 {
+		t.Fatalf("limit: %+v", sr)
+	}
+	if sr.UsedIndex {
+		t.Fatal("noindex ignored")
+	}
+	// limit=0 returns counts only (fresh struct: omitempty fields are not
+	// cleared by json.Decode).
+	var countOnly searchResponse
+	get(t, ts.URL+"/search?q=needle&limit=0", &countOnly)
+	if countOnly.Matches != 50 || len(countOnly.Lines) != 0 {
+		t.Fatalf("limit=0: %+v", countOnly)
+	}
+}
+
+func TestGrep(t *testing.T) {
+	ts, _ := newTestServer(t)
+	post(t, ts.URL+"/ingest", "job 123 done\njob abc done\n")
+	var sr searchResponse
+	if code := get(t, ts.URL+"/grep?e="+url.QueryEscape(`job \d+`), &sr); code != http.StatusOK {
+		t.Fatalf("grep status %d", code)
+	}
+	if sr.Matches != 1 {
+		t.Fatalf("grep: %+v", sr)
+	}
+	var er errorResponse
+	if code := get(t, ts.URL+"/grep?e="+url.QueryEscape(`(bad`), &er); code != http.StatusBadRequest {
+		t.Fatalf("bad pattern status %d", code)
+	}
+}
+
+func TestSnapshotAndRangeSearch(t *testing.T) {
+	ts, _ := newTestServer(t)
+	post(t, ts.URL+"/ingest", "early alpha\nearly alpha two")
+	cut := time.Now().UTC()
+	resp, err := http.Post(ts.URL+"/snapshot?time="+url.QueryEscape(cut.Format(time.RFC3339)), "", nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %v %d", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+	post(t, ts.URL+"/ingest", "late alpha three")
+	post(t, ts.URL+"/flush", "")
+	var sr searchResponse
+	get(t, ts.URL+"/search?q=alpha&to="+url.QueryEscape(cut.Format(time.RFC3339)), &sr)
+	if sr.Matches != 2 {
+		t.Fatalf("range search: %+v", sr)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	post(t, ts.URL+"/ingest", strings.Repeat("some log line content here\n", 200))
+	post(t, ts.URL+"/flush", "")
+	var st statsResponse
+	get(t, ts.URL+"/stats", &st)
+	if st.Lines != 200 || st.RawBytes == 0 || st.DataPages == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	var sr searchResponse
+	get(t, ts.URL+"/search?q=content", &sr)
+	get(t, ts.URL+"/stats", &st)
+	if st.QueriesServed != 1 {
+		t.Fatalf("queries served = %d", st.QueriesServed)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		method, path string
+		wantStatus   int
+	}{
+		{"GET", "/ingest", http.StatusMethodNotAllowed},
+		{"GET", "/flush", http.StatusMethodNotAllowed},
+		{"GET", "/snapshot", http.StatusMethodNotAllowed},
+		{"GET", "/search", http.StatusBadRequest},                   // missing q
+		{"GET", "/search?q=x&limit=-1", http.StatusBadRequest},      // bad limit
+		{"GET", "/search?q=x&from=notatime", http.StatusBadRequest}, // bad time
+		{"GET", "/search?q=" + url.QueryEscape("((("), http.StatusBadRequest},
+		{"GET", "/grep", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.wantStatus)
+		}
+	}
+	// Searching an empty engine is a client error, not a crash.
+	var er errorResponse
+	if code := get(t, ts.URL+"/search?q=x", &er); code != http.StatusBadRequest {
+		t.Errorf("empty engine search status %d", code)
+	}
+	// Health always answers.
+	var ok map[string]bool
+	if code := get(t, ts.URL+"/healthz", &ok); code != http.StatusOK || !ok["ok"] {
+		t.Error("healthz")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	ts, _ := newTestServer(t)
+	post(t, ts.URL+"/ingest", strings.Repeat("warm data line\n", 100))
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if w%2 == 0 {
+					resp, err := http.Post(ts.URL+"/ingest", "text/plain",
+						strings.NewReader(fmt.Sprintf("concurrent line %d %d\n", w, i)))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+				} else {
+					var sr searchResponse
+					get(t, ts.URL+"/search?q=warm&limit=0", &sr)
+					if sr.Matches < 100 {
+						t.Errorf("lost data: %d", sr.Matches)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,61 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Snapshot copies the device's page contents for serialization. Traffic
+// counters are not part of a snapshot.
+func (d *Device) Snapshot() [][]byte {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([][]byte, len(d.pages))
+	for i, p := range d.pages {
+		cp := make([]byte, PageSize)
+		copy(cp, p)
+		out[i] = cp
+	}
+	return out
+}
+
+// Restore replaces the device's contents with a snapshot. The device must
+// be empty (freshly created) and the snapshot within MaxPages.
+func (d *Device) Restore(pages [][]byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.pages) != 0 {
+		return fmt.Errorf("storage: restore into non-empty device (%d pages)", len(d.pages))
+	}
+	if d.cfg.MaxPages > 0 && len(pages) > d.cfg.MaxPages {
+		return fmt.Errorf("storage: snapshot of %d pages exceeds capacity %d", len(pages), d.cfg.MaxPages)
+	}
+	d.pages = make([][]byte, len(pages))
+	for i, p := range pages {
+		if len(p) > PageSize {
+			return fmt.Errorf("storage: snapshot page %d is %d bytes", i, len(p))
+		}
+		cp := make([]byte, PageSize)
+		copy(cp, p)
+		d.pages[i] = cp
+	}
+	return nil
+}
+
+// Equal reports whether two devices hold identical page contents (test
+// helper for persistence round trips).
+func (d *Device) Equal(o *Device) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if len(d.pages) != len(o.pages) {
+		return false
+	}
+	for i := range d.pages {
+		if !bytes.Equal(d.pages[i], o.pages[i]) {
+			return false
+		}
+	}
+	return true
+}

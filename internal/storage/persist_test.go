@@ -1,0 +1,88 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	src := New(Config{})
+	for i := 0; i < 5; i++ {
+		if _, err := src.Append(bytes.Repeat([]byte{byte(i + 1)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := src.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot pages = %d", len(snap))
+	}
+	dst := New(Config{})
+	if err := dst.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !src.Equal(dst) {
+		t.Fatal("restored device differs")
+	}
+	// Snapshot must be a copy: mutating it must not affect the source.
+	snap[0][0] = 0xEE
+	buf := make([]byte, PageSize)
+	if err := src.Read(Internal, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] == 0xEE {
+		t.Fatal("snapshot aliases device memory")
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	nonEmpty := New(Config{})
+	if _, err := nonEmpty.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := nonEmpty.Restore([][]byte{{1}}); err == nil {
+		t.Error("restore into non-empty device should fail")
+	}
+	capped := New(Config{MaxPages: 1})
+	if err := capped.Restore([][]byte{{1}, {2}}); err == nil {
+		t.Error("restore beyond MaxPages should fail")
+	}
+	fresh := New(Config{})
+	if err := fresh.Restore([][]byte{make([]byte, PageSize+1)}); err == nil {
+		t.Error("oversized snapshot page should fail")
+	}
+}
+
+func TestEqualNegative(t *testing.T) {
+	a := New(Config{})
+	b := New(Config{})
+	if _, err := a.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(b) {
+		t.Error("different page counts must not be equal")
+	}
+	if _, err := b.Append([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(b) {
+		t.Error("different contents must not be equal")
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	d := New(Config{})
+	id, _ := d.Append([]byte("x"))
+	injected := errors.New("boom")
+	d.FailNextReads(2, injected)
+	buf := make([]byte, PageSize)
+	if err := d.Read(Internal, id, buf); !errors.Is(err, injected) {
+		t.Fatalf("first read: %v", err)
+	}
+	if _, err := d.View(External, id); !errors.Is(err, injected) {
+		t.Fatalf("second read: %v", err)
+	}
+	if err := d.Read(Internal, id, buf); err != nil {
+		t.Fatalf("fault should be exhausted: %v", err)
+	}
+}

@@ -1,0 +1,292 @@
+package tokenizer
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mithrilog/internal/query"
+)
+
+// reassemble reconstructs token strings per line from a word stream.
+func reassemble(words []Word) [][]string {
+	var lines [][]string
+	var cur []string
+	var tok []byte
+	for _, w := range words {
+		tok = append(tok, w.Bytes()...)
+		if w.LastOfToken {
+			if len(tok) > 0 {
+				cur = append(cur, string(tok))
+			}
+			tok = tok[:0]
+		}
+		if w.LastOfLine {
+			lines = append(lines, cur)
+			cur = nil
+		}
+	}
+	return lines
+}
+
+func TestTokenizeLineBasic(t *testing.T) {
+	tk := New(2)
+	words := tk.TokenizeLine(nil, []byte("RAS KERNEL INFO"))
+	if len(words) != 3 {
+		t.Fatalf("want 3 words, got %d", len(words))
+	}
+	for i, want := range []string{"RAS", "KERNEL", "INFO"} {
+		if string(words[i].Bytes()) != want {
+			t.Errorf("word %d = %q, want %q", i, words[i].Bytes(), want)
+		}
+		if !words[i].LastOfToken {
+			t.Errorf("word %d should be last of token", i)
+		}
+		if words[i].Column != uint16(i) {
+			t.Errorf("word %d column = %d", i, words[i].Column)
+		}
+	}
+	if words[0].LastOfLine || words[1].LastOfLine || !words[2].LastOfLine {
+		t.Error("LastOfLine flags wrong")
+	}
+}
+
+func TestTokenizeLongToken(t *testing.T) {
+	tk := New(2)
+	long := strings.Repeat("x", 16) + "ABCD" // 20 bytes -> 2 words
+	words := tk.TokenizeLine(nil, []byte("a "+long))
+	if len(words) != 3 {
+		t.Fatalf("want 3 words, got %d", len(words))
+	}
+	if words[1].LastOfToken || !words[2].LastOfToken {
+		t.Error("LastOfToken placement wrong for multi-word token")
+	}
+	if words[1].Len != 16 || words[2].Len != 4 {
+		t.Errorf("lens = %d,%d", words[1].Len, words[2].Len)
+	}
+	if words[1].Column != 1 || words[2].Column != 1 {
+		t.Error("both words of one token must share a column")
+	}
+	got := string(words[1].Bytes()) + string(words[2].Bytes())
+	if got != long {
+		t.Errorf("reassembled %q", got)
+	}
+}
+
+func TestTokenizeExactlyWordSize(t *testing.T) {
+	tk := New(2)
+	tok := strings.Repeat("y", WordSize)
+	words := tk.TokenizeLine(nil, []byte(tok))
+	if len(words) != 1 || !words[0].LastOfToken || words[0].Len != WordSize {
+		t.Fatalf("16-byte token should emit exactly one full word: %v", words)
+	}
+}
+
+func TestTokenizeEmptyAndBlankLines(t *testing.T) {
+	tk := New(2)
+	words := tk.TokenizeLine(nil, nil)
+	if len(words) != 1 || !words[0].LastOfLine || !words[0].LastOfToken || words[0].Len != 0 {
+		t.Fatalf("empty line marker wrong: %v", words)
+	}
+	words = tk.TokenizeLine(nil, []byte("   \t "))
+	if len(words) != 1 || words[0].Len != 0 {
+		t.Fatalf("blank line should emit marker: %v", words)
+	}
+	if tk.Stats().Tokens != 0 {
+		t.Error("blank lines contain no tokens")
+	}
+}
+
+func TestTokenizePadding(t *testing.T) {
+	tk := New(2)
+	words := tk.TokenizeLine(nil, []byte("ab"))
+	w := words[0]
+	for i := 2; i < WordSize; i++ {
+		if w.Data[i] != 0 {
+			t.Fatalf("padding byte %d not zero", i)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	tk := New(2)
+	line := []byte("one two three")
+	tk.TokenizeLine(nil, line)
+	s := tk.Stats()
+	if s.Lines != 1 || s.Tokens != 3 || s.Words != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.InputBytes != uint64(len(line)) {
+		t.Errorf("InputBytes = %d", s.InputBytes)
+	}
+	if s.UsefulBytes != 3+3+5 {
+		t.Errorf("UsefulBytes = %d", s.UsefulBytes)
+	}
+	if s.EmittedBytes != 3*WordSize {
+		t.Errorf("EmittedBytes = %d", s.EmittedBytes)
+	}
+	// 13 bytes at 2 B/cycle -> ceil = 7 cycles.
+	if s.Cycles != 7 {
+		t.Errorf("Cycles = %d", s.Cycles)
+	}
+	ratio := s.UsefulBitRatio()
+	want := float64(11) / float64(48)
+	if ratio < want-1e-9 || ratio > want+1e-9 {
+		t.Errorf("UsefulBitRatio = %v", ratio)
+	}
+	if s.Amplification() <= 1 {
+		t.Errorf("short tokens must amplify: %v", s.Amplification())
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Lines: 1, Tokens: 2, Words: 3, InputBytes: 4, UsefulBytes: 5, EmittedBytes: 6, Cycles: 7}
+	b := a
+	a.Add(b)
+	if a.Lines != 2 || a.Cycles != 14 || a.EmittedBytes != 12 {
+		t.Fatalf("Add: %+v", a)
+	}
+}
+
+func TestAgreesWithReferenceTokenization(t *testing.T) {
+	lines := []string{
+		"RAS KERNEL INFO generating core.2275",
+		"- 1131564665 2005.11.09 dn228 Nov 9 12:11:05 dn228/dn228",
+		"instruction cache parity error corrected",
+		"",
+		"single",
+		"  padded   with   delimiters  ",
+	}
+	tk := New(2)
+	var words []Word
+	for _, l := range lines {
+		words = tk.TokenizeLine(words, []byte(l))
+	}
+	got := reassemble(words)
+	if len(got) != len(lines) {
+		t.Fatalf("line count %d != %d", len(got), len(lines))
+	}
+	for i, l := range lines {
+		want := query.SplitTokens(l)
+		if len(got[i]) != len(want) {
+			t.Fatalf("line %d: %v vs %v", i, got[i], want)
+		}
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatalf("line %d token %d: %q vs %q", i, j, got[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestQuickTokenizeRoundTrip(t *testing.T) {
+	// Property: for any printable line, reassembling the word stream yields
+	// exactly the reference tokenization.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		const alphabet = "abcdefgXYZ0123456789._:/-[]() \t"
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		tk := New(2)
+		words := tk.TokenizeLine(nil, buf)
+		got := reassemble(words)
+		want := query.SplitTokens(string(buf))
+		if len(got) != 1 || len(got[0]) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[0][i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArrayOrderPreserved(t *testing.T) {
+	a := NewArray(8, 2)
+	var lines [][]byte
+	var want [][]string
+	for i := 0; i < 50; i++ {
+		l := strings.Repeat("tok ", i%7+1) + "end" + strings.Repeat("x", i%23)
+		lines = append(lines, []byte(l))
+		want = append(want, query.SplitTokens(l))
+	}
+	words := a.TokenizeLines(nil, lines)
+	got := reassemble(words)
+	if len(got) != len(want) {
+		t.Fatalf("lines %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if strings.Join(got[i], "|") != strings.Join(want[i], "|") {
+			t.Fatalf("line %d reordered: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if a.Stats().Lines != 50 {
+		t.Errorf("array lines = %d", a.Stats().Lines)
+	}
+}
+
+func TestArrayTokenizeBlock(t *testing.T) {
+	a := NewArray(4, 2)
+	block := []byte("line one\nline two\n\nlast without newline")
+	words := a.TokenizeBlock(nil, block)
+	got := reassemble(words)
+	if len(got) != 4 {
+		t.Fatalf("want 4 lines, got %d: %v", len(got), got)
+	}
+	if got[2] != nil && len(got[2]) != 0 {
+		t.Errorf("empty line should have no tokens: %v", got[2])
+	}
+	if strings.Join(got[3], " ") != "last without newline" {
+		t.Errorf("trailing fragment: %v", got[3])
+	}
+}
+
+func TestArrayStallAccounting(t *testing.T) {
+	// Two units, one long line and one short line per turn: the turn costs
+	// the long line's cycles.
+	a := NewArray(2, 2)
+	long := bytes.Repeat([]byte("a"), 100) // 50 cycles
+	short := []byte("b")                   // 1 cycle
+	a.TokenizeLines(nil, [][]byte{long, short})
+	if c := a.Stats().Cycles; c != 50 {
+		t.Fatalf("turn cycles = %d, want 50 (slowest unit)", c)
+	}
+	// Sum-of-unit cycles would be 51; the array model must charge the max.
+	a.ResetStats()
+	if a.Stats().Cycles != 0 || a.Stats().Lines != 0 {
+		t.Fatal("ResetStats incomplete")
+	}
+}
+
+func TestUsefulBitRatioOnLogLikeData(t *testing.T) {
+	// Log-like tokens average well under 16 bytes, so the ratio should land
+	// in the broad band the paper reports (~0.4-0.7).
+	tk := New(2)
+	line := []byte("2005-11-09 12:11:05 R24-M0-NC-I:J18-U01 RAS KERNEL INFO instruction cache parity error corrected")
+	tk.TokenizeLine(nil, line)
+	r := tk.Stats().UsefulBitRatio()
+	if r < 0.3 || r > 0.8 {
+		t.Errorf("useful-bit ratio %v out of plausible band", r)
+	}
+}
+
+func BenchmarkTokenizeLine(b *testing.B) {
+	tk := New(2)
+	line := []byte("- 1131564665 2005.11.09 dn228 Nov 9 12:11:05 dn228/dn228 ib_sm.x[24426]: [ib_sm_sweep.c:1455]: No topology change")
+	var words []Word
+	b.SetBytes(int64(len(line)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		words = tk.TokenizeLine(words[:0], line)
+	}
+}

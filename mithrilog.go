@@ -1,0 +1,290 @@
+// Package mithrilog is a software reproduction of MithriLog, the
+// near-storage log analytics accelerator from "MithriLog: Near-Storage
+// Accelerator for High-Performance Log Analytics" (MICRO 2021).
+//
+// The package exposes the paper's system as a Go library: an Engine that
+// ingests unstructured log lines into LZAH-compressed pages on a
+// simulated SSD with an in-storage inverted index, and answers boolean
+// token queries — unions of intersections of possibly negated tokens —
+// through bit-faithful models of the hardware filter pipelines. Results
+// carry both the functional output (matching lines) and the simulated
+// platform timing from which the paper's performance figures derive.
+//
+// Quick start:
+//
+//	eng := mithrilog.Open(mithrilog.Config{})
+//	_ = eng.IngestLines([]string{"RAS KERNEL INFO instruction cache parity error corrected"})
+//	res, _ := eng.Search(`parity AND error AND NOT FATAL`, mithrilog.SearchOptions{CollectLines: true})
+//	for _, line := range res.Lines {
+//		fmt.Println(line)
+//	}
+package mithrilog
+
+import (
+	"bufio"
+	"io"
+	"time"
+
+	"mithrilog/internal/core"
+	"mithrilog/internal/cuckoo"
+	"mithrilog/internal/filter"
+	"mithrilog/internal/hwsim"
+	"mithrilog/internal/index"
+	"mithrilog/internal/lzah"
+	"mithrilog/internal/query"
+	"mithrilog/internal/storage"
+)
+
+// Config selects the engine's hardware model and index geometry. The zero
+// value reproduces the paper's prototype: four 16-byte pipelines at
+// 200 MHz, a 256-row/8-set cuckoo table per hash filter, a 16 KiB LZAH
+// hash table, a 65536-bucket index with 16×16 trees, and a 4.8/3.1 GB/s
+// internal/external storage device.
+type Config struct {
+	// Pipelines overrides the number of filter pipelines (default 4).
+	Pipelines int
+	// HashTableRows overrides the cuckoo table rows (default 256).
+	HashTableRows int
+	// IntersectionSets overrides the flag pairs per entry, bounding the
+	// number of intersection sets per offloaded query (default 8).
+	IntersectionSets int
+	// IndexBuckets overrides the inverted index bucket count (default 65536).
+	IndexBuckets int
+	// DisableNewlineAlign turns off LZAH's newline realignment (ablation).
+	DisableNewlineAlign bool
+	// InternalBandwidth / ExternalBandwidth override the simulated device
+	// links, in bytes per second (defaults 4.8e9 / 3.1e9).
+	InternalBandwidth, ExternalBandwidth float64
+}
+
+func (c Config) toCore() core.Config {
+	return core.Config{
+		Storage: storage.Config{
+			InternalBandwidth: c.InternalBandwidth,
+			ExternalBandwidth: c.ExternalBandwidth,
+		},
+		System: hwsim.SystemConfig{
+			Pipelines:  c.Pipelines,
+			InternalBW: c.InternalBandwidth,
+			ExternalBW: c.ExternalBandwidth,
+		},
+		Pipeline: filter.PipelineConfig{
+			Table: cuckoo.Config{Rows: c.HashTableRows, Sets: c.IntersectionSets},
+		},
+		Index:       index.Params{Buckets: c.IndexBuckets},
+		Compression: lzah.Options{DisableNewlineAlign: c.DisableNewlineAlign},
+	}
+}
+
+// Engine is a MithriLog instance: simulated near-storage device, index,
+// and accelerator pipelines.
+type Engine struct {
+	inner *core.Engine
+}
+
+// Open creates an empty engine.
+func Open(cfg Config) *Engine {
+	return &Engine{inner: core.NewEngine(cfg.toCore())}
+}
+
+// IngestLines appends log lines (strings without trailing newlines).
+func (e *Engine) IngestLines(lines []string) error {
+	bs := make([][]byte, len(lines))
+	for i, l := range lines {
+		bs[i] = []byte(l)
+	}
+	return e.inner.Ingest(bs)
+}
+
+// IngestBytes appends log lines given as byte slices.
+func (e *Engine) IngestBytes(lines [][]byte) error {
+	return e.inner.Ingest(lines)
+}
+
+// IngestReader streams newline-separated log text into the engine.
+func (e *Engine) IngestReader(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var batch [][]byte
+	for sc.Scan() {
+		line := make([]byte, len(sc.Bytes()))
+		copy(line, sc.Bytes())
+		batch = append(batch, line)
+		if len(batch) == 4096 {
+			if err := e.inner.Ingest(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return e.inner.Ingest(batch)
+}
+
+// Flush forces buffered lines into storage pages and flushes the index.
+func (e *Engine) Flush() error { return e.inner.Flush() }
+
+// Snapshot records a time boundary for Range queries (§6.3).
+func (e *Engine) Snapshot(ts time.Time) error { return e.inner.TakeSnapshot(ts) }
+
+// SearchOptions tune a search; see the fields for the paper experiment
+// each maps to.
+type SearchOptions struct {
+	// CollectLines materializes matching lines in the result.
+	CollectLines bool
+	// NoIndex bypasses the inverted index and scans every page (the
+	// §7.4.2 filter-isolation configuration).
+	NoIndex bool
+	// From/To restrict the search to the snapshot-bounded time range.
+	From, To time.Time
+}
+
+// Result reports a search: functional output plus simulated timing.
+type Result struct {
+	// Matches is the number of lines satisfying the query.
+	Matches int
+	// Lines holds the matching lines when CollectLines was set.
+	Lines []string
+	// Offloaded reports whether the accelerator path ran (false = the
+	// query could not be cuckoo-compiled and host software evaluated it).
+	Offloaded bool
+	// UsedIndex reports whether the inverted index pruned candidate pages.
+	UsedIndex bool
+	// CandidatePages / TotalPages describe index selectivity.
+	CandidatePages, TotalPages int
+	// SimElapsed is the simulated query time on the modeled platform.
+	SimElapsed time.Duration
+	// Breakdown decomposes SimElapsed into its simulated components.
+	Breakdown TimingBreakdown
+	// WallElapsed is the host wall-clock time of the simulation.
+	WallElapsed time.Duration
+	// EffectiveGBps is the §7.4.2 metric: dataset size / simulated time.
+	EffectiveGBps float64
+}
+
+// TimingBreakdown decomposes a simulated query time: index traversal,
+// page streaming, filter compute (overlapping the stream; the slower
+// binds), and host return traffic.
+type TimingBreakdown struct {
+	Index, Stream, Filter, Return time.Duration
+}
+
+// Search parses and executes a boolean token query. The query language
+// supports AND/OR/NOT, parentheses, quoted tokens, implicit AND between
+// adjacent tokens, and token@N column constraints:
+//
+//	failed AND NOT pbs_mom:
+//	(RAS AND KERNEL AND NOT FATAL) OR (ciod: AND error)
+func (e *Engine) Search(expr string, opts SearchOptions) (Result, error) {
+	q, err := query.Parse(expr)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.run(q, opts)
+}
+
+// SearchQuery executes an already-built Query (e.g. a template query or a
+// batch combined with Or).
+func (e *Engine) SearchQuery(q Query, opts SearchOptions) (Result, error) {
+	return e.run(q.q, opts)
+}
+
+func (e *Engine) run(q query.Query, opts SearchOptions) (Result, error) {
+	res, err := e.inner.Search(q, core.SearchOptions{
+		NoIndex:      opts.NoIndex,
+		CollectLines: opts.CollectLines,
+		From:         opts.From,
+		To:           opts.To,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{
+		Matches:        res.Matches,
+		Offloaded:      res.Offloaded,
+		UsedIndex:      res.UsedIndex,
+		CandidatePages: res.CandidatePages,
+		TotalPages:     res.TotalPages,
+		SimElapsed:     res.SimElapsed,
+		Breakdown: TimingBreakdown{
+			Index:  res.IndexTime,
+			Stream: res.StreamTime,
+			Filter: res.FilterTime,
+			Return: res.ReturnTime,
+		},
+		WallElapsed:   res.WallElapsed,
+		EffectiveGBps: res.EffectiveThroughput(e.inner.RawBytes()) / 1e9,
+	}
+	if opts.CollectLines {
+		out.Lines = make([]string, len(res.Lines))
+		for i, l := range res.Lines {
+			out.Lines[i] = string(l)
+		}
+	}
+	return out, nil
+}
+
+// Stats summarizes engine contents.
+type Stats struct {
+	// Lines ingested.
+	Lines uint64
+	// RawBytes / CompressedBytes of ingested data.
+	RawBytes, CompressedBytes uint64
+	// CompressionRatio is RawBytes/CompressedBytes.
+	CompressionRatio float64
+	// DataPages written to the device.
+	DataPages int
+	// IndexMemoryBytes is the inverted index's resident footprint.
+	IndexMemoryBytes int
+}
+
+// Stats reports the engine's current contents.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Lines:            e.inner.Lines(),
+		RawBytes:         e.inner.RawBytes(),
+		CompressedBytes:  e.inner.CompressedBytes(),
+		CompressionRatio: e.inner.CompressionRatio(),
+		DataPages:        e.inner.DataPages(),
+		IndexMemoryBytes: e.inner.IndexMemoryFootprint(),
+	}
+}
+
+// RegexResult reports a regular-expression scan (a §8 extension: regexes
+// are beyond the token engine, so the accelerator forwards pages and the
+// host matches in software — the trade-off §7.4.3 quantifies).
+type RegexResult struct {
+	// Matches is the number of matching lines.
+	Matches int
+	// Lines holds the matching lines when CollectLines was requested.
+	Lines []string
+	// SimElapsed is the simulated scan time on the modeled platform.
+	SimElapsed time.Duration
+	// WallElapsed is the host wall-clock time of the simulation.
+	WallElapsed time.Duration
+}
+
+// SearchRegex scans every line against a regular expression (see
+// internal/rex for the supported syntax: literals, '.', classes,
+// escapes, grouping, alternation, *, +, ?, and ^/$ anchors). Regex
+// queries cannot use the inverted index, so this is always a full scan.
+func (e *Engine) SearchRegex(pattern string, collectLines bool) (RegexResult, error) {
+	res, err := e.inner.SearchRegex(pattern, collectLines)
+	if err != nil {
+		return RegexResult{}, err
+	}
+	out := RegexResult{
+		Matches:     res.Matches,
+		SimElapsed:  res.SimElapsed,
+		WallElapsed: res.WallElapsed,
+	}
+	if collectLines {
+		out.Lines = make([]string, len(res.Lines))
+		for i, l := range res.Lines {
+			out.Lines[i] = string(l)
+		}
+	}
+	return out, nil
+}

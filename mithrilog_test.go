@@ -1,0 +1,185 @@
+package mithrilog
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mithrilog/internal/loggen"
+)
+
+func sampleLines(n int) []string {
+	ds := loggen.Generate(loggen.BGL2, n, 0)
+	out := make([]string, len(ds.Lines))
+	for i, l := range ds.Lines {
+		out[i] = string(l)
+	}
+	return out
+}
+
+func TestOpenIngestSearch(t *testing.T) {
+	eng := Open(Config{})
+	lines := sampleLines(2000)
+	if err := eng.IngestLines(lines); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Search(`parity AND error AND corrected`, SearchOptions{CollectLines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches == 0 || len(res.Lines) != res.Matches {
+		t.Fatalf("matches=%d lines=%d", res.Matches, len(res.Lines))
+	}
+	if !res.Offloaded {
+		t.Fatal("expected offload")
+	}
+	if res.EffectiveGBps <= 0 || res.SimElapsed <= 0 {
+		t.Fatalf("timing missing: %+v", res)
+	}
+	q := MustParseQuery(`parity AND error AND corrected`)
+	for _, l := range res.Lines {
+		if !q.Match(l) {
+			t.Fatalf("non-matching line returned: %q", l)
+		}
+	}
+}
+
+func TestIngestReader(t *testing.T) {
+	eng := Open(Config{})
+	text := strings.Join(sampleLines(500), "\n")
+	if err := eng.IngestReader(strings.NewReader(text)); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Lines != 0 {
+		// Lines count updates at page flush; force it.
+		_ = eng.Flush()
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Stats().Lines != 500 {
+		t.Fatalf("lines = %d", eng.Stats().Lines)
+	}
+}
+
+func TestStats(t *testing.T) {
+	eng := Open(Config{})
+	if err := eng.IngestLines(sampleLines(1500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Lines != 1500 || st.RawBytes == 0 || st.CompressedBytes == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.CompressionRatio <= 1 {
+		t.Fatalf("ratio %.2f", st.CompressionRatio)
+	}
+	if st.DataPages == 0 || st.IndexMemoryBytes == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestQueryCombination(t *testing.T) {
+	a := MustParseQuery(`parity AND error`)
+	b := MustParseQuery(`TLB AND data`)
+	c := a.Or(b)
+	if c.Sets() != 2 {
+		t.Fatalf("sets = %d", c.Sets())
+	}
+	if len(c.Tokens()) != 4 {
+		t.Fatalf("tokens = %v", c.Tokens())
+	}
+	if !c.Match("data TLB x") || !c.Match("parity error") || c.Match("parity TLB") {
+		t.Fatal("combined semantics wrong")
+	}
+	if !strings.Contains(c.String(), "OR") {
+		t.Fatalf("string: %s", c.String())
+	}
+}
+
+func TestParseQueryError(t *testing.T) {
+	if _, err := ParseQuery(`(unbalanced`); err == nil {
+		t.Fatal("expected parse error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseQuery should panic")
+		}
+	}()
+	MustParseQuery(`(unbalanced`)
+}
+
+func TestTemplateExtractionEndToEnd(t *testing.T) {
+	lines := sampleLines(4000)
+	lib := ExtractTemplates(lines, TemplateParams{MaxChildren: 10, MinSupport: 10, MaxDepth: 8})
+	if lib.Len() == 0 {
+		t.Fatal("no templates extracted")
+	}
+	eng := Open(Config{})
+	if err := eng.IngestLines(lines); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Every template query should execute and match at least its support
+	// (bucket over-approximation can only add lines, never remove).
+	tested := 0
+	for _, tpl := range lib.Templates() {
+		if tested == 10 {
+			break
+		}
+		q, err := lib.Query(tpl.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.SearchQuery(q, SearchOptions{})
+		if err != nil {
+			t.Fatalf("template %d: %v", tpl.ID, err)
+		}
+		if res.Matches < tpl.Support {
+			t.Errorf("template %d: matches %d < support %d", tpl.ID, res.Matches, tpl.Support)
+		}
+		tested++
+	}
+	if desc, err := lib.Describe(0); err != nil || desc == "" {
+		t.Fatalf("describe: %q, %v", desc, err)
+	}
+	if _, err := lib.Describe(-1); err == nil {
+		t.Fatal("describe out of range should fail")
+	}
+	if lib.Classify(lines[0]) < -1 {
+		t.Fatal("classify")
+	}
+}
+
+func TestSnapshotRange(t *testing.T) {
+	eng := Open(Config{})
+	t0 := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	if err := eng.IngestLines([]string{"alpha one", "alpha two"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Snapshot(t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestLines([]string{"alpha three"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Search(`alpha`, SearchOptions{To: t0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 2 {
+		t.Fatalf("range matches = %d", res.Matches)
+	}
+}

@@ -1,0 +1,32 @@
+package mithrilog
+
+import (
+	"io"
+
+	"mithrilog/internal/core"
+)
+
+// Save serializes the engine's persistent state — storage pages (data +
+// in-storage index nodes), the in-memory index tables, and metadata — so
+// an ingested log can be queried later without re-ingesting. Buffered
+// lines are flushed first.
+func (e *Engine) Save(w io.Writer) error { return e.inner.Save(w) }
+
+// Load reconstructs an engine previously written with Save. cfg supplies
+// the hardware model (pipelines, bandwidths); the index geometry comes
+// from the file.
+func Load(cfg Config, r io.Reader) (*Engine, error) {
+	inner, err := core.LoadEngine(cfg.toCore(), r)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: inner}, nil
+}
+
+// Export streams the whole store's decompressed text to w — the paper's
+// §3 decompress-and-forward device mode. Returns the number of bytes
+// written.
+func (e *Engine) Export(w io.Writer) (uint64, error) {
+	res, err := e.inner.Export(w)
+	return res.RawBytes, err
+}

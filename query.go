@@ -1,0 +1,60 @@
+package mithrilog
+
+import "mithrilog/internal/query"
+
+// Query is a compiled boolean token query: a union of intersection sets
+// of possibly negated tokens — the exact form the accelerator offloads.
+type Query struct {
+	q query.Query
+}
+
+// ParseQuery compiles a query expression (see Engine.Search for the
+// grammar). Arbitrary boolean nesting is flattened to the offloadable
+// disjunctive normal form.
+func ParseQuery(expr string) (Query, error) {
+	q, err := query.Parse(expr)
+	if err != nil {
+		return Query{}, err
+	}
+	return Query{q: q}, nil
+}
+
+// MustParseQuery is ParseQuery that panics on error.
+func MustParseQuery(expr string) Query {
+	q, err := ParseQuery(expr)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Or joins queries into one batch evaluated concurrently by the engine
+// (§4: multiple queries joined with unions execute at no performance
+// loss, bounded by the accelerator's intersection-set capacity).
+func (a Query) Or(others ...Query) Query {
+	qs := make([]query.Query, len(others))
+	for i, o := range others {
+		qs[i] = o.q
+	}
+	return Query{q: a.q.Or(qs...)}
+}
+
+// Simplify removes redundant intersection sets (duplicates and sets
+// subsumed by less-constrained ones), often letting larger OR-batches fit
+// the accelerator's intersection-set capacity.
+func (a Query) Simplify() Query { return Query{q: a.q.Simplify()} }
+
+// Sets returns the number of intersection sets; offload requires this to
+// fit the accelerator's flag pairs (8 in the prototype configuration).
+func (a Query) Sets() int { return len(a.q.Sets) }
+
+// Tokens returns the distinct tokens the query mentions; offload requires
+// these to fit the cuckoo hash table (≈128 tokens at 256 rows).
+func (a Query) Tokens() []string { return a.q.Tokens() }
+
+// Match evaluates the query against a single log line in software — the
+// reference semantics the accelerator reproduces.
+func (a Query) Match(line string) bool { return a.q.Match(line) }
+
+// String renders the query in the query language.
+func (a Query) String() string { return a.q.String() }

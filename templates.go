@@ -1,0 +1,98 @@
+package mithrilog
+
+import (
+	"fmt"
+
+	"mithrilog/internal/ftree"
+)
+
+// TemplateParams tune FT-tree template extraction (§2.1.3, §4.3).
+type TemplateParams struct {
+	// MaxChildren treats a tree position as a variable field when its
+	// fan-out exceeds this bound (default 8).
+	MaxChildren int
+	// MinSupport drops templates seen in fewer lines (default 2).
+	MinSupport int
+	// MaxDepth caps template length in tokens (default 8).
+	MaxDepth int
+}
+
+// Template is one extracted log template and its compiled query.
+type Template struct {
+	// ID within the library.
+	ID int
+	// Tokens identify the template, ordered by global frequency.
+	Tokens []string
+	// Support is the number of training lines matching the template.
+	Support int
+}
+
+// TemplateLibrary is an extracted FT-tree template library.
+type TemplateLibrary struct {
+	lib *ftree.Library
+}
+
+// ExtractTemplates builds an FT-tree over the lines and returns the
+// pruned template library, exactly as the paper's query workload is
+// machine-generated (§7.1).
+func ExtractTemplates(lines []string, p TemplateParams) *TemplateLibrary {
+	bs := make([][]byte, len(lines))
+	for i, l := range lines {
+		bs[i] = []byte(l)
+	}
+	return &TemplateLibrary{lib: ftree.Extract(bs, ftree.Params{
+		MaxChildren: p.MaxChildren,
+		MinSupport:  p.MinSupport,
+		MaxDepth:    p.MaxDepth,
+	})}
+}
+
+// Len returns the number of templates.
+func (t *TemplateLibrary) Len() int { return t.lib.Len() }
+
+// Templates lists the extracted templates.
+func (t *TemplateLibrary) Templates() []Template {
+	out := make([]Template, 0, t.lib.Len())
+	for _, tpl := range t.lib.Templates() {
+		out = append(out, Template{ID: tpl.ID, Tokens: tpl.Tokens, Support: tpl.Support})
+	}
+	return out
+}
+
+// Query compiles template id into its boolean query (§4.3): the path
+// tokens as positive terms plus negations of higher-frequency siblings.
+func (t *TemplateLibrary) Query(id int) (Query, error) {
+	q, err := t.lib.Query(id)
+	if err != nil {
+		return Query{}, err
+	}
+	return Query{q: q}, nil
+}
+
+// Queries compiles every template.
+func (t *TemplateLibrary) Queries() []Query {
+	out := make([]Query, 0, t.lib.Len())
+	for i := 0; i < t.lib.Len(); i++ {
+		q, err := t.Query(i)
+		if err == nil {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Classify returns the template ID a line belongs to, or -1.
+func (t *TemplateLibrary) Classify(line string) int { return t.lib.Classify(line) }
+
+// Describe renders a template for display.
+func (t *TemplateLibrary) Describe(id int) (string, error) {
+	if id < 0 || id >= t.lib.Len() {
+		return "", fmt.Errorf("mithrilog: template %d out of range", id)
+	}
+	tpl := t.lib.Templates()[id]
+	q, err := t.lib.Query(id)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("template %d (support %d): %s", tpl.ID, tpl.Support, q.String()), nil
+}

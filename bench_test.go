@@ -319,6 +319,32 @@ func BenchmarkEndToEndSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkIngest measures the library's real (wall-clock) ingest path at
+// the public API: compress → store → index, including buffered-page
+// flushing. The instrumentation layer (internal/obs) is always on, so this
+// benchmark bounds its overhead.
+func BenchmarkIngest(b *testing.B) {
+	lines := make([][]byte, 20000)
+	for i := range lines {
+		lines[i] = []byte(fmt.Sprintf("R%02d-M0-N%d-C:J%02d-U%02d RAS KERNEL INFO instruction cache parity error corrected %d", i%32, i%8, i%16, i%64, i))
+	}
+	var raw int64
+	for _, l := range lines {
+		raw += int64(len(l) + 1)
+	}
+	b.SetBytes(raw)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := Open(Config{})
+		if err := eng.IngestBytes(lines); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkExtensionTagging runs the §8 wire-speed template tagging
 // extension over the shared workloads.
 func BenchmarkExtensionTagging(b *testing.B) {

@@ -28,6 +28,7 @@ import (
 	"mithrilog/internal/hwsim"
 	"mithrilog/internal/index"
 	"mithrilog/internal/lzah"
+	"mithrilog/internal/obs"
 	"mithrilog/internal/storage"
 )
 
@@ -46,6 +47,10 @@ type Config struct {
 	// MaxLineBytes rejects pathologically long lines at ingest; lines
 	// must compress into a single page (default 3500).
 	MaxLineBytes int
+	// Metrics receives the engine's instrumentation; nil creates a
+	// private registry (always reachable via Engine.Obs). Sharing one
+	// registry between engines merges their counters.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +94,9 @@ type Engine struct {
 
 	// ingest profiling (wall time per stage)
 	profile IngestProfile
+
+	// met publishes hot-path instrumentation (never nil).
+	met *engineMetrics
 }
 
 // IngestProfile breaks down where ingest wall time goes; the paper's
@@ -106,6 +114,10 @@ type IngestProfile struct {
 // NewEngine builds an empty MithriLog system.
 func NewEngine(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	dev := storage.New(cfg.Storage)
 	e := &Engine{
 		cfg:        cfg,
@@ -113,13 +125,20 @@ func NewEngine(cfg Config) *Engine {
 		ix:         index.New(dev, cfg.Index),
 		codec:      lzah.NewCodec(cfg.Compression),
 		ratioGuess: 3.0,
+		met:        newEngineMetrics(reg),
 	}
 	for i := 0; i < cfg.System.Pipelines; i++ {
 		e.pipelines = append(e.pipelines, filter.NewPipeline(cfg.Pipeline))
 		e.decoders = append(e.decoders, lzah.NewCodec(cfg.Compression))
 	}
+	storage.RegisterDeviceMetrics(reg, dev)
+	hwsim.RegisterSystemMetrics(reg, cfg.System)
 	return e
 }
+
+// Obs returns the engine's metrics registry; the HTTP layer serves it at
+// GET /metrics and registers its own request metrics into it.
+func (e *Engine) Obs() *obs.Registry { return e.met.reg }
 
 // Device exposes the simulated SSD (for stats and benchmarks).
 func (e *Engine) Device() *storage.Device { return e.dev }
@@ -214,7 +233,12 @@ func (e *Engine) flushLocked() error {
 			return err
 		}
 	}
-	return e.ix.Flush()
+	if err := e.ix.Flush(); err != nil {
+		return err
+	}
+	e.met.flushes.Inc()
+	e.met.indexMemoryBytes.Set(float64(e.ix.MemoryFootprint()))
+	return nil
 }
 
 // TakeSnapshot flushes and records a time boundary for range queries.
@@ -261,6 +285,7 @@ func (e *Engine) flushPending() error {
 	e.dataPages = append(e.dataPages, id)
 	e.profile.PagesWritten++
 	raw := 0
+	tokens := 0
 	indexStart := time.Now()
 	seen := make(map[string]bool)
 	for _, line := range group {
@@ -271,14 +296,24 @@ func (e *Engine) flushPending() error {
 				if err := e.ix.Add(tok, id); err != nil {
 					return err
 				}
-				e.profile.TokensIndexed++
+				tokens++
 			}
 		}
 	}
-	e.profile.IndexTime += time.Since(indexStart)
+	indexTime := time.Since(indexStart)
+	e.profile.IndexTime += indexTime
+	e.profile.TokensIndexed += uint64(tokens)
 	e.rawBytes += uint64(raw)
 	e.compBytes += uint64(len(comp))
 	e.lineCount += uint64(n)
+	// One counter op per aggregate, once per page — ingest lines never pay
+	// per-line instrumentation.
+	e.met.ingestPages.Inc()
+	e.met.ingestLines.Add(float64(n))
+	e.met.ingestRawBytes.Add(float64(raw))
+	e.met.ingestCompBytes.Add(float64(len(comp)))
+	e.met.ingestTokens.Add(float64(tokens))
+	e.met.ingestIndexSec.Add(indexTime.Seconds())
 	// Update the ratio estimate for future batch sizing.
 	if len(comp) > 0 {
 		e.ratioGuess = 0.5*e.ratioGuess + 0.5*float64(raw)/float64(len(comp))
@@ -304,7 +339,9 @@ func (e *Engine) compressGroup(lines [][]byte) []byte {
 	}
 	start := time.Now()
 	out := e.codec.Compress(nil, raw)
-	e.profile.CompressTime += time.Since(start)
+	d := time.Since(start)
+	e.profile.CompressTime += d
+	e.met.ingestCompressSec.Add(d.Seconds())
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"mithrilog/internal/obs"
 	"mithrilog/internal/query"
 	"mithrilog/internal/storage"
 )
@@ -20,6 +21,10 @@ type SearchOptions struct {
 	// From/To restrict the query to data pages between the snapshot
 	// boundaries enclosing the time range; zero values disable the bound.
 	From, To time.Time
+	// Trace, when non-nil, receives a span tree of the query's stages
+	// (index probe → configure → page scan) with per-stage attributes.
+	// Nil disables tracing at zero cost.
+	Trace *obs.Span
 }
 
 // SearchResult reports a query execution with both functional output and
@@ -48,6 +53,13 @@ type SearchResult struct {
 
 	// MaxPipelineCycles is the busiest pipeline's functional cycle count.
 	MaxPipelineCycles uint64
+	// PipelineCycles holds each pipeline's busy-cycle count for this query
+	// (offloaded path only; index i is pipeline i).
+	PipelineCycles []uint64
+	// PipelineUtilization is each pipeline's datapath utilization for this
+	// query: raw bytes streamed / (cycles × datapath width), 1.0 = wire
+	// speed (offloaded path only).
+	PipelineUtilization []float64
 	// IndexTime is the simulated index traversal time.
 	IndexTime time.Duration
 	// StreamTime is the simulated time to move the candidate pages over
@@ -78,6 +90,8 @@ func (r SearchResult) EffectiveThroughput(datasetRawBytes uint64) float64 {
 // Search executes a query through the near-storage path.
 func (e *Engine) Search(q query.Query, opts SearchOptions) (SearchResult, error) {
 	start := time.Now()
+	sp := opts.Trace
+	sp.SetAttr("query", q.String())
 	var res SearchResult
 	if err := q.Validate(); err != nil {
 		return res, err
@@ -92,46 +106,93 @@ func (e *Engine) Search(q query.Query, opts SearchOptions) (SearchResult, error)
 	// Make buffered lines visible: real systems answer queries over data
 	// that has reached storage; we flush for simplicity and determinism.
 	if len(e.pending) > 0 {
-		if err := e.flushLocked(); err != nil {
+		flushSpan := sp.StartChild("flush")
+		err := e.flushLocked()
+		flushSpan.End()
+		if err != nil {
 			return res, err
 		}
 	}
 	res.TotalPages = len(e.dataPages)
 
 	// Plan: index-pruned candidate pages.
+	planStart := time.Now()
+	planSpan := sp.StartChild("index probe")
 	candidates, indexTime, usedIndex, err := e.plan(q, opts)
 	if err != nil {
+		planSpan.End()
 		return res, err
 	}
 	res.CandidatePages = len(candidates)
 	res.UsedIndex = usedIndex
 	res.IndexTime = indexTime
+	planSpan.SetAttrInt("totalPages", int64(res.TotalPages))
+	planSpan.SetAttrInt("candidatePages", int64(res.CandidatePages))
+	planSpan.SetAttrBool("usedIndex", usedIndex)
+	planSpan.SetAttrInt("simIndexNs", indexTime.Nanoseconds())
+	planSpan.End()
+	e.met.stage("plan", time.Since(planStart))
 
 	// Configure the accelerator. Any compile failure — too many sets,
 	// cuckoo placement failure, overflow exhaustion, conflicting column
 	// constraints, contradictory polarities — means the query cannot be
 	// offloaded; exactly as §4.2.1 prescribes, it falls back to host
 	// software evaluation.
+	confStart := time.Now()
+	confSpan := sp.StartChild("configure")
 	offloaded := true
 	for _, p := range e.pipelines {
 		if err := p.Configure(q); err != nil {
 			offloaded = false
+			confSpan.SetAttr("fallbackReason", err.Error())
 			break
 		}
 	}
 	res.Offloaded = offloaded
+	confSpan.SetAttrBool("offloaded", offloaded)
+	confSpan.End()
+	e.met.stage("configure", time.Since(confStart))
 
+	scanStart := time.Now()
+	scanSpan := sp.StartChild("page scan")
 	if offloaded {
 		err = e.searchAccelerated(q, candidates, opts, &res)
 	} else {
 		err = e.searchSoftware(q, candidates, opts, &res)
 	}
 	if err != nil {
+		scanSpan.End()
 		return res, err
 	}
+	scanSpan.SetAttrInt("pages", int64(len(candidates)))
+	scanSpan.SetAttrInt("scannedRawBytes", int64(res.ScannedRawBytes))
+	scanSpan.SetAttrInt("matches", int64(res.Matches))
+	scanSpan.End()
+	e.met.stage("scan", time.Since(scanStart))
+
 	res.SimElapsed = e.simulateElapsed(&res, offloaded)
 	res.WallElapsed = time.Since(start)
+	sp.SetAttrBool("offloaded", offloaded)
+	sp.SetAttrInt("matches", int64(res.Matches))
+	sp.SetAttrInt("simElapsedNs", res.SimElapsed.Nanoseconds())
+	sp.SetAttrInt("simStreamNs", res.StreamTime.Nanoseconds())
+	sp.SetAttrInt("simFilterNs", res.FilterTime.Nanoseconds())
+	sp.SetAttrInt("simReturnNs", res.ReturnTime.Nanoseconds())
+	ratio := 0.0
+	if e.compBytes > 0 {
+		ratio = float64(e.rawBytes) / float64(e.compBytes)
+	}
+	e.met.recordSearch(&res, e.cfg.System, ratio)
+	e.met.searchWallSec.Observe(res.WallElapsed.Seconds())
 	return res, nil
+}
+
+// ObserveParseTime records the parse stage of a query's wall time into the
+// search-stage histogram. Parsing happens in the public facade (the engine
+// receives an already-built query), so the facade reports it here to keep
+// the full parse → plan → configure → scan breakdown in one metric.
+func (e *Engine) ObserveParseTime(d time.Duration) {
+	e.met.stage("parse", d)
 }
 
 // plan consults the inverted index: per intersection set, intersect the
@@ -327,9 +388,14 @@ func (e *Engine) searchAccelerated(q query.Query, candidates []storage.PageID, o
 	}
 	res.ScannedCompBytes = uint64(len(candidates)) * storage.PageSize
 	var maxCycles uint64
-	for _, p := range e.pipelines {
-		if c := p.Stats().Cycles; c > maxCycles {
-			maxCycles = c
+	res.PipelineCycles = make([]uint64, len(e.pipelines))
+	res.PipelineUtilization = make([]float64, len(e.pipelines))
+	for i, p := range e.pipelines {
+		st := p.Stats()
+		res.PipelineCycles[i] = st.Cycles
+		res.PipelineUtilization[i] = st.Utilization()
+		if st.Cycles > maxCycles {
+			maxCycles = st.Cycles
 		}
 	}
 	res.MaxPipelineCycles = maxCycles

@@ -2,6 +2,19 @@
 // module that evaluates tokenized lines against a cuckoo-encoded query
 // (§4.2.3), and the filter pipeline that composes tokenizers and hash
 // filters behind a decompressor at wire speed (Figure 3).
+//
+// A Pipeline scatters decompressed lines round-robin across its
+// tokenizers and feeds the ~2x-amplified token stream to two hash
+// filters, so one pipeline keeps up with the datapath's raw byte rate.
+// Per-set match bitmaps let a single pass answer a union of up to
+// cuckoo.MaxSets intersection sets, which the engine uses both for
+// batched query demultiplexing and wire-speed template tagging.
+//
+// Besides its functional output every pipeline accounts the busy cycles
+// each component would spend on the modeled hardware; PipelineStats
+// carries the counts and derives the utilization figures (fraction of
+// wire speed, Figure 13) that internal/hwsim converts to GB/s and the
+// engine exports as metrics (see OBSERVABILITY.md).
 package filter
 
 import (

@@ -53,6 +53,23 @@ type PipelineStats struct {
 	Cycles uint64
 }
 
+// Utilization is the fraction of the pipeline's datapath capacity spent
+// streaming useful raw text: RawBytes / (Cycles × WordSize). It is 1.0
+// when the pipeline ran at wire speed for the whole query (the decompressor
+// stage bound every cycle) and drops when tokenizer occupancy or hash
+// filter backpressure stalled the stream — the per-pipeline utilization
+// series the observability layer exports.
+func (s PipelineStats) Utilization() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	u := float64(s.RawBytes) / (float64(s.Cycles) * tokenizer.WordSize)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
 // Pipeline is one filter pipeline: an array of tokenizers scattering lines
 // round-robin, feeding replicated hash filters in exclusive groups, with
 // outputs gathered in line order.

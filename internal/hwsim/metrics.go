@@ -1,0 +1,32 @@
+package hwsim
+
+import "mithrilog/internal/obs"
+
+// RegisterSystemMetrics publishes the accelerator envelope as gauges, so
+// a dashboard can place the runtime series (pipeline cycle counters,
+// effective GB/s) against the hardware bounds they are measured toward:
+// mithrilog_hwsim_pipeline_wire_gbps is the per-pipeline Figure 13 wire
+// speed, mithrilog_hwsim_decompressor_bound_gbps the Figure 14 emit bound,
+// and the bandwidth gauges the storage-side supply caps.
+//
+// The values are configuration, not measurements — they change only when
+// the engine is rebuilt with a different SystemConfig — but exporting them
+// keeps /metrics self-describing: effective-throughput ratios can be
+// computed entirely from one scrape.
+func RegisterSystemMetrics(reg *obs.Registry, c SystemConfig) {
+	c = c.WithDefaults()
+	reg.Gauge("mithrilog_hwsim_clock_hz",
+		"Accelerator clock frequency (prototype: 200 MHz).").Set(c.ClockHz)
+	reg.Gauge("mithrilog_hwsim_pipelines",
+		"Number of filter pipelines instantiated.").Set(float64(c.Pipelines))
+	reg.Gauge("mithrilog_hwsim_datapath_bytes",
+		"Per-pipeline datapath width in bytes (prototype: 16).").Set(float64(c.DatapathBytes))
+	reg.Gauge("mithrilog_hwsim_pipeline_wire_gbps",
+		"One pipeline's raw-text rate at one word per cycle (Fig. 13 wire speed).").Set(c.PipelineWireSpeed() / GB)
+	reg.Gauge("mithrilog_hwsim_decompressor_bound_gbps",
+		"Aggregate decompressed-data emit bound across pipelines (Fig. 14 cap).").Set(c.DecompressorBound() / GB)
+	reg.Gauge("mithrilog_hwsim_internal_bandwidth_gbps",
+		"Device-internal storage bandwidth available to the accelerator.").Set(c.InternalBW / GB)
+	reg.Gauge("mithrilog_hwsim_external_bandwidth_gbps",
+		"Host-facing (PCIe) bandwidth.").Set(c.ExternalBW / GB)
+}

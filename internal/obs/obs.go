@@ -1,0 +1,525 @@
+// Package obs is MithriLog's zero-dependency observability layer: a small
+// metrics registry (counters, gauges, histograms with fixed log-scaled
+// buckets) exposed in the Prometheus text exposition format, and a
+// lightweight per-query span tracer (see trace.go).
+//
+// The package exists because the reproduction's headline claims are
+// throughput and latency numbers (§7, Figs. 13/14): every hot path —
+// ingest, the search stages, the simulated device links, the filter
+// pipelines — publishes its rates and timings here, so a running service
+// can be judged against the paper without attaching a profiler.
+//
+// Design constraints, in order:
+//
+//  1. Zero dependencies (stdlib only), like the rest of the repository.
+//  2. Hot-path cost must be a single atomic op per event; instrumentation
+//     stays on permanently (the ingest benchmark bounds the overhead).
+//  3. The exposition output must be scrapeable by an unmodified
+//     Prometheus, so metric and label naming follow its conventions.
+//
+// All metric mutators (Inc, Add, Set, Observe) are safe for concurrent
+// use. Registration (Counter, Gauge, Histogram, *Vec, *Func) is
+// get-or-create: registering the same name twice returns the same metric,
+// so independent subsystems can share a registry without coordination;
+// re-registering a name as a different kind panics, since that is always
+// a programming error.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// kind discriminates the three Prometheus metric types the layer supports.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Labels is a set of constant label name→value pairs attached to a
+// function-backed series (rendered sorted by name).
+type Labels map[string]string
+
+// Registry holds a set of metric families and renders them in Prometheus
+// text exposition format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// family is one named metric with one or more label-distinguished series.
+type family struct {
+	name, help string
+	k          kind
+	labelNames []string  // for Vec families; nil otherwise
+	buckets    []float64 // for histogram families
+
+	mu     sync.Mutex
+	order  []string
+	series map[string]sample
+}
+
+// sample is one series' current value(s).
+type sample interface {
+	write(b *strings.Builder, famName, labels string)
+}
+
+func (r *Registry) family(name, help string, k kind, labelNames []string, buckets []float64) *family {
+	mustValidName(name)
+	for _, l := range labelNames {
+		mustValidName(l)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.k != k {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, k, f.k))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, k: k,
+		labelNames: labelNames, buckets: buckets,
+		series: make(map[string]sample),
+	}
+	r.fams = append(r.fams, f)
+	r.byName[name] = f
+	return f
+}
+
+func (f *family) getOrCreate(key string, mk func() sample) sample {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := mk()
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// replace installs a series unconditionally (used by *Func registration so
+// a reconstructed component can rebind its callback).
+func (f *family) replace(key string, s sample) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.series[key]; !ok {
+		f.order = append(f.order, key)
+	}
+	f.series[key] = s
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonically increasing float64 value.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v; negative values are ignored (counters never decrease).
+func (c *Counter) Add(v float64) {
+	if v < 0 || c == nil {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *Counter) write(b *strings.Builder, name, labels string) {
+	writeSample(b, name, labels, c.Value())
+}
+
+// Counter returns (creating if needed) the unlabeled counter name.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, kindCounter, nil, nil)
+	return f.getOrCreate("", func() sample { return &Counter{} }).(*Counter)
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct {
+	f *family
+}
+
+// CounterVec returns (creating if needed) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, kindCounter, labelNames, nil)}
+}
+
+// WithLabelValues returns the child counter for the given label values
+// (created on first use). The number of values must match the family's
+// label names.
+func (v *CounterVec) WithLabelValues(values ...string) *Counter {
+	key := renderLabels(v.f.labelNames, values)
+	return v.f.getOrCreate(key, func() sample { return &Counter{} }).(*Counter)
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// exposition time — for components that already maintain their own
+// monotonic counters (e.g. the simulated device's per-link traffic).
+// Labels may be nil. Re-registering the same name+labels rebinds fn.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	f := r.family(name, help, kindCounter, nil, nil)
+	f.replace(renderLabelMap(labels), funcSample(fn))
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+// Gauge is a float64 value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (may be negative).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) write(b *strings.Builder, name, labels string) {
+	writeSample(b, name, labels, g.Value())
+}
+
+// Gauge returns (creating if needed) the unlabeled gauge name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, kindGauge, nil, nil)
+	return f.getOrCreate("", func() sample { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct {
+	f *family
+}
+
+// GaugeVec returns (creating if needed) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, kindGauge, labelNames, nil)}
+}
+
+// WithLabelValues returns the child gauge for the given label values.
+func (v *GaugeVec) WithLabelValues(values ...string) *Gauge {
+	key := renderLabels(v.f.labelNames, values)
+	return v.f.getOrCreate(key, func() sample { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeFunc registers a gauge series read from fn at exposition time.
+// Labels may be nil. Re-registering the same name+labels rebinds fn.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	f := r.family(name, help, kindGauge, nil, nil)
+	f.replace(renderLabelMap(labels), funcSample(fn))
+}
+
+// funcSample adapts a callback into a series.
+type funcSample func() float64
+
+func (fn funcSample) write(b *strings.Builder, name, labels string) {
+	writeSample(b, name, labels, fn())
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// Histogram counts observations into fixed buckets (upper bounds,
+// ascending; an implicit +Inf bucket is always present) and tracks the
+// observation sum, in the Prometheus cumulative-histogram model. Observe
+// is a few atomic ops; buckets are chosen at registration and never
+// reallocated.
+type Histogram struct {
+	upper   []float64 // ascending upper bounds, excluding +Inf
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound is >= v (le is inclusive).
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1) // i == len(upper) is the +Inf bucket
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// ObserveSince records the elapsed time since start, in seconds.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts; the last
+// entry is the +Inf bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+func (h *Histogram) write(b *strings.Builder, name, labels string) {
+	cum := uint64(0)
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		writeSample(b, name+"_bucket", mergeLe(labels, formatFloat(ub)), float64(cum))
+	}
+	cum += h.counts[len(h.upper)].Load()
+	writeSample(b, name+"_bucket", mergeLe(labels, "+Inf"), float64(cum))
+	writeSample(b, name+"_sum", labels, h.Sum())
+	writeSample(b, name+"_count", labels, float64(cum))
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	return &Histogram{upper: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
+}
+
+// Histogram returns (creating if needed) an unlabeled histogram with the
+// given bucket upper bounds (ascending, +Inf implicit). The bounds are
+// fixed at first registration; later calls ignore the buckets argument.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.family(name, help, kindHistogram, nil, checkBuckets(buckets))
+	return f.getOrCreate("", func() sample { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// HistogramVec is a histogram family partitioned by label values; all
+// children share the family's bucket layout.
+type HistogramVec struct {
+	f *family
+}
+
+// HistogramVec returns (creating if needed) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, kindHistogram, labelNames, checkBuckets(buckets))}
+}
+
+// WithLabelValues returns the child histogram for the given label values.
+func (v *HistogramVec) WithLabelValues(values ...string) *Histogram {
+	key := renderLabels(v.f.labelNames, values)
+	return v.f.getOrCreate(key, func() sample { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+// LogBuckets returns count bucket upper bounds starting at start and
+// growing geometrically by factor — the log-scaled layouts all duration
+// and size histograms in this repository use. Panics if start <= 0,
+// factor <= 1, or count < 1.
+func LogBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("obs: LogBuckets requires start > 0, factor > 1, count >= 1")
+	}
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets is the default latency layout: 12 log-scaled buckets
+// from 1µs to ~4.2s (factor 4), in seconds. It spans the microsecond
+// simulated-transfer times and multi-second full scans with one layout.
+func DurationBuckets() []float64 { return LogBuckets(1e-6, 4, 12) }
+
+func checkBuckets(buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		panic("obs: histogram needs at least one bucket")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("obs: histogram buckets must be strictly ascending")
+		}
+	}
+	return buckets
+}
+
+// ---------------------------------------------------------------------------
+// Exposition
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteString("\n# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.k.String())
+		b.WriteByte('\n')
+		for _, key := range f.order {
+			f.series[key].write(&b, f.name, key)
+		}
+		f.mu.Unlock()
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ContentType is the HTTP Content-Type of the exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// ServeHTTP implements http.Handler, serving the exposition text.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", ContentType)
+	_ = r.WritePrometheus(w)
+}
+
+func writeSample(b *strings.Builder, name, labels string, v float64) {
+	b.WriteString(name)
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+// renderLabels renders `{n1="v1",n2="v2"}` for a Vec child, or "" when
+// the family has no labels. Panics on arity mismatch.
+func renderLabels(names, values []string) string {
+	if len(names) != len(values) {
+		panic(fmt.Sprintf("obs: %d label values for %d label names", len(values), len(names)))
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// renderLabelMap renders a Labels map sorted by name (for *Func series).
+func renderLabelMap(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(labels))
+	for n := range labels {
+		mustValidName(n)
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	values := make([]string, len(names))
+	for i, n := range names {
+		values[i] = labels[n]
+	}
+	return renderLabels(names, values)
+}
+
+// mergeLe appends the le label to an existing (possibly empty) label set.
+func mergeLe(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// mustValidName enforces the Prometheus metric/label name charset.
+func mustValidName(name string) {
+	if name == "" {
+		panic("obs: empty metric or label name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			panic(fmt.Sprintf("obs: invalid metric or label name %q", name))
+		}
+	}
+}

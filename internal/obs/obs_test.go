@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLogBuckets(t *testing.T) {
+	got := LogBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i])/want[i] > 1e-12 {
+			t.Errorf("bucket[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []func(){
+		func() { LogBuckets(0, 2, 3) },
+		func() { LogBuckets(1, 1, 3) },
+		func() { LogBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestDurationBucketsSpan(t *testing.T) {
+	b := DurationBuckets()
+	if b[0] != 1e-6 {
+		t.Errorf("first bucket %g, want 1e-6", b[0])
+	}
+	if last := b[len(b)-1]; last < 1 || last > 10 {
+		t.Errorf("last bucket %g, want within [1s, 10s]", last)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le-inclusive semantics: a value
+// exactly on an upper bound lands in that bucket, one ulp above lands in
+// the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist", "h", []float64{1, 10, 100})
+	h.Observe(0.5)                           // -> le=1
+	h.Observe(1)                             // -> le=1 (inclusive)
+	h.Observe(math.Nextafter(1, 2))          // -> le=10
+	h.Observe(10)                            // -> le=10
+	h.Observe(100)                           // -> le=100
+	h.Observe(1000)                          // -> +Inf
+	if got, want := h.BucketCounts(), []uint64{2, 2, 1, 1}; len(got) != len(want) {
+		t.Fatalf("bucket count %d, want %d", len(got), len(want))
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("bucket[%d] = %d, want %d (all %v)", i, got[i], want[i], got)
+			}
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if want := 0.5 + 1 + math.Nextafter(1, 2) + 10 + 100 + 1000; math.Abs(h.Sum()-want) > 1e-9 {
+		t.Errorf("sum = %g, want %g", h.Sum(), want)
+	}
+}
+
+func TestHistogramRejectsBadBuckets(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("buckets %v: expected panic", bad)
+				}
+			}()
+			r.Histogram("bad_hist", "h", bad)
+		}()
+	}
+}
+
+// TestConcurrentCounters hammers every mutator from many goroutines; run
+// under -race this is the data-race check the instrumentation relies on.
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_counter", "c")
+	cv := r.CounterVec("conc_counter_vec", "cv", "worker")
+	g := r.Gauge("conc_gauge", "g")
+	h := r.Histogram("conc_hist", "h", LogBuckets(1, 2, 8))
+	const workers, iters = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				c.Add(2)
+				cv.WithLabelValues(lbl).Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i % 300))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := c.Value(), float64(workers*iters*3); got != want {
+		t.Errorf("counter = %g, want %g", got, want)
+	}
+	if got := cv.WithLabelValues("a").Value(); got != iters {
+		t.Errorf("vec child = %g, want %d", got, iters)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %g, want 0", got)
+	}
+	if got, want := h.Count(), uint64(workers*iters); got != want {
+		t.Errorf("hist count = %d, want %d", got, want)
+	}
+}
+
+// TestGoldenExposition locks down the exact Prometheus text produced for
+// one of each metric shape.
+func TestGoldenExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "Total requests.").Add(42)
+	v := r.CounterVec("rpc_total", "RPCs by method.", "method", "code")
+	v.WithLabelValues("get", "200").Add(7)
+	v.WithLabelValues("put", "500").Inc()
+	r.Gauge("temperature_celsius", "Current temperature.").Set(-3.25)
+	r.GaugeFunc("pages", "Allocated pages.", Labels{"device": "sim0"}, func() float64 { return 11 })
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP requests_total Total requests.
+# TYPE requests_total counter
+requests_total 42
+# HELP rpc_total RPCs by method.
+# TYPE rpc_total counter
+rpc_total{method="get",code="200"} 7
+rpc_total{method="put",code="500"} 1
+# HELP temperature_celsius Current temperature.
+# TYPE temperature_celsius gauge
+temperature_celsius -3.25
+# HELP pages Allocated pages.
+# TYPE pages gauge
+pages{device="sim0"} 11
+# HELP latency_seconds Latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.01"} 1
+latency_seconds_bucket{le="0.1"} 3
+latency_seconds_bucket{le="1"} 3
+latency_seconds_bucket{le="+Inf"} 4
+latency_seconds_sum 5.105
+latency_seconds_count 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionWellFormed validates every rendered line against the
+// exposition grammar (comment or sample), the acceptance check behind
+// "GET /metrics serves valid Prometheus text format".
+func TestExpositionWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Inc()
+	r.GaugeVec("b", "b", "x").WithLabelValues(`quote " slash \ newline` + "\n").Set(1)
+	r.HistogramVec("c_seconds", "c", DurationBuckets(), "stage").WithLabelValues("plan").Observe(0.2)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_:][a-zA-Z0-9_:]*="(\\.|[^"\\])*"(,[a-zA-Z_:][a-zA-Z0-9_:]*="(\\.|[^"\\])*")*\})? (-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$`)
+	comment := regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$`)
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if !sample.MatchString(line) && !comment.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+func TestGetOrCreateAndKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("same_total", "x")
+	c2 := r.Counter("same_total", "x")
+	if c1 != c2 {
+		t.Error("re-registration should return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch should panic")
+		}
+	}()
+	r.Gauge("same_total", "x")
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("neg_total", "n")
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Errorf("counter = %g, want 5", c.Value())
+	}
+}

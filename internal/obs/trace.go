@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Span is one timed node in a per-query trace tree. A span is created
+// running (StartSpan / StartChild), optionally annotated with attributes,
+// and closed with End; Snapshot renders the finished tree for JSON
+// responses (the server's GET /trace endpoint).
+//
+// Every method is safe on a nil *Span and does nothing, so instrumented
+// code paths pass spans down unconditionally and pay nothing when tracing
+// is off:
+//
+//	sp := opts.Trace.StartChild("index probe") // opts.Trace may be nil
+//	defer sp.End()
+//
+// Spans are safe for concurrent use, but the engine's query path is
+// serialized, so in practice a trace is built by one goroutine.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	attrs    []spanAttr
+	children []*Span
+}
+
+type spanAttr struct{ k, v string }
+
+// StartSpan begins a new root span.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// StartChild begins a child span under s. Returns nil if s is nil.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span. Idempotent; no-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr sets a string attribute, replacing any previous value for the
+// same key. No-op on nil.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].k == key {
+			s.attrs[i].v = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, spanAttr{key, value})
+}
+
+// SetAttrInt sets an integer attribute.
+func (s *Span) SetAttrInt(key string, value int64) {
+	s.SetAttr(key, strconv.FormatInt(value, 10))
+}
+
+// SetAttrBool sets a boolean attribute.
+func (s *Span) SetAttrBool(key string, value bool) {
+	s.SetAttr(key, strconv.FormatBool(value))
+}
+
+// SpanData is the exported, JSON-ready form of a span tree.
+type SpanData struct {
+	// Name identifies the traced operation or stage.
+	Name string `json:"name"`
+	// StartUnixNano is the span's start time (Unix epoch, nanoseconds).
+	StartUnixNano int64 `json:"startUnixNano"`
+	// DurationNs is the span's wall-clock duration in nanoseconds; for a
+	// snapshot of a still-running span it is the elapsed time so far.
+	DurationNs int64 `json:"durationNs"`
+	// Attrs carries the span's annotations (counts, flags, simulated
+	// times), all rendered as strings.
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Children are the nested stage spans, in start order.
+	Children []SpanData `json:"children,omitempty"`
+}
+
+// Snapshot renders the span tree rooted at s. A nil or still-running span
+// snapshots safely (running spans report elapsed-so-far durations).
+func (s *Span) Snapshot() SpanData {
+	if s == nil {
+		return SpanData{}
+	}
+	s.mu.Lock()
+	d := SpanData{
+		Name:          s.name,
+		StartUnixNano: s.start.UnixNano(),
+		DurationNs:    s.dur.Nanoseconds(),
+	}
+	if !s.ended {
+		d.DurationNs = time.Since(s.start).Nanoseconds()
+	}
+	if len(s.attrs) > 0 {
+		d.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			d.Attrs[a.k] = a.v
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		d.Children = append(d.Children, c.Snapshot())
+	}
+	return d
+}

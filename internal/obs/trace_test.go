@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var s *Span
+	c := s.StartChild("child")
+	if c != nil {
+		t.Error("nil span should produce nil children")
+	}
+	s.End()
+	s.SetAttr("k", "v")
+	s.SetAttrInt("n", 3)
+	s.SetAttrBool("b", true)
+	if d := s.Snapshot(); d.Name != "" || len(d.Children) != 0 {
+		t.Errorf("nil snapshot = %+v", d)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := StartSpan("search")
+	root.SetAttr("query", `alpha AND beta`)
+	plan := root.StartChild("index probe")
+	plan.SetAttrInt("candidatePages", 3)
+	time.Sleep(time.Millisecond)
+	plan.End()
+	scan := root.StartChild("page scan")
+	scan.SetAttrBool("offloaded", true)
+	scan.End()
+	root.End()
+
+	d := root.Snapshot()
+	if d.Name != "search" || d.Attrs["query"] != "alpha AND beta" {
+		t.Fatalf("root = %+v", d)
+	}
+	if len(d.Children) != 2 || d.Children[0].Name != "index probe" || d.Children[1].Name != "page scan" {
+		t.Fatalf("children = %+v", d.Children)
+	}
+	if d.Children[0].DurationNs < int64(time.Millisecond) {
+		t.Errorf("plan duration %d < 1ms", d.Children[0].DurationNs)
+	}
+	if d.DurationNs < d.Children[0].DurationNs {
+		t.Errorf("root duration %d < child %d", d.DurationNs, d.Children[0].DurationNs)
+	}
+	if d.Children[0].Attrs["candidatePages"] != "3" || d.Children[1].Attrs["offloaded"] != "true" {
+		t.Errorf("attrs = %+v / %+v", d.Children[0].Attrs, d.Children[1].Attrs)
+	}
+	// The tree must serialize to JSON (the /trace response body).
+	if _, err := json.Marshal(d); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+func TestSpanEndIdempotentAndAttrReplace(t *testing.T) {
+	s := StartSpan("op")
+	s.SetAttr("k", "v1")
+	s.SetAttr("k", "v2")
+	s.End()
+	d1 := s.Snapshot().DurationNs
+	time.Sleep(2 * time.Millisecond)
+	s.End() // second End must not extend the duration
+	if d2 := s.Snapshot().DurationNs; d2 != d1 {
+		t.Errorf("duration changed after second End: %d -> %d", d1, d2)
+	}
+	if got := s.Snapshot().Attrs["k"]; got != "v2" {
+		t.Errorf("attr = %q, want v2", got)
+	}
+}
+
+func TestRunningSpanSnapshot(t *testing.T) {
+	s := StartSpan("running")
+	time.Sleep(time.Millisecond)
+	if d := s.Snapshot(); d.DurationNs <= 0 {
+		t.Errorf("running span duration = %d, want > 0", d.DurationNs)
+	}
+}
+
+func TestConcurrentSpanUse(t *testing.T) {
+	root := StartSpan("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := root.StartChild("child")
+			c.SetAttrInt("i", int64(i))
+			c.End()
+			_ = root.Snapshot()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Snapshot().Children); got != 8 {
+		t.Errorf("children = %d, want 8", got)
+	}
+}

@@ -10,8 +10,15 @@
 //	POST /snapshot  record a time boundary (RFC 3339 "time" form value)
 //	GET  /search    q=<expr> [limit=N] [noindex=1] [from=RFC3339] [to=RFC3339]
 //	GET  /grep      e=<regex> [limit=N]
+//	GET  /trace     q=<expr> [same params as /search] — search + span tree
 //	GET  /stats     engine statistics
+//	GET  /metrics   Prometheus text exposition (see OBSERVABILITY.md)
 //	GET  /healthz   liveness probe
+//
+// Every endpoint is instrumented: per-endpoint request counters (by
+// status code), latency histograms, and an in-flight gauge are registered
+// into the engine's metrics registry, so /metrics reports the HTTP layer
+// alongside the engine, storage, and accelerator series.
 package server
 
 import (
@@ -24,6 +31,7 @@ import (
 	"time"
 
 	"mithrilog"
+	"mithrilog/internal/obs"
 )
 
 // Server is the HTTP facade over one engine.
@@ -33,20 +41,63 @@ type Server struct {
 
 	ingested atomic.Uint64
 	queries  atomic.Uint64
+
+	requests *obs.CounterVec   // endpoint, code
+	latency  *obs.HistogramVec // endpoint
+	inflight *obs.Gauge
 }
 
 // New wraps an engine. The engine is safe for the concurrent requests an
 // HTTP server delivers.
 func New(eng *mithrilog.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/ingest", s.handleIngest)
-	s.mux.HandleFunc("/flush", s.handleFlush)
-	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("/search", s.handleSearch)
-	s.mux.HandleFunc("/grep", s.handleGrep)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/healthz", s.handleHealth)
+	reg := eng.Obs()
+	s := &Server{
+		eng: eng,
+		mux: http.NewServeMux(),
+		requests: reg.CounterVec("mithrilog_http_requests_total",
+			"HTTP requests served, by endpoint and status code.",
+			"endpoint", "code"),
+		latency: reg.HistogramVec("mithrilog_http_request_seconds",
+			"HTTP request latency by endpoint.",
+			obs.DurationBuckets(), "endpoint"),
+		inflight: reg.Gauge("mithrilog_http_in_flight_requests",
+			"Requests currently being served."),
+	}
+	s.handle("/ingest", s.handleIngest)
+	s.handle("/flush", s.handleFlush)
+	s.handle("/snapshot", s.handleSnapshot)
+	s.handle("/search", s.handleSearch)
+	s.handle("/grep", s.handleGrep)
+	s.handle("/trace", s.handleTrace)
+	s.handle("/stats", s.handleStats)
+	s.handle("/metrics", reg.ServeHTTP)
+	s.handle("/healthz", s.handleHealth)
 	return s
+}
+
+// handle registers an instrumented handler: in-flight gauge, per-endpoint
+// request counter (by status code), and latency histogram.
+func (s *Server) handle(endpoint string, h http.HandlerFunc) {
+	s.mux.HandleFunc(endpoint, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.inflight.Inc()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.inflight.Dec()
+		s.requests.WithLabelValues(endpoint, strconv.Itoa(sw.code)).Inc()
+		s.latency.WithLabelValues(endpoint).ObserveSince(start)
+	})
+}
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // ServeHTTP implements http.Handler.
@@ -164,46 +215,44 @@ type searchResponse struct {
 	EffectiveGBps  float64  `json:"effectiveGBps"`
 }
 
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	expr := r.FormValue("q")
+// searchParams parses the query parameters shared by /search and /trace.
+// A non-nil error has already been written to w.
+func searchParams(w http.ResponseWriter, r *http.Request) (expr string, limit int, opts mithrilog.SearchOptions, ok bool) {
+	expr = r.FormValue("q")
 	if expr == "" {
 		writeErr(w, http.StatusBadRequest, "missing q parameter")
-		return
+		return "", 0, opts, false
 	}
-	limit := 100
+	limit = 100
 	if v := r.FormValue("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
 			writeErr(w, http.StatusBadRequest, "bad limit %q", v)
-			return
+			return "", 0, opts, false
 		}
 		limit = n
 	}
-	opts := mithrilog.SearchOptions{
-		CollectLines: limit > 0,
-		NoIndex:      r.FormValue("noindex") == "1",
-	}
+	opts.CollectLines = limit > 0
+	opts.NoIndex = r.FormValue("noindex") == "1"
 	for name, dst := range map[string]*time.Time{"from": &opts.From, "to": &opts.To} {
 		if v := r.FormValue(name); v != "" {
 			parsed, err := time.Parse(time.RFC3339, v)
 			if err != nil {
 				writeErr(w, http.StatusBadRequest, "bad %s: %v", name, err)
-				return
+				return "", 0, opts, false
 			}
 			*dst = parsed
 		}
 	}
-	res, err := s.eng.Search(expr, opts)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "search: %v", err)
-		return
-	}
-	s.queries.Add(1)
+	return expr, limit, opts, true
+}
+
+func toSearchResponse(res mithrilog.Result, limit int) searchResponse {
 	lines := res.Lines
 	if len(lines) > limit {
 		lines = lines[:limit]
 	}
-	writeJSON(w, http.StatusOK, searchResponse{
+	return searchResponse{
 		Matches:        res.Matches,
 		Lines:          lines,
 		Offloaded:      res.Offloaded,
@@ -213,6 +262,44 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		SimElapsedNs:   res.SimElapsed.Nanoseconds(),
 		WallElapsedNs:  res.WallElapsed.Nanoseconds(),
 		EffectiveGBps:  res.EffectiveGBps,
+	}
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	expr, limit, opts, ok := searchParams(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.eng.Search(expr, opts)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "search: %v", err)
+		return
+	}
+	s.queries.Add(1)
+	writeJSON(w, http.StatusOK, toSearchResponse(res, limit))
+}
+
+// traceResponse reports a traced query: the usual search result plus the
+// span tree of its execution stages.
+type traceResponse struct {
+	Result searchResponse `json:"result"`
+	Trace  obs.SpanData   `json:"trace"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	expr, limit, opts, ok := searchParams(w, r)
+	if !ok {
+		return
+	}
+	res, trace, err := s.eng.TraceSearch(expr, opts)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "trace: %v", err)
+		return
+	}
+	s.queries.Add(1)
+	writeJSON(w, http.StatusOK, traceResponse{
+		Result: toSearchResponse(res, limit),
+		Trace:  trace,
 	})
 }
 

@@ -201,6 +201,86 @@ func TestErrorPaths(t *testing.T) {
 	}
 }
 
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	post(t, ts.URL+"/ingest", strings.Repeat("metric probe line content\n", 300))
+	post(t, ts.URL+"/flush", "")
+	var sr searchResponse
+	get(t, ts.URL+"/search?q=probe", &sr)
+	if sr.Matches == 0 {
+		t.Fatal("search found nothing; metrics assertions would be vacuous")
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	body := readAll(t, resp)
+	// One representative series from each instrumented layer.
+	for _, want := range []string{
+		"# TYPE mithrilog_ingest_lines_total counter",
+		"mithrilog_ingest_lines_total 300",
+		"mithrilog_ingest_compressed_bytes_total",
+		"mithrilog_search_queries_total{path=\"accelerated\"} 1",
+		"mithrilog_search_stage_seconds_bucket{stage=\"parse\",le=\"+Inf\"}",
+		"mithrilog_search_stage_seconds_bucket{stage=\"scan\",le=\"+Inf\"}",
+		"mithrilog_search_sim_seconds_total{component=\"stream\"}",
+		"mithrilog_storage_page_reads_total{link=\"internal\"}",
+		"mithrilog_storage_pages",
+		"mithrilog_hwsim_pipeline_utilization{pipeline=\"0\"}",
+		"mithrilog_hwsim_pipeline_wire_gbps 3.2",
+		"mithrilog_hwsim_effective_filter_gbps",
+		"mithrilog_http_requests_total{endpoint=\"/ingest\",code=\"200\"} 1",
+		"mithrilog_http_request_seconds_bucket{endpoint=\"/search\"",
+		"mithrilog_http_in_flight_requests",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	post(t, ts.URL+"/ingest", "alpha one\nbeta two\nalpha three\n")
+	var tr traceResponse
+	if code := get(t, ts.URL+"/trace?q=alpha", &tr); code != http.StatusOK {
+		t.Fatalf("trace status %d", code)
+	}
+	if tr.Result.Matches != 2 {
+		t.Fatalf("trace result: %+v", tr.Result)
+	}
+	if tr.Trace.Name != "search" || tr.Trace.DurationNs <= 0 {
+		t.Fatalf("trace root: %+v", tr.Trace)
+	}
+	stages := map[string]bool{}
+	for _, c := range tr.Trace.Children {
+		stages[c.Name] = true
+	}
+	for _, want := range []string{"parse", "index probe", "configure", "page scan"} {
+		if !stages[want] {
+			t.Errorf("trace missing stage %q (got %v)", want, stages)
+		}
+	}
+	if tr.Trace.Attrs["matches"] != "2" || tr.Trace.Attrs["offloaded"] != "true" {
+		t.Errorf("root attrs: %+v", tr.Trace.Attrs)
+	}
+	// Errors propagate like /search.
+	var er errorResponse
+	if code := get(t, ts.URL+"/trace", &er); code != http.StatusBadRequest {
+		t.Errorf("missing q: status %d", code)
+	}
+	if code := get(t, ts.URL+"/trace?q="+url.QueryEscape("((("), &er); code != http.StatusBadRequest {
+		t.Errorf("bad query: status %d", code)
+	}
+}
+
 func TestConcurrentClients(t *testing.T) {
 	ts, _ := newTestServer(t)
 	post(t, ts.URL+"/ingest", strings.Repeat("warm data line\n", 100))

@@ -239,13 +239,18 @@ func (d *Device) account(link Link, reads, bytes uint64) {
 
 // Stats snapshots the device counters.
 func (d *Device) Stats() Stats {
+	// Read the page count before taking statsMu: Write acquires d.mu then
+	// statsMu, so calling NumPages (d.mu) under statsMu would invert the
+	// lock order and can deadlock against a concurrent Write — metrics
+	// scrapes call Stats while ingest is running.
+	pages := d.NumPages()
 	d.statsMu.Lock()
 	defer d.statsMu.Unlock()
 	return Stats{
 		Internal: d.internal,
 		External: d.external,
 		Writes:   d.writes,
-		Pages:    d.NumPages(),
+		Pages:    pages,
 	}
 }
 

@@ -23,6 +23,7 @@ package mithrilog
 import (
 	"bufio"
 	"io"
+	"net/http"
 	"time"
 
 	"mithrilog/internal/core"
@@ -31,6 +32,7 @@ import (
 	"mithrilog/internal/hwsim"
 	"mithrilog/internal/index"
 	"mithrilog/internal/lzah"
+	"mithrilog/internal/obs"
 	"mithrilog/internal/query"
 	"mithrilog/internal/storage"
 )
@@ -178,25 +180,50 @@ type TimingBreakdown struct {
 //	failed AND NOT pbs_mom:
 //	(RAS AND KERNEL AND NOT FATAL) OR (ciod: AND error)
 func (e *Engine) Search(expr string, opts SearchOptions) (Result, error) {
+	parseStart := time.Now()
 	q, err := query.Parse(expr)
+	e.inner.ObserveParseTime(time.Since(parseStart))
 	if err != nil {
 		return Result{}, err
 	}
-	return e.run(q, opts)
+	return e.run(q, opts, nil)
+}
+
+// TraceSearch runs Search while recording a span tree of the query's
+// stages (parse → index probe → configure → page scan), each annotated
+// with its counts and simulated timings. The returned tree is JSON-ready;
+// the HTTP server exposes it at GET /trace. On a parse error the tree
+// holds only the failed parse span.
+func (e *Engine) TraceSearch(expr string, opts SearchOptions) (Result, obs.SpanData, error) {
+	root := obs.StartSpan("search")
+	parseStart := time.Now()
+	parseSpan := root.StartChild("parse")
+	q, err := query.Parse(expr)
+	parseSpan.End()
+	e.inner.ObserveParseTime(time.Since(parseStart))
+	if err != nil {
+		parseSpan.SetAttr("error", err.Error())
+		root.End()
+		return Result{}, root.Snapshot(), err
+	}
+	res, err := e.run(q, opts, root)
+	root.End()
+	return res, root.Snapshot(), err
 }
 
 // SearchQuery executes an already-built Query (e.g. a template query or a
 // batch combined with Or).
 func (e *Engine) SearchQuery(q Query, opts SearchOptions) (Result, error) {
-	return e.run(q.q, opts)
+	return e.run(q.q, opts, nil)
 }
 
-func (e *Engine) run(q query.Query, opts SearchOptions) (Result, error) {
+func (e *Engine) run(q query.Query, opts SearchOptions, trace *obs.Span) (Result, error) {
 	res, err := e.inner.Search(q, core.SearchOptions{
 		NoIndex:      opts.NoIndex,
 		CollectLines: opts.CollectLines,
 		From:         opts.From,
 		To:           opts.To,
+		Trace:        trace,
 	})
 	if err != nil {
 		return Result{}, err
@@ -239,6 +266,18 @@ type Stats struct {
 	// IndexMemoryBytes is the inverted index's resident footprint.
 	IndexMemoryBytes int
 }
+
+// Obs returns the engine's metrics registry. Every engine carries one:
+// ingest, search-stage, storage-link, and accelerator-model series are
+// maintained permanently at one atomic op per event. In-module consumers
+// (the HTTP server) register additional metrics into it; external callers
+// serve it via MetricsHandler.
+func (e *Engine) Obs() *obs.Registry { return e.inner.Obs() }
+
+// MetricsHandler returns an http.Handler serving the engine's metrics in
+// Prometheus text exposition format (see OBSERVABILITY.md for the metric
+// reference).
+func (e *Engine) MetricsHandler() http.Handler { return e.inner.Obs() }
 
 // Stats reports the engine's current contents.
 func (e *Engine) Stats() Stats {

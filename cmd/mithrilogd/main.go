@@ -5,6 +5,7 @@
 // Usage:
 //
 //	mithrilogd [-addr :8080] [-load store.mlog] [-save store.mlog] [-save-every 5m]
+//	           [-cache-mb 64] [-max-in-flight 8] [-queue-depth 64] [-query-timeout 30s]
 //
 // Endpoints are documented in internal/server. Example session:
 //
@@ -30,15 +31,25 @@ func main() {
 	load := flag.String("load", "", "load a saved store at startup")
 	save := flag.String("save", "", "save the store to this path (with -save-every, periodically)")
 	saveEvery := flag.Duration("save-every", 0, "periodic save interval (0 = only on demand)")
+	cacheMB := flag.Int64("cache-mb", 64, "decompressed-page cache size in MiB (0 disables)")
+	maxInFlight := flag.Int("max-in-flight", 0, "queries executing concurrently (0 = default 8)")
+	queueDepth := flag.Int("queue-depth", 0, "queries waiting beyond the in-flight limit before 429 (0 = default 64)")
+	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-query deadline covering queue wait and scan (0 disables)")
 	flag.Parse()
 
+	cfg := mithrilog.Config{
+		CacheBytes:   *cacheMB << 20,
+		MaxInFlight:  *maxInFlight,
+		QueueDepth:   *queueDepth,
+		QueryTimeout: *queryTimeout,
+	}
 	var eng *mithrilog.Engine
 	if *load != "" {
 		f, err := os.Open(*load)
 		if err != nil {
 			log.Fatalf("load: %v", err)
 		}
-		eng, err = mithrilog.Load(mithrilog.Config{}, f)
+		eng, err = mithrilog.Load(cfg, f)
 		f.Close()
 		if err != nil {
 			log.Fatalf("load: %v", err)
@@ -46,7 +57,7 @@ func main() {
 		st := eng.Stats()
 		log.Printf("loaded %s: %d lines, %d pages", *load, st.Lines, st.DataPages)
 	} else {
-		eng = mithrilog.Open(mithrilog.Config{})
+		eng = mithrilog.Open(cfg)
 	}
 
 	if *save != "" && *saveEvery > 0 {

@@ -104,6 +104,10 @@ func (e *Engine) Blocks() int { return len(e.blocks) }
 type ScanResult struct {
 	// Matches is the number of lines satisfying the query.
 	Matches int
+	// Lines holds the matching lines when the scan collected them
+	// (ScanLines). Blocks are scanned by a worker pool, so line order is
+	// nondeterministic; compare as a multiset.
+	Lines [][]byte
 	// Elapsed is the wall-clock scan time.
 	Elapsed time.Duration
 	// BytesScanned is the uncompressed volume evaluated.
@@ -124,6 +128,17 @@ func (r ScanResult) EffectiveThroughput(rawBytes uint64) float64 {
 // Scan runs a full-table scan evaluating the query on every line. workers
 // <= 0 selects GOMAXPROCS.
 func (e *Engine) Scan(q query.Query, workers int) (ScanResult, error) {
+	return e.scan(q, workers, false)
+}
+
+// ScanLines is Scan with the matching lines materialized in the result —
+// the oracle form differential tests compare the accelerated engine
+// against. Line order across blocks is nondeterministic.
+func (e *Engine) ScanLines(q query.Query, workers int) (ScanResult, error) {
+	return e.scan(q, workers, true)
+}
+
+func (e *Engine) scan(q query.Query, workers int, collect bool) (ScanResult, error) {
 	if err := q.Validate(); err != nil {
 		return ScanResult{}, err
 	}
@@ -137,6 +152,7 @@ func (e *Engine) Scan(q query.Query, workers int) (ScanResult, error) {
 	var firstErr error
 	total := 0
 	var scanned, compRead uint64
+	var lines [][]byte
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -145,7 +161,7 @@ func (e *Engine) Scan(q query.Query, workers int) (ScanResult, error) {
 			var compBuf, rawBuf []byte
 			matcher := newMatcher(q)
 			for bi := range jobs {
-				m, sc, cr, err := e.scanBlock(bi, pageBuf, &compBuf, &rawBuf, matcher)
+				m, kept, sc, cr, err := e.scanBlock(bi, pageBuf, &compBuf, &rawBuf, matcher, collect)
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = err
@@ -153,6 +169,7 @@ func (e *Engine) Scan(q query.Query, workers int) (ScanResult, error) {
 				total += m
 				scanned += sc
 				compRead += cr
+				lines = append(lines, kept...)
 				mu.Unlock()
 			}
 		}()
@@ -167,19 +184,20 @@ func (e *Engine) Scan(q query.Query, workers int) (ScanResult, error) {
 	}
 	return ScanResult{
 		Matches:             total,
+		Lines:               lines,
 		Elapsed:             time.Since(start),
 		BytesScanned:        scanned,
 		CompressedBytesRead: compRead,
 	}, nil
 }
 
-func (e *Engine) scanBlock(bi int, pageBuf []byte, compBuf, rawBuf *[]byte, m *matcher) (matches int, scanned, compRead uint64, err error) {
+func (e *Engine) scanBlock(bi int, pageBuf []byte, compBuf, rawBuf *[]byte, m *matcher, collect bool) (matches int, kept [][]byte, scanned, compRead uint64, err error) {
 	blk := &e.blocks[bi]
 	*compBuf = (*compBuf)[:0]
 	remaining := blk.compLen
 	for _, pid := range blk.pages {
 		if err := e.dev.Read(storage.External, pid, pageBuf); err != nil {
-			return 0, 0, 0, err
+			return 0, nil, 0, 0, err
 		}
 		n := storage.PageSize
 		if n > remaining {
@@ -191,7 +209,7 @@ func (e *Engine) scanBlock(bi int, pageBuf []byte, compBuf, rawBuf *[]byte, m *m
 	}
 	*rawBuf, err = lz4.Decompress((*rawBuf)[:0], *compBuf)
 	if err != nil {
-		return 0, 0, 0, fmt.Errorf("softscan: block %d: %w", bi, err)
+		return 0, nil, 0, 0, fmt.Errorf("softscan: block %d: %w", bi, err)
 	}
 	data := *rawBuf
 	scanned = uint64(len(data))
@@ -205,9 +223,12 @@ func (e *Engine) scanBlock(bi int, pageBuf []byte, compBuf, rawBuf *[]byte, m *m
 		}
 		if m.match(line) {
 			matches++
+			if collect {
+				kept = append(kept, append([]byte(nil), line...))
+			}
 		}
 	}
-	return matches, scanned, compRead, nil
+	return matches, kept, scanned, compRead, nil
 }
 
 // matcher evaluates a query MonetDB-style: each distinct term is one

@@ -51,6 +51,10 @@ type Config struct {
 	// private registry (always reachable via Engine.Obs). Sharing one
 	// registry between engines merges their counters.
 	Metrics *obs.Registry
+	// PageCache, when non-nil, caches decompressed data pages across
+	// queries on the accelerated scan path and is invalidated on every
+	// flush boundary. internal/sched provides the LRU implementation.
+	PageCache PageCache
 }
 
 func (c Config) withDefaults() Config {
@@ -68,19 +72,30 @@ var ErrLineTooLong = errors.New("core: line too long for a single data page")
 var ErrNothingIngested = errors.New("core: no data ingested")
 
 // Engine is a MithriLog instance. All exported methods are safe for
-// concurrent use: queries serialize on the accelerator, as they do in
-// hardware — concurrency is expressed by batching queries with OR (§4),
-// not by time-slicing the pipelines.
+// concurrent use. Mutators (ingest, flush, snapshot, save) serialize on a
+// write lock; queries run concurrently under a shared read lock, each with
+// its own filter-pipeline set drawn from a pool. The simulated-hardware
+// consequence of that concurrency — several queries contending for the
+// device's four physical pipelines — is accounted by hwsim.Arbiter through
+// internal/sched, which fronts the engine with admission control and fills
+// in SearchResult.QueueTime.
 type Engine struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	cfg Config
 
 	dev   *storage.Device
 	ix    *index.Index
 	codec *lzah.Codec // ingest-side compressor
 
-	pipelines []*filter.Pipeline
-	decoders  []*lzah.Codec // per-pipeline near-storage decompressors
+	// scanPool recycles per-query scan state (filter pipelines and LZAH
+	// decompressors). Pipelines hold a compiled query configuration and
+	// per-query statistics, so concurrent queries must not share them —
+	// exactly as each hardware query owns the pipeline configuration for
+	// its duration.
+	scanPool sync.Pool
+
+	// cache is the optional decompressed-page cache (nil disables).
+	cache PageCache
 
 	dataPages []storage.PageID
 	rawBytes  uint64
@@ -124,17 +139,35 @@ func NewEngine(cfg Config) *Engine {
 		dev:        dev,
 		ix:         index.New(dev, cfg.Index),
 		codec:      lzah.NewCodec(cfg.Compression),
+		cache:      cfg.PageCache,
 		ratioGuess: 3.0,
 		met:        newEngineMetrics(reg),
 	}
-	for i := 0; i < cfg.System.Pipelines; i++ {
-		e.pipelines = append(e.pipelines, filter.NewPipeline(cfg.Pipeline))
-		e.decoders = append(e.decoders, lzah.NewCodec(cfg.Compression))
-	}
+	e.scanPool.New = func() interface{} { return newScanState(cfg) }
 	storage.RegisterDeviceMetrics(reg, dev)
 	hwsim.RegisterSystemMetrics(reg, cfg.System)
 	return e
 }
+
+// scanState is one query's private accelerator view: a full set of filter
+// pipelines and their near-storage decompressors.
+type scanState struct {
+	pipes []*filter.Pipeline
+	decs  []*lzah.Codec
+}
+
+func newScanState(cfg Config) *scanState {
+	st := &scanState{}
+	for i := 0; i < cfg.System.Pipelines; i++ {
+		st.pipes = append(st.pipes, filter.NewPipeline(cfg.Pipeline))
+		st.decs = append(st.decs, lzah.NewCodec(cfg.Compression))
+	}
+	return st
+}
+
+// getScanState draws a scan state from the pool; putScanState returns it.
+func (e *Engine) getScanState() *scanState   { return e.scanPool.Get().(*scanState) }
+func (e *Engine) putScanState(st *scanState) { e.scanPool.Put(st) }
 
 // Obs returns the engine's metrics registry; the HTTP layer serves it at
 // GET /metrics and registers its own request metrics into it.
@@ -148,36 +181,36 @@ func (e *Engine) Index() *index.Index { return e.ix }
 
 // RawBytes is the total uncompressed text ingested (incl. newlines).
 func (e *Engine) RawBytes() uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.rawBytes
 }
 
 // CompressedBytes is the total compressed volume in data pages.
 func (e *Engine) CompressedBytes() uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.compBytes
 }
 
 // Lines is the ingested line count.
 func (e *Engine) Lines() uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.lineCount
 }
 
 // DataPages is the number of data pages written.
 func (e *Engine) DataPages() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return len(e.dataPages)
 }
 
 // CompressionRatio is raw/compressed over all ingested data.
 func (e *Engine) CompressionRatio() float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if e.compBytes == 0 {
 		return 0
 	}
@@ -187,8 +220,8 @@ func (e *Engine) CompressionRatio() float64 {
 // IndexMemoryFootprint reports the inverted index's resident bytes under
 // the engine lock (the index itself is single-writer).
 func (e *Engine) IndexMemoryFootprint() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.ix.MemoryFootprint()
 }
 
@@ -235,6 +268,13 @@ func (e *Engine) flushLocked() error {
 	}
 	if err := e.ix.Flush(); err != nil {
 		return err
+	}
+	// Flush is the visibility boundary for queries, so it is also the cache
+	// coherence point: drop every cached decompressed page. Data pages are
+	// append-only, so this is conservative, but it guarantees no query ever
+	// observes a stale page even if storage is rewritten (repair, Restore).
+	if e.cache != nil {
+		e.cache.InvalidateAll()
 	}
 	e.met.flushes.Inc()
 	e.met.indexMemoryBytes.Set(float64(e.ix.MemoryFootprint()))
@@ -385,13 +425,15 @@ func (e *Engine) Export(w io.Writer) (ExportResult, error) {
 		return res, err
 	}
 	start := time.Now()
+	st := e.getScanState()
+	defer e.putScanState(st)
 	var rawBuf []byte
 	for _, pid := range e.dataPages {
 		page, err := e.dev.View(storage.Internal, pid)
 		if err != nil {
 			return res, err
 		}
-		rawBuf, err = e.decoders[0].Decompress(rawBuf[:0], page)
+		rawBuf, err = st.decs[0].Decompress(rawBuf[:0], page)
 		if err != nil {
 			return res, err
 		}

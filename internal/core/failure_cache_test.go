@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"mithrilog/internal/filter"
+	"mithrilog/internal/loggen"
+	"mithrilog/internal/query"
+	"mithrilog/internal/storage"
+)
+
+// testPageCache is a minimal map-backed PageCache: enough to test the
+// engine's side of the cache contract without importing internal/sched
+// (which would cycle back into core).
+type testPageCache struct {
+	mu sync.Mutex
+	m  map[storage.PageID]*filter.TokenizedBlock
+}
+
+func newTestPageCache() *testPageCache {
+	return &testPageCache{m: make(map[storage.PageID]*filter.TokenizedBlock)}
+}
+
+func (c *testPageCache) Get(id storage.PageID) (*filter.TokenizedBlock, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tb, ok := c.m[id]
+	return tb, ok
+}
+
+func (c *testPageCache) Put(id storage.PageID, tb *filter.TokenizedBlock) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[id] = tb
+}
+
+func (c *testPageCache) InvalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[storage.PageID]*filter.TokenizedBlock)
+}
+
+// TestFaultyReadDoesNotPoisonCache is the regression test for device
+// faults racing concurrent cached scans: with a cold cache and a single
+// armed read fault, two concurrent full scans must surface the fault to
+// exactly the query whose read failed — the other completes with correct
+// results — and the cache must never retain data from the faulted read,
+// so a follow-up cache-served scan is also correct.
+func TestFaultyReadDoesNotPoisonCache(t *testing.T) {
+	ds := loggen.Generate(loggen.BGL2, 2000, 0)
+	cache := newTestPageCache()
+	e := NewEngine(Config{PageCache: cache})
+	if err := e.Ingest(ds.Lines); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	q := query.MustParse(`FATAL`)
+	want := 0
+	for _, l := range ds.Lines {
+		if q.Match(string(l)) {
+			want++
+		}
+	}
+	if want == 0 {
+		t.Fatal("query matches nothing; test would be vacuous")
+	}
+
+	e.Device().FailNextReads(1, errECC)
+	type outcome struct {
+		res SearchResult
+		err error
+	}
+	outcomes := make(chan outcome, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			res, err := e.Search(q, SearchOptions{NoIndex: true})
+			outcomes <- outcome{res, err}
+		}()
+	}
+	var failures, successes int
+	for i := 0; i < 2; i++ {
+		o := <-outcomes
+		switch {
+		case o.err == nil:
+			successes++
+			if o.res.Matches != want {
+				t.Errorf("concurrent survivor counted %d matches, want %d", o.res.Matches, want)
+			}
+		case errors.Is(o.err, errECC):
+			failures++
+		default:
+			t.Errorf("unexpected error: %v", o.err)
+		}
+	}
+	if failures != 1 || successes != 1 {
+		t.Fatalf("fault hit %d queries and %d succeeded; want exactly 1 and 1", failures, successes)
+	}
+
+	// The surviving scan visited every page, so the cache is now fully
+	// warm — and must hold only intact pages: a cache-served scan agrees.
+	res, err := e.Search(q, SearchOptions{NoIndex: true})
+	if err != nil {
+		t.Fatalf("post-fault cached search: %v", err)
+	}
+	if res.Matches != want {
+		t.Fatalf("cached search counted %d matches, want %d", res.Matches, want)
+	}
+	if res.CachedPages != res.CandidatePages {
+		t.Fatalf("expected a fully cache-served scan, got %d/%d pages cached",
+			res.CachedPages, res.CandidatePages)
+	}
+}

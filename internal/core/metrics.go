@@ -31,6 +31,7 @@ type engineMetrics struct {
 	searchQueries     *obs.CounterVec // path: accelerated | software
 	searchMatches     *obs.Counter
 	searchCandPages   *obs.Counter
+	searchCachedPages *obs.Counter
 	searchScannedRaw  *obs.Counter
 	searchReturned    *obs.Counter
 	searchStageSec    *obs.HistogramVec // stage: parse | plan | configure | scan
@@ -72,6 +73,8 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 			"Lines matched across all queries."),
 		searchCandPages: reg.Counter("mithrilog_search_candidate_pages_total",
 			"Candidate data pages streamed through the filter, after index pruning."),
+		searchCachedPages: reg.Counter("mithrilog_search_cached_pages_total",
+			"Candidate pages served from the decompressed-page cache (no flash read, no decompression)."),
 		searchScannedRaw: reg.Counter("mithrilog_search_scanned_raw_bytes_total",
 			"Decompressed bytes that crossed the filter engines."),
 		searchReturned: reg.Counter("mithrilog_search_returned_bytes_total",
@@ -110,6 +113,7 @@ func (m *engineMetrics) recordSearch(res *SearchResult, sys hwsim.SystemConfig, 
 	m.searchQueries.WithLabelValues(path).Inc()
 	m.searchMatches.Add(float64(res.Matches))
 	m.searchCandPages.Add(float64(res.CandidatePages))
+	m.searchCachedPages.Add(float64(res.CachedPages))
 	m.searchScannedRaw.Add(float64(res.ScannedRawBytes))
 	m.searchReturned.Add(float64(res.ReturnedBytes))
 	m.searchSimSec.WithLabelValues("index").Add(res.IndexTime.Seconds())

@@ -36,9 +36,9 @@ func TestEngineMetrics(t *testing.T) {
 	if !res.Offloaded {
 		t.Fatal("expected offloaded query")
 	}
-	if len(res.PipelineCycles) != len(e.pipelines) || len(res.PipelineUtilization) != len(e.pipelines) {
+	if len(res.PipelineCycles) != e.cfg.System.Pipelines || len(res.PipelineUtilization) != e.cfg.System.Pipelines {
 		t.Fatalf("pipeline stats: %d cycles, %d utilization, want %d",
-			len(res.PipelineCycles), len(res.PipelineUtilization), len(e.pipelines))
+			len(res.PipelineCycles), len(res.PipelineUtilization), e.cfg.System.Pipelines)
 	}
 	for i, u := range res.PipelineUtilization {
 		if res.PipelineCycles[i] > 0 && (u <= 0 || u > 1) {

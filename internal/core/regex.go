@@ -41,16 +41,20 @@ func (e *Engine) SearchRegex(pattern string, collect bool) (RegexResult, error) 
 		return RegexResult{}, err
 	}
 	var res RegexResult
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	if len(e.pending) > 0 {
+		e.mu.RUnlock()
+		if err := e.Flush(); err != nil {
+			return res, err
+		}
+		e.mu.RLock()
+	}
+	defer e.mu.RUnlock()
 	if len(e.dataPages) == 0 && len(e.pending) == 0 {
 		return res, ErrNothingIngested
 	}
-	if len(e.pending) > 0 {
-		if err := e.flushLocked(); err != nil {
-			return res, err
-		}
-	}
+	st := e.getScanState()
+	defer e.putScanState(st)
 	start := time.Now()
 	buf := make([]byte, storage.PageSize)
 	var rawBuf []byte
@@ -59,7 +63,7 @@ func (e *Engine) SearchRegex(pattern string, collect bool) (RegexResult, error) 
 		if err := e.dev.Read(storage.External, pid, buf); err != nil {
 			return res, err
 		}
-		rawBuf, err = e.codec.Decompress(rawBuf[:0], buf)
+		rawBuf, err = st.decs[0].Decompress(rawBuf[:0], buf)
 		if err != nil {
 			return res, err
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"time"
 
@@ -21,10 +22,23 @@ type SearchOptions struct {
 	// From/To restrict the query to data pages between the snapshot
 	// boundaries enclosing the time range; zero values disable the bound.
 	From, To time.Time
+	// Ctx, when non-nil, cancels the query between page scans: a deadline
+	// or cancellation set by the scheduler (or an HTTP client hanging up)
+	// aborts the scan with the context's error instead of finishing the
+	// whole candidate set. Nil disables cancellation checks.
+	Ctx context.Context
 	// Trace, when non-nil, receives a span tree of the query's stages
 	// (index probe → configure → page scan) with per-stage attributes.
 	// Nil disables tracing at zero cost.
 	Trace *obs.Span
+}
+
+// ctxErr reports the context's error, tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // SearchResult reports a query execution with both functional output and
@@ -37,6 +51,10 @@ type SearchResult struct {
 
 	// TotalPages and CandidatePages describe index effectiveness.
 	TotalPages, CandidatePages int
+	// CachedPages is the number of candidate pages served from the
+	// decompressed-page cache (offloaded path only); those pages paid
+	// neither the internal-link flash read nor the decompression.
+	CachedPages int
 	// ScannedRawBytes is the decompressed volume that crossed the filter.
 	ScannedRawBytes uint64
 	// ScannedCompBytes is the compressed volume read over the internal link.
@@ -70,8 +88,15 @@ type SearchResult struct {
 	FilterTime time.Duration
 	// ReturnTime is the simulated time to move matching lines to the host.
 	ReturnTime time.Duration
+	// QueueTime is the simulated time this query spent waiting for the
+	// filter-pipeline complex while other in-flight queries held it. The
+	// engine itself always reports zero; the concurrent scheduler
+	// (internal/sched) fills it in from the hwsim arbiter and folds it
+	// into SimElapsed.
+	QueueTime time.Duration
 	// SimElapsed is the simulated end-to-end query time on the modeled
-	// platform: IndexTime + max(StreamTime, FilterTime) + ReturnTime.
+	// platform: IndexTime + max(StreamTime, FilterTime) + ReturnTime,
+	// plus QueueTime when the query ran through the scheduler.
 	SimElapsed time.Duration
 	// WallElapsed is the measured host wall-clock time of this simulation.
 	WallElapsed time.Duration
@@ -96,22 +121,28 @@ func (e *Engine) Search(q query.Query, opts SearchOptions) (SearchResult, error)
 	if err := q.Validate(); err != nil {
 		return res, err
 	}
-	// Queries serialize on the accelerator: the pipelines hold one compiled
-	// query configuration at a time (concurrent queries batch with OR, §4).
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if len(e.dataPages) == 0 && len(e.pending) == 0 {
-		return res, ErrNothingIngested
+	if err := ctxErr(opts.Ctx); err != nil {
+		return res, err
 	}
-	// Make buffered lines visible: real systems answer queries over data
-	// that has reached storage; we flush for simplicity and determinism.
+	// Queries share the device: they run concurrently under a read lock,
+	// each with its own pipeline set from the pool. Only a pending-line
+	// flush needs the write lock, so take it up front when required.
+	e.mu.RLock()
 	if len(e.pending) > 0 {
+		e.mu.RUnlock()
+		// Make buffered lines visible: real systems answer queries over
+		// data that has reached storage; we flush for determinism.
 		flushSpan := sp.StartChild("flush")
-		err := e.flushLocked()
+		err := e.Flush()
 		flushSpan.End()
 		if err != nil {
 			return res, err
 		}
+		e.mu.RLock()
+	}
+	defer e.mu.RUnlock()
+	if len(e.dataPages) == 0 && len(e.pending) == 0 {
+		return res, ErrNothingIngested
 	}
 	res.TotalPages = len(e.dataPages)
 
@@ -140,8 +171,10 @@ func (e *Engine) Search(q query.Query, opts SearchOptions) (SearchResult, error)
 	// software evaluation.
 	confStart := time.Now()
 	confSpan := sp.StartChild("configure")
+	st := e.getScanState()
+	defer e.putScanState(st)
 	offloaded := true
-	for _, p := range e.pipelines {
+	for _, p := range st.pipes {
 		if err := p.Configure(q); err != nil {
 			offloaded = false
 			confSpan.SetAttr("fallbackReason", err.Error())
@@ -156,9 +189,9 @@ func (e *Engine) Search(q query.Query, opts SearchOptions) (SearchResult, error)
 	scanStart := time.Now()
 	scanSpan := sp.StartChild("page scan")
 	if offloaded {
-		err = e.searchAccelerated(q, candidates, opts, &res)
+		err = e.searchAccelerated(st, candidates, opts, &res)
 	} else {
-		err = e.searchSoftware(q, candidates, opts, &res)
+		err = e.searchSoftware(st, q, candidates, opts, &res)
 	}
 	if err != nil {
 		scanSpan.End()
@@ -321,14 +354,20 @@ func intersect2Pages(a, b []storage.PageID) []storage.PageID {
 
 // searchAccelerated streams candidate pages through the near-storage
 // pipelines: pages are striped across pipelines, each page crossing the
-// internal link, decompressed, and filtered in place.
-func (e *Engine) searchAccelerated(q query.Query, candidates []storage.PageID, opts SearchOptions, res *SearchResult) error {
-	nPipes := len(e.pipelines)
+// internal link, decompressed, and filtered in place. Pages resident in
+// the decompressed-page cache skip the flash read, the decompression, and
+// the tokenization — the cache holds the tokenizer stage's output, so a
+// hit re-enters the pipeline at the hash filters. A cache miss decodes
+// and tokenizes into fresh buffers that the cache takes over, so
+// concurrent queries can share them.
+func (e *Engine) searchAccelerated(st *scanState, candidates []storage.PageID, opts SearchOptions, res *SearchResult) error {
+	nPipes := len(st.pipes)
 	type pageOut struct {
 		matches  int
 		kept     [][]byte
 		raw      uint64
 		retBytes uint64
+		cached   bool
 	}
 	outs := make([]pageOut, len(candidates))
 	var wg sync.WaitGroup
@@ -337,30 +376,70 @@ func (e *Engine) searchAccelerated(q query.Query, candidates []storage.PageID, o
 		wg.Add(1)
 		go func(pi int) {
 			defer wg.Done()
-			pipe := e.pipelines[pi]
-			dec := e.decoders[pi]
+			pipe := st.pipes[pi]
+			dec := st.decs[pi]
 			pipe.ResetStats()
 			dec.ResetStats()
 			var rawBuf []byte
 			for ci := pi; ci < len(candidates); ci += nPipes {
-				page, err := e.dev.View(storage.Internal, candidates[ci])
-				if err != nil {
-					errCh <- err
-					return
-				}
-				rawBuf, err = dec.Decompress(rawBuf[:0], page)
-				if err != nil {
-					errCh <- err
-					return
-				}
-				kept, err := pipe.FilterBlock(rawBuf)
-				if err != nil {
+				if err := ctxErr(opts.Ctx); err != nil {
 					errCh <- err
 					return
 				}
 				out := &outs[ci]
+				var kept [][]byte
+				var rawLen int
+				if e.cache == nil {
+					// Uncached engine: stream-decompress into the reusable
+					// per-worker buffer and filter in place.
+					page, err := e.dev.View(storage.Internal, candidates[ci])
+					if err != nil {
+						errCh <- err
+						return
+					}
+					rawBuf, err = dec.Decompress(rawBuf[:0], page)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					kept, err = pipe.FilterBlock(rawBuf)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					rawLen = len(rawBuf)
+				} else {
+					tb, ok := e.cache.Get(candidates[ci])
+					if ok {
+						out.cached = true
+					} else {
+						page, err := e.dev.View(storage.Internal, candidates[ci])
+						if err != nil {
+							errCh <- err
+							return
+						}
+						// Decode into a fresh buffer the cache will own;
+						// the fault above already returned, so only intact
+						// pages ever enter the cache — tokenized, so hits
+						// re-enter the pipeline at the hash filters.
+						fresh, err := dec.Decompress(nil, page)
+						if err != nil {
+							errCh <- err
+							return
+						}
+						tb = pipe.Tokenize(fresh)
+						e.cache.Put(candidates[ci], tb)
+					}
+					var err error
+					kept, err = pipe.FilterTokenized(tb)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					rawLen = len(tb.Block)
+				}
 				out.matches = len(kept)
-				out.raw = uint64(len(rawBuf))
+				out.raw = uint64(rawLen)
 				for _, l := range kept {
 					out.retBytes += uint64(len(l) + 1)
 					if opts.CollectLines {
@@ -382,20 +461,24 @@ func (e *Engine) searchAccelerated(q query.Query, candidates []storage.PageID, o
 		res.Matches += o.matches
 		res.ScannedRawBytes += o.raw
 		res.ReturnedBytes += o.retBytes
+		if o.cached {
+			res.CachedPages++
+		}
 		if opts.CollectLines {
 			res.Lines = append(res.Lines, o.kept...)
 		}
 	}
-	res.ScannedCompBytes = uint64(len(candidates)) * storage.PageSize
+	// Only cache misses cross the internal link as compressed pages.
+	res.ScannedCompBytes = uint64(len(candidates)-res.CachedPages) * storage.PageSize
 	var maxCycles uint64
-	res.PipelineCycles = make([]uint64, len(e.pipelines))
-	res.PipelineUtilization = make([]float64, len(e.pipelines))
-	for i, p := range e.pipelines {
-		st := p.Stats()
-		res.PipelineCycles[i] = st.Cycles
-		res.PipelineUtilization[i] = st.Utilization()
-		if st.Cycles > maxCycles {
-			maxCycles = st.Cycles
+	res.PipelineCycles = make([]uint64, nPipes)
+	res.PipelineUtilization = make([]float64, nPipes)
+	for i, p := range st.pipes {
+		pst := p.Stats()
+		res.PipelineCycles[i] = pst.Cycles
+		res.PipelineUtilization[i] = pst.Utilization()
+		if pst.Cycles > maxCycles {
+			maxCycles = pst.Cycles
 		}
 	}
 	res.MaxPipelineCycles = maxCycles
@@ -404,16 +487,20 @@ func (e *Engine) searchAccelerated(q query.Query, candidates []storage.PageID, o
 
 // searchSoftware is the host-side fallback when the accelerator cannot be
 // configured: pages cross the external link and the host evaluates the
-// reference matcher.
-func (e *Engine) searchSoftware(q query.Query, candidates []storage.PageID, opts SearchOptions, res *SearchResult) error {
+// reference matcher. The decompressed-page cache is device-side DRAM, so
+// this path never consults it.
+func (e *Engine) searchSoftware(st *scanState, q query.Query, candidates []storage.PageID, opts SearchOptions, res *SearchResult) error {
 	var rawBuf []byte
 	buf := make([]byte, storage.PageSize)
 	for _, pid := range candidates {
+		if err := ctxErr(opts.Ctx); err != nil {
+			return err
+		}
 		if err := e.dev.Read(storage.External, pid, buf); err != nil {
 			return err
 		}
 		var err error
-		rawBuf, err = e.codec.Decompress(rawBuf[:0], buf)
+		rawBuf, err = st.decs[0].Decompress(rawBuf[:0], buf)
 		if err != nil {
 			return err
 		}

@@ -112,13 +112,15 @@ func (t *Tagger) Run(collectTags bool) (TagResult, error) {
 	var tags [][]int
 	var simTotal time.Duration
 	masks := make([]filter.SetMask, 0, 4096)
+	scan := e.getScanState()
+	defer e.putScanState(scan)
 	for gi, group := range t.groups {
-		pipe := e.pipelines[0]
+		pipe := scan.pipes[0]
 		if err := pipe.Configure(group); err != nil {
 			return res, fmt.Errorf("core: tagging pass %d: %w", gi, err)
 		}
 		pipe.ResetStats()
-		dec := e.decoders[0]
+		dec := scan.decs[0]
 		var rawBuf []byte
 		lineNo := 0
 		for _, pid := range e.dataPages {
@@ -160,7 +162,7 @@ func (t *Tagger) Run(collectTags bool) (TagResult, error) {
 		// bandwidth, bounded below by the pipelines' cycle time (the one
 		// functional pipeline's work divides across the hardware's four).
 		st := pipe.Stats()
-		perPipeCycles := st.Cycles / uint64(len(e.pipelines))
+		perPipeCycles := st.Cycles / uint64(len(scan.pipes))
 		filterTime := time.Duration(float64(perPipeCycles) / e.cfg.System.ClockHz * float64(time.Second))
 		stream := e.dev.TransferTime(storage.Internal, e.compBytes)
 		if filterTime > stream {

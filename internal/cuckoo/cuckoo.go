@@ -120,6 +120,20 @@ type Table struct {
 	// overflowUsed counts 16-byte overflow words consumed by long tokens.
 	overflowUsed int
 	occupied     int
+	// lenMask has bit min(len,63) set for every stored token length: a
+	// pure software fast path letting lookups reject tokens of absent
+	// lengths before hashing. The modeled hardware probes its dual-ported
+	// Block RAM in one cycle either way, so this changes no lookup result
+	// and no cycle account — only host wall-clock cost.
+	lenMask uint64
+}
+
+// lenBit maps a token length to its lenMask bit; lengths ≥63 share one.
+func lenBit(n int) uint64 {
+	if n > 63 {
+		n = 63
+	}
+	return 1 << uint(n)
 }
 
 // New creates an empty table.
@@ -204,6 +218,7 @@ func (t *Table) Insert(tok string, pairs []FlagPair) error {
 	}
 	t.overflowUsed += need
 	t.occupied++
+	t.lenMask |= lenBit(len(tok))
 	return nil
 }
 
@@ -259,6 +274,9 @@ func (t *Table) place(e Entry) error {
 
 // find locates a token's row.
 func (t *Table) find(tok string) (int, bool) {
+	if t.lenMask&lenBit(len(tok)) == 0 {
+		return 0, false
+	}
 	h1 := t.hash1(tok)
 	if e := &t.entries[h1]; e.used && e.token == tok {
 		return h1, true
@@ -284,6 +302,9 @@ func (t *Table) Lookup(tok string) (row int, pairs []FlagPair, ok bool) {
 // LookupBytes is Lookup over a byte slice without forcing the caller to
 // allocate a string (the common case in the word-stream filter).
 func (t *Table) LookupBytes(tok []byte) (row int, pairs []FlagPair, ok bool) {
+	if t.lenMask&lenBit(len(tok)) == 0 {
+		return 0, nil, false
+	}
 	h1 := t.hashBytes1(tok)
 	if e := &t.entries[h1]; e.used && e.token == string(tok) {
 		return h1, e.pairs, true

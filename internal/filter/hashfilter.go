@@ -41,7 +41,6 @@ type HashFilter struct {
 	active   int // number of intersection sets actually used by the query
 
 	tokBuf []byte
-	tokCol uint16
 
 	words uint64 // datapath words consumed (== busy cycles)
 	lines uint64

@@ -43,13 +43,20 @@ func (h *HashFilter) decideMask() SetMask {
 // a line it returns lineDone=true and the per-set match mask.
 func (h *HashFilter) FeedTagged(w tokenizer.Word) (lineDone bool, mask SetMask) {
 	h.words++
-	h.tokBuf = append(h.tokBuf, w.Bytes()...)
-	h.tokCol = w.Column
 	if w.LastOfToken {
-		if len(h.tokBuf) > 0 {
-			h.evalToken(h.tokBuf, h.tokCol)
+		// Single-word tokens (the common case) evaluate straight from the
+		// word's data; only multi-word tokens pay the reassembly copy.
+		if len(h.tokBuf) == 0 {
+			if w.Len > 0 {
+				h.evalToken(w.Data[:w.Len], w.Column)
+			}
+		} else {
+			h.tokBuf = append(h.tokBuf, w.Bytes()...)
+			h.evalToken(h.tokBuf, w.Column)
+			h.tokBuf = h.tokBuf[:0]
 		}
-		h.tokBuf = h.tokBuf[:0]
+	} else {
+		h.tokBuf = append(h.tokBuf, w.Bytes()...)
 	}
 	if w.LastOfLine {
 		mask = h.decideMask()

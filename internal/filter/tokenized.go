@@ -1,0 +1,110 @@
+package filter
+
+import (
+	"bytes"
+	"fmt"
+
+	"mithrilog/internal/tokenizer"
+)
+
+// TokenizedBlock is a decompressed data page together with its
+// filter-ready token stream: the datapath words the tokenizer array
+// emitted for every line, plus per-line boundaries into both the word
+// stream and the text. It is the unit the decompressed-page cache stores
+// — in the hardware analog, device DRAM holding the tokenizer stage's
+// output — so a cached page re-enters the pipeline directly at the hash
+// filters, skipping the flash read, the LZAH decompression, the line
+// split, and the tokenization.
+//
+// Line i spans Block[start:LineByteEnd[i]] (newline excluded) and
+// Words[wstart:LineWordEnd[i]], where start/wstart are the previous
+// line's ends (plus the newline byte for the text). A TokenizedBlock is
+// immutable once built and safe to share between concurrent queries.
+type TokenizedBlock struct {
+	// Block is the decompressed page text; kept lines alias it.
+	Block []byte
+	// Words is the concatenated datapath word stream of all lines, in
+	// line order.
+	Words []tokenizer.Word
+	// LineWordEnd[i] is the end index in Words of line i's words.
+	LineWordEnd []int32
+	// LineByteEnd[i] is the end offset in Block of line i's text.
+	LineByteEnd []int32
+}
+
+// wordMemBytes approximates the in-memory footprint of one datapath word
+// (16 data bytes plus framing fields and padding), used for the cache's
+// byte accounting.
+const wordMemBytes = 24
+
+// MemSize is the block's approximate resident footprint: the text, the
+// word stream, and the two boundary arrays. The page cache budgets
+// against this, so the token stream's ~3-4x amplification over raw text
+// is charged to the configured byte bound.
+func (tb *TokenizedBlock) MemSize() int64 {
+	return int64(len(tb.Block)) +
+		wordMemBytes*int64(len(tb.Words)) +
+		8*int64(len(tb.LineWordEnd))
+}
+
+// Lines reports the number of lines in the block.
+func (tb *TokenizedBlock) Lines() int { return len(tb.LineWordEnd) }
+
+// Tokenize runs the pipeline's tokenizer array over a newline-separated
+// text block (as emitted line-aligned by the decompressor, §5) and
+// records the word stream with per-line boundaries. The array's cycle
+// and useful-bit statistics accumulate exactly as in FilterBlock, so a
+// miss-path Tokenize followed by FilterTokenized is stat-identical to
+// FilterBlock over the same text.
+func (p *Pipeline) Tokenize(block []byte) *TokenizedBlock {
+	tb := &TokenizedBlock{Block: block}
+	rest := block
+	off := int32(0)
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		var line []byte
+		if nl < 0 {
+			line, rest = rest, nil
+		} else {
+			line, rest = rest[:nl], rest[nl+1:]
+		}
+		tb.Words = p.array.TokenizeLines(tb.Words, [][]byte{line})
+		off += int32(len(line))
+		tb.LineWordEnd = append(tb.LineWordEnd, int32(len(tb.Words)))
+		tb.LineByteEnd = append(tb.LineByteEnd, off)
+		off++ // the newline separator
+	}
+	return tb
+}
+
+// FilterTokenized evaluates a pre-tokenized block against the configured
+// query and returns the kept lines (aliasing tb.Block), exactly as
+// FilterBlock would for the same text: the same round-robin hash-filter
+// assignment, verdicts, and line/byte accounting. Only the tokenizer
+// array is bypassed — the words were produced when the block entered the
+// cache — so per-query work on a cached page is the hash-filter pass
+// alone.
+func (p *Pipeline) FilterTokenized(tb *TokenizedBlock) ([][]byte, error) {
+	if p.filters == nil {
+		return nil, fmt.Errorf("filter: pipeline not configured")
+	}
+	var kept [][]byte
+	var wordStart, byteStart int32
+	for i := range tb.LineWordEnd {
+		f := p.filters[i%len(p.filters)]
+		keep, err := f.FeedLine(tb.Words[wordStart:tb.LineWordEnd[i]])
+		if err != nil {
+			return nil, err
+		}
+		line := tb.Block[byteStart:tb.LineByteEnd[i]]
+		p.rawBytes += uint64(len(line))
+		p.lines++
+		if keep {
+			p.kept++
+			kept = append(kept, line)
+		}
+		wordStart = tb.LineWordEnd[i]
+		byteStart = tb.LineByteEnd[i] + 1
+	}
+	return kept, nil
+}

@@ -1,0 +1,61 @@
+package hwsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Arbiter models contention for the accelerator's filter-pipeline complex
+// when several queries are in flight. The hardware has one set of physical
+// pipelines; the prototype time-multiplexes them FIFO round-robin between
+// resident queries, so a query that would own the device for time t
+// instead observes t×k when k queries share it — processor sharing, the
+// standard first-order model for fair round-robin service. The functional
+// engines stay oblivious: each query still computes its isolated
+// device-busy time, and the scheduler folds the sharing penalty in as
+// SearchResult.QueueTime.
+//
+// The arbiter deliberately tracks only the number of resident queries, not
+// wall-clock interleavings: simulated time and host wall time advance at
+// unrelated rates, so any model mixing the two would be unsound. Counting
+// sharers at entry is exact for closed-loop benchmarks (a fixed set of
+// concurrent queries) and a fair upper bound for open arrivals.
+type Arbiter struct {
+	mu     sync.Mutex
+	active int
+}
+
+// Enter marks a query resident on the device and returns the number of
+// resident queries including this one.
+func (a *Arbiter) Enter() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.active++
+	return a.active
+}
+
+// Exit marks a query's device residency over.
+func (a *Arbiter) Exit() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.active--
+}
+
+// Active reports the number of currently resident queries.
+func (a *Arbiter) Active() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.active
+}
+
+// QueueTime converts a query's isolated device-busy time into the extra
+// simulated time it spends when sharers queries (including itself) hold
+// the pipeline complex: under processor sharing a busy time of t
+// stretches to t×sharers, so the queueing penalty is t×(sharers−1). A
+// sole occupant pays nothing.
+func QueueTime(busy time.Duration, sharers int) time.Duration {
+	if sharers <= 1 || busy <= 0 {
+		return 0
+	}
+	return busy * time.Duration(sharers-1)
+}

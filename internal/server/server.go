@@ -18,12 +18,20 @@
 // Every endpoint is instrumented: per-endpoint request counters (by
 // status code), latency histograms, and an in-flight gauge are registered
 // into the engine's metrics registry, so /metrics reports the HTTP layer
-// alongside the engine, storage, and accelerator series.
+// alongside the engine, storage, accelerator, scheduler, and page-cache
+// series.
+//
+// Search-shaped endpoints (/search, /trace, /grep) run through the
+// engine's admission-controlled scheduler: a full admission queue maps to
+// 429 Too Many Requests, an expired per-query deadline to 504 Gateway
+// Timeout, and a client hang-up cancels the scan between pages.
 package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -210,9 +218,25 @@ type searchResponse struct {
 	UsedIndex      bool     `json:"usedIndex"`
 	CandidatePages int      `json:"candidatePages"`
 	TotalPages     int      `json:"totalPages"`
+	CachedPages    int      `json:"cachedPages"`
 	SimElapsedNs   int64    `json:"simElapsedNs"`
+	QueueNs        int64    `json:"queueNs"`
 	WallElapsedNs  int64    `json:"wallElapsedNs"`
 	EffectiveGBps  float64  `json:"effectiveGBps"`
+}
+
+// searchStatus maps a search error to its HTTP status: admission
+// rejections are backpressure (429), deadline expiries are timeouts
+// (504), everything else is a caller error.
+func searchStatus(err error) int {
+	switch {
+	case errors.Is(err, mithrilog.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 // searchParams parses the query parameters shared by /search and /trace.
@@ -234,6 +258,8 @@ func searchParams(w http.ResponseWriter, r *http.Request) (expr string, limit in
 	}
 	opts.CollectLines = limit > 0
 	opts.NoIndex = r.FormValue("noindex") == "1"
+	// A hung-up client cancels the scan between pages.
+	opts.Context = r.Context()
 	for name, dst := range map[string]*time.Time{"from": &opts.From, "to": &opts.To} {
 		if v := r.FormValue(name); v != "" {
 			parsed, err := time.Parse(time.RFC3339, v)
@@ -259,7 +285,9 @@ func toSearchResponse(res mithrilog.Result, limit int) searchResponse {
 		UsedIndex:      res.UsedIndex,
 		CandidatePages: res.CandidatePages,
 		TotalPages:     res.TotalPages,
+		CachedPages:    res.CachedPages,
 		SimElapsedNs:   res.SimElapsed.Nanoseconds(),
+		QueueNs:        res.Breakdown.Queue.Nanoseconds(),
 		WallElapsedNs:  res.WallElapsed.Nanoseconds(),
 		EffectiveGBps:  res.EffectiveGBps,
 	}
@@ -272,7 +300,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.eng.Search(expr, opts)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "search: %v", err)
+		writeErr(w, searchStatus(err), "search: %v", err)
 		return
 	}
 	s.queries.Add(1)
@@ -293,7 +321,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	res, trace, err := s.eng.TraceSearch(expr, opts)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "trace: %v", err)
+		writeErr(w, searchStatus(err), "trace: %v", err)
 		return
 	}
 	s.queries.Add(1)
@@ -318,9 +346,9 @@ func (s *Server) handleGrep(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	res, err := s.eng.SearchRegex(pattern, limit > 0)
+	res, err := s.eng.SearchRegexContext(r.Context(), pattern, limit > 0)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "grep: %v", err)
+		writeErr(w, searchStatus(err), "grep: %v", err)
 		return
 	}
 	s.queries.Add(1)

@@ -1,0 +1,88 @@
+package tokenizer
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTokenize asserts the hardware tokenizer model is total and
+// faithful on arbitrary byte strings: it never panics, and the emitted
+// datapath words reconstruct exactly the line's delimiter-split tokens —
+// same bytes, same order, same per-line columns — with well-formed
+// word framing (LastOfToken on final words only, LastOfLine on the final
+// word of the line, full-width non-final words).
+func FuzzTokenize(f *testing.F) {
+	f.Add([]byte("RAS KERNEL INFO instruction cache parity error corrected"))
+	f.Add([]byte(""))
+	f.Add([]byte("   \t  "))
+	f.Add([]byte("a"))
+	f.Add([]byte("one-token-longer-than-the-sixteen-byte-datapath-width"))
+	f.Add([]byte("x\x00y \xff\xfe binary\tbytes"))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		// The tokenizer receives single lines; embedded newlines are
+		// ordinary bytes to it, but the reference split below treats only
+		// space/tab as delimiters, matching isDelimiter.
+		tk := New(0)
+		words := tk.TokenizeLine(nil, line)
+		if len(words) == 0 {
+			t.Fatalf("no words emitted for %q", line)
+		}
+		if !words[len(words)-1].LastOfLine {
+			t.Fatalf("final word lacks LastOfLine for %q", line)
+		}
+		for i, w := range words[:len(words)-1] {
+			if w.LastOfLine {
+				t.Fatalf("word %d of %d carries LastOfLine early for %q", i, len(words), line)
+			}
+		}
+
+		// Reassemble tokens from the word stream.
+		var tokens [][]byte
+		var cols []uint16
+		var cur []byte
+		for i, w := range words {
+			if int(w.Len) > WordSize {
+				t.Fatalf("word %d length %d exceeds datapath width", i, w.Len)
+			}
+			if !w.LastOfToken && int(w.Len) != WordSize {
+				t.Fatalf("non-final word %d of a token is not full width (%d)", i, w.Len)
+			}
+			cur = append(cur, w.Bytes()...)
+			if w.LastOfToken {
+				if len(cur) > 0 {
+					tokens = append(tokens, cur)
+					cols = append(cols, w.Column)
+				}
+				cur = nil
+			}
+		}
+		if len(cur) != 0 {
+			t.Fatalf("trailing token bytes without LastOfToken for %q", line)
+		}
+
+		// The reconstructed tokens must equal the reference tokenization.
+		want := splitReference(line)
+		if len(tokens) != len(want) {
+			t.Fatalf("token count %d != reference %d for %q (got %q, want %q)",
+				len(tokens), len(want), line, tokens, want)
+		}
+		for i := range tokens {
+			if !bytes.Equal(tokens[i], want[i]) {
+				t.Fatalf("token %d = %q, want %q (line %q)", i, tokens[i], want[i], line)
+			}
+			if cols[i] != uint16(i) {
+				t.Fatalf("token %d carries column %d (line %q)", i, cols[i], line)
+			}
+		}
+		if st := tk.Stats(); st.Tokens != uint64(len(want)) || st.Lines != 1 {
+			t.Fatalf("stats report %d tokens / %d lines, want %d / 1",
+				st.Tokens, st.Lines, len(want))
+		}
+	})
+}
+
+// splitReference is the specification tokenization: maximal runs of
+// non-delimiter bytes, delimiters being space and tab.
+func splitReference(line []byte) [][]byte {
+	return bytes.FieldsFunc(line, func(r rune) bool { return r == ' ' || r == '\t' })
+}

@@ -22,6 +22,7 @@ package mithrilog
 
 import (
 	"bufio"
+	"context"
 	"io"
 	"net/http"
 	"time"
@@ -34,8 +35,14 @@ import (
 	"mithrilog/internal/lzah"
 	"mithrilog/internal/obs"
 	"mithrilog/internal/query"
+	"mithrilog/internal/sched"
 	"mithrilog/internal/storage"
 )
+
+// ErrQueueFull reports a query rejected at admission: the concurrency
+// limit was reached and the wait queue was already full. It signals
+// backpressure (retry later), not a bad query.
+var ErrQueueFull = sched.ErrQueueFull
 
 // Config selects the engine's hardware model and index geometry. The zero
 // value reproduces the paper's prototype: four 16-byte pipelines at
@@ -57,6 +64,25 @@ type Config struct {
 	// InternalBandwidth / ExternalBandwidth override the simulated device
 	// links, in bytes per second (defaults 4.8e9 / 3.1e9).
 	InternalBandwidth, ExternalBandwidth float64
+
+	// MaxInFlight bounds the queries executing concurrently; further
+	// arrivals wait in a bounded queue (default 8).
+	MaxInFlight int
+	// QueueDepth bounds the queries waiting for an execution slot beyond
+	// MaxInFlight; arrivals past the bound fail fast with ErrQueueFull
+	// (default 64).
+	QueueDepth int
+	// QueryTimeout is the per-query deadline, covering queue wait and
+	// execution; a timed-out query aborts between page scans with
+	// context.DeadlineExceeded. Zero disables it.
+	QueryTimeout time.Duration
+	// CacheBytes sizes the decompressed-page cache: accelerator-side DRAM
+	// holding decompressed data pages with their tokenized word streams,
+	// shared across queries, so repeated scans of hot pages skip the flash
+	// read, the LZAH decompression, and the tokenization (e.g. 64 << 20
+	// for 64 MiB; the token stream's ~3-4x amplification over raw text
+	// counts against the bound). Zero disables caching.
+	CacheBytes int64
 }
 
 func (c Config) toCore() core.Config {
@@ -79,14 +105,49 @@ func (c Config) toCore() core.Config {
 }
 
 // Engine is a MithriLog instance: simulated near-storage device, index,
-// and accelerator pipelines.
+// and accelerator pipelines, fronted by a concurrent query scheduler with
+// a shared decompressed-page cache.
 type Engine struct {
 	inner *core.Engine
+	sched *sched.Scheduler
+	cache *sched.PageCache
 }
 
 // Open creates an empty engine.
 func Open(cfg Config) *Engine {
-	return &Engine{inner: core.NewEngine(cfg.toCore())}
+	e, _ := wrap(cfg, func(c core.Config) (*core.Engine, error) {
+		return core.NewEngine(c), nil
+	})
+	return e
+}
+
+// wrap assembles the facade around a core engine built by mk: the
+// decompressed-page cache is created first (the core config carries it),
+// then the scheduler and cache metrics attach to the built engine.
+func wrap(cfg Config, mk func(core.Config) (*core.Engine, error)) (*Engine, error) {
+	ccfg := cfg.toCore()
+	var cache *sched.PageCache
+	if cfg.CacheBytes > 0 {
+		cache = sched.NewPageCache(cfg.CacheBytes)
+		ccfg.PageCache = cache
+	}
+	inner, err := mk(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		inner: inner,
+		cache: cache,
+		sched: sched.New(inner, sched.Config{
+			MaxInFlight: cfg.MaxInFlight,
+			QueueDepth:  cfg.QueueDepth,
+			Timeout:     cfg.QueryTimeout,
+		}),
+	}
+	if cache != nil {
+		cache.RegisterMetrics(inner.Obs())
+	}
+	return e, nil
 }
 
 // IngestLines appends log lines (strings without trailing newlines).
@@ -141,6 +202,10 @@ type SearchOptions struct {
 	NoIndex bool
 	// From/To restrict the search to the snapshot-bounded time range.
 	From, To time.Time
+	// Context, when non-nil, cancels the query between page scans (e.g.
+	// an HTTP client hanging up). The scheduler layers the configured
+	// QueryTimeout on top. Nil means no caller-side cancellation.
+	Context context.Context
 }
 
 // Result reports a search: functional output plus simulated timing.
@@ -156,7 +221,12 @@ type Result struct {
 	UsedIndex bool
 	// CandidatePages / TotalPages describe index selectivity.
 	CandidatePages, TotalPages int
-	// SimElapsed is the simulated query time on the modeled platform.
+	// CachedPages counts candidate pages served from the decompressed-page
+	// cache, paying neither the flash read nor the decompression.
+	CachedPages int
+	// SimElapsed is the simulated query time on the modeled platform,
+	// including time queued behind other in-flight queries for the filter
+	// pipelines.
 	SimElapsed time.Duration
 	// Breakdown decomposes SimElapsed into its simulated components.
 	Breakdown TimingBreakdown
@@ -168,9 +238,10 @@ type Result struct {
 
 // TimingBreakdown decomposes a simulated query time: index traversal,
 // page streaming, filter compute (overlapping the stream; the slower
-// binds), and host return traffic.
+// binds), host return traffic, and — when other queries were in flight —
+// the time spent queued for the shared filter pipelines.
 type TimingBreakdown struct {
-	Index, Stream, Filter, Return time.Duration
+	Index, Stream, Filter, Return, Queue time.Duration
 }
 
 // Search parses and executes a boolean token query. The query language
@@ -218,7 +289,7 @@ func (e *Engine) SearchQuery(q Query, opts SearchOptions) (Result, error) {
 }
 
 func (e *Engine) run(q query.Query, opts SearchOptions, trace *obs.Span) (Result, error) {
-	res, err := e.inner.Search(q, core.SearchOptions{
+	res, err := e.sched.Search(opts.Context, q, core.SearchOptions{
 		NoIndex:      opts.NoIndex,
 		CollectLines: opts.CollectLines,
 		From:         opts.From,
@@ -234,12 +305,14 @@ func (e *Engine) run(q query.Query, opts SearchOptions, trace *obs.Span) (Result
 		UsedIndex:      res.UsedIndex,
 		CandidatePages: res.CandidatePages,
 		TotalPages:     res.TotalPages,
+		CachedPages:    res.CachedPages,
 		SimElapsed:     res.SimElapsed,
 		Breakdown: TimingBreakdown{
 			Index:  res.IndexTime,
 			Stream: res.StreamTime,
 			Filter: res.FilterTime,
 			Return: res.ReturnTime,
+			Queue:  res.QueueTime,
 		},
 		WallElapsed:   res.WallElapsed,
 		EffectiveGBps: res.EffectiveThroughput(e.inner.RawBytes()) / 1e9,
@@ -310,7 +383,14 @@ type RegexResult struct {
 // escapes, grouping, alternation, *, +, ?, and ^/$ anchors). Regex
 // queries cannot use the inverted index, so this is always a full scan.
 func (e *Engine) SearchRegex(pattern string, collectLines bool) (RegexResult, error) {
-	res, err := e.inner.SearchRegex(pattern, collectLines)
+	return e.SearchRegexContext(nil, pattern, collectLines)
+}
+
+// SearchRegexContext is SearchRegex under a caller context: the scan still
+// runs through the scheduler's admission control, and ctx (plus the
+// configured QueryTimeout) bounds the time spent waiting for a slot.
+func (e *Engine) SearchRegexContext(ctx context.Context, pattern string, collectLines bool) (RegexResult, error) {
+	res, err := e.sched.SearchRegex(ctx, pattern, collectLines)
 	if err != nil {
 		return RegexResult{}, err
 	}

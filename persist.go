@@ -13,14 +13,12 @@ import (
 func (e *Engine) Save(w io.Writer) error { return e.inner.Save(w) }
 
 // Load reconstructs an engine previously written with Save. cfg supplies
-// the hardware model (pipelines, bandwidths); the index geometry comes
-// from the file.
+// the hardware model (pipelines, bandwidths) and the scheduler/cache
+// settings; the index geometry comes from the file.
 func Load(cfg Config, r io.Reader) (*Engine, error) {
-	inner, err := core.LoadEngine(cfg.toCore(), r)
-	if err != nil {
-		return nil, err
-	}
-	return &Engine{inner: inner}, nil
+	return wrap(cfg, func(c core.Config) (*core.Engine, error) {
+		return core.LoadEngine(c, r)
+	})
 }
 
 // Export streams the whole store's decompressed text to w — the paper's

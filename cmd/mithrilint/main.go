@@ -1,0 +1,70 @@
+// Command mithrilint runs MithriLog's project-invariant analyzer suite
+// (internal/lint) over the module:
+//
+//	go run ./cmd/mithrilint ./...          # whole module (CI does this)
+//	go run ./cmd/mithrilint -only lockorder ./internal/storage/...
+//	go run ./cmd/mithrilint -list
+//
+// Output is one finding per line in the usual file:line:col form, and the
+// exit status is 1 when anything was found. The suite is self-contained
+// (stdlib only), so the driver needs no tool installation — it cannot be
+// plugged into `go vet -vettool` (that protocol needs the unitchecker
+// wiring from golang.org/x/tools, a dependency this repository does not
+// carry), which is why CI runs the command directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mithrilog/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	dir := flag.String("C", ".", "module directory to analyze")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mithrilint [-list] [-only a,b] [-C dir] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.AnalyzerByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "mithrilint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	loader := lint.NewLoader(*dir)
+	pkgs, prog, err := loader.LoadModule(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mithrilint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(prog, pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mithrilint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mithrilog/internal/cuckoo"
+	"mithrilog/internal/hwsim"
 	"mithrilog/internal/query"
 	"mithrilog/internal/tokenizer"
 )
@@ -206,14 +207,8 @@ func (p *Pipeline) Stats() PipelineStats {
 	// Decompressor emits WordSize bytes of raw text per cycle; the
 	// tokenizer array advances at its occupancy; each hash filter consumes
 	// one word per cycle. The pipeline runs at the slowest stage.
-	decomp := (p.rawBytes + tokenizer.WordSize - 1) / tokenizer.WordSize
-	st.Cycles = decomp
-	if ts.Cycles > st.Cycles {
-		st.Cycles = ts.Cycles
-	}
-	if maxFilter > st.Cycles {
-		st.Cycles = maxFilter
-	}
+	decomp := hwsim.CyclesForBytes(p.rawBytes, tokenizer.WordSize)
+	st.Cycles = hwsim.BottleneckCycles(decomp, ts.Cycles, maxFilter)
 	return st
 }
 

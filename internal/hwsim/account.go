@@ -1,0 +1,50 @@
+package hwsim
+
+// This file is the cycle-accounting API. The functional engines (tokenizer
+// array, filter pipeline, LZAH decoder model) do not do cycle arithmetic
+// themselves: they describe their datapath activity through these helpers,
+// so every busy-cycle figure that reaches the §7 throughput derivations
+// (Figs. 13/14) comes from one place. The `cycleaccount` analyzer in
+// internal/lint enforces this: outside this package, cycle-counter fields
+// may only be written from values produced here (see LINT.md).
+
+// AddCycles accumulates n busy cycles into a counter. It exists so that
+// counter mutation is an accounting operation rather than ad-hoc
+// arithmetic scattered across the engines.
+func AddCycles(counter *uint64, n uint64) {
+	*counter += n
+}
+
+// CyclesForBytes returns the cycles a datapath of the given width needs to
+// stream n bytes at one word per cycle: ceil(n / bytesPerCycle). A partial
+// trailing word still occupies a full cycle, which is how the hardware
+// behaves and why short lines waste datapath capacity (§7.4.1).
+func CyclesForBytes(n, bytesPerCycle uint64) uint64 {
+	if bytesPerCycle == 0 {
+		return 0
+	}
+	return (n + bytesPerCycle - 1) / bytesPerCycle
+}
+
+// BottleneckCycles returns the busy-cycle count of a pipeline whose stages
+// run in lockstep: the pipeline advances at the rate of its slowest stage,
+// so its occupancy is the maximum of the per-stage cycle counts (§4.1).
+func BottleneckCycles(stage uint64, stages ...uint64) uint64 {
+	max := stage
+	for _, s := range stages {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// SumCycles returns the total occupancy of phases that execute serially,
+// e.g. the round-robin turns of the tokenizer array.
+func SumCycles(phases ...uint64) uint64 {
+	var total uint64
+	for _, p := range phases {
+		total += p
+	}
+	return total
+}

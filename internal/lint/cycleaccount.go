@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CycleAccountAnalyzer enforces the invariant behind every throughput
+// figure the repository reports: busy-cycle counters are derived from one
+// datapath model. Packages other than internal/hwsim may not do cycle
+// arithmetic on counter fields directly — a counter field may only be
+// written from a value produced by hwsim's accounting API (AddCycles,
+// CyclesForBytes, BottleneckCycles, SumCycles), copied verbatim from
+// another counter, or reset to a constant. Increment/decrement and
+// compound assignment are always arithmetic and therefore always flagged.
+//
+// A "cycle counter field" is a struct field of unsigned integer type whose
+// name contains "cycles" or "latency" (case-insensitive): tokenizer.
+// Stats.Cycles, filter.PipelineStats.Cycles, tokenizer.Array.turnCycles,
+// and whatever the tree grows next.
+var CycleAccountAnalyzer = &Analyzer{
+	Name: "cycleaccount",
+	Doc: "cycle/latency counter fields are mutated only through " +
+		"internal/hwsim's accounting API, keeping Fig. 13/14 numbers " +
+		"derived from one datapath model",
+	Run: runCycleAccount,
+}
+
+const hwsimPath = "internal/hwsim"
+
+// isCycleCounterField reports whether the selector names a cycle-counter
+// field.
+func isCycleCounterField(info *types.Info, e ast.Expr) bool {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	field := fieldOf(info, sel)
+	if field == nil {
+		return false
+	}
+	name := strings.ToLower(field.Name())
+	if !strings.Contains(name, "cycles") && !strings.Contains(name, "latency") {
+		return false
+	}
+	basic, ok := field.Type().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Info()&types.IsUnsigned != 0
+}
+
+// blessedCycleSource reports whether an expression is an acceptable
+// right-hand side for a cycle-counter write: a constant, a plain read of a
+// variable or field (verbatim copy), a call into hwsim's accounting API,
+// or a conversion of one of those.
+func blessedCycleSource(info *types.Info, e ast.Expr) bool {
+	e = unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return true // compile-time constant (e.g. reset to 0)
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		return true // counts[i]-style read
+	case *ast.CallExpr:
+		if fn := calleeFunc(info, x); fn != nil && fn.Pkg() != nil {
+			return pkgPathHasSuffix(fn.Pkg().Path(), hwsimPath)
+		}
+		// Not a declared function: a type conversion is fine if its
+		// operand is; anything else (indirect call) is not accounting.
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return blessedCycleSource(info, x.Args[0])
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func runCycleAccount(pass *Pass) {
+	if pkgPathHasSuffix(pass.Pkg.Path, hwsimPath) {
+		return // hwsim is the accounting authority
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.IncDecStmt:
+				if isCycleCounterField(info, stmt.X) {
+					pass.Reportf(stmt.Pos(),
+						"direct increment of cycle counter %s outside internal/hwsim; use hwsim.AddCycles",
+						exprString(stmt.X))
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range stmt.Lhs {
+					if !isCycleCounterField(info, lhs) {
+						continue
+					}
+					if stmt.Tok != token.ASSIGN && stmt.Tok != token.DEFINE {
+						pass.Reportf(stmt.Pos(),
+							"compound assignment to cycle counter %s outside internal/hwsim; use hwsim.AddCycles",
+							exprString(lhs))
+						continue
+					}
+					if i < len(stmt.Rhs) && !blessedCycleSource(info, stmt.Rhs[i]) {
+						pass.Reportf(stmt.Pos(),
+							"cycle counter %s computed outside internal/hwsim's accounting API (hwsim.CyclesForBytes/BottleneckCycles/SumCycles)",
+							exprString(lhs))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// exprString renders a selector chain for diagnostics.
+func exprString(e ast.Expr) string {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,313 @@
+// Package lint is MithriLog's project-invariant analyzer suite. It mirrors
+// the shape of golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic
+// — but is built entirely on the standard library (go/parser + go/types
+// over `go list -deps -json` output), because this repository carries no
+// module dependencies. The suite encodes invariants that ordinary vet
+// checks cannot know about:
+//
+//	cycleaccount  cycle counters change only through hwsim's accounting API
+//	lockorder     the cross-package mutex-acquisition graph stays acyclic
+//	metricname    obs metrics: one registration site, valid name, constant labels
+//	ctxflow       no context.Background()/TODO() below the facade on hot paths
+//	errdrop       codec/device/index/cuckoo errors are never discarded
+//
+// See LINT.md at the repository root for the rationale behind each
+// invariant and the suppression syntax. The cmd/mithrilint driver runs the
+// suite over the module; analysistest.go runs single analyzers over the
+// fixture packages under testdata/src.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// mithrilint:ignore suppression comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Analyzers is the full suite, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		CycleAccountAnalyzer,
+		LockOrderAnalyzer,
+		MetricNameAnalyzer,
+		CtxFlowAnalyzer,
+		ErrDropAnalyzer,
+	}
+}
+
+// AnalyzerByName returns the named analyzer, or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer *Analyzer
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer.Name)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+	// Prog exposes every package loaded alongside this one, so
+	// whole-program analyses (lock graphs, metric registries) can build a
+	// global view while still reporting per-package.
+	Prog *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Program is a set of type-checked packages sharing a FileSet.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	memoMu sync.Mutex
+	memo   map[string]interface{}
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Standard marks GOROOT packages (loaded for type information only;
+	// analyzers never run over them).
+	Standard bool
+}
+
+// Memo builds a program-wide value once and caches it under key, so an
+// analyzer visited once per package can construct its global state (call
+// graphs, registries) a single time.
+func (prog *Program) Memo(key string, build func() interface{}) interface{} {
+	prog.memoMu.Lock()
+	defer prog.memoMu.Unlock()
+	if prog.memo == nil {
+		prog.memo = make(map[string]interface{})
+	}
+	if v, ok := prog.memo[key]; ok {
+		return v
+	}
+	v := build()
+	prog.memo[key] = v
+	return v
+}
+
+// Run applies the analyzers to the given packages (skipping GOROOT
+// packages), filters suppressed findings, and returns the remainder sorted
+// by position.
+func Run(prog *Program, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			if pkg.Standard {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Fset: prog.Fset, Pkg: pkg, Prog: prog, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	diags = filterSuppressed(prog, pkgs, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// IgnorePrefix is the suppression comment marker:
+//
+//	//mithrilint:ignore <analyzer> [reason...]
+//
+// on the flagged line or the line directly above it suppresses that
+// analyzer's findings there. The analyzer name "all" suppresses every
+// analyzer (use sparingly; LINT.md asks for a reason in the comment).
+const IgnorePrefix = "mithrilint:ignore"
+
+// suppressionsFor maps file -> line -> suppressed analyzer names.
+func suppressionsFor(prog *Program, pkgs []*Package) map[string]map[int]map[string]bool {
+	out := make(map[string]map[int]map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, IgnorePrefix) {
+						continue
+					}
+					fields := strings.Fields(strings.TrimPrefix(text, IgnorePrefix))
+					if len(fields) == 0 {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					file := out[pos.Filename]
+					if file == nil {
+						file = make(map[int]map[string]bool)
+						out[pos.Filename] = file
+					}
+					// The suppression covers its own line and the next, so
+					// it works both trailing a statement and on its own line
+					// above one.
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						if file[line] == nil {
+							file[line] = make(map[string]bool)
+						}
+						file[line][fields[0]] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func filterSuppressed(prog *Program, pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	sup := suppressionsFor(prog, pkgs)
+	out := diags[:0]
+	for _, d := range diags {
+		names := sup[d.Pos.Filename][d.Pos.Line]
+		if names[d.Analyzer.Name] || names["all"] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Shared type-inspection helpers.
+
+// pkgPathHasSuffix reports whether path equals suffix or ends in
+// "/"+suffix — how analyzers recognize role packages (e.g.
+// "internal/hwsim") in both the real module and test fixtures.
+func pkgPathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeFunc resolves a call to the declared function or method it
+// statically invokes, or nil (indirect calls, conversions, builtins).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// fieldOf resolves a selector expression to the struct field it names, or
+// nil when it is not a field selection.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+		return nil
+	}
+	// Qualified references (pkg.Var) land in Uses, not Selections.
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// lastResultIsError reports whether the call's function type returns an
+// error as its final result.
+func lastResultIsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	return isErrorType(res.At(res.Len() - 1).Type())
+}
+
+// constString returns the compile-time string value of an expression, if
+// it has one.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	if tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

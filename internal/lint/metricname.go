@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricNameAnalyzer guards the observability contract from PR 1
+// (OBSERVABILITY.md): every obs metric has a compile-time-constant name of
+// the form mithrilog_[a-z0-9_]+ with a kind-appropriate unit suffix
+// (counters end in _total; histograms in _seconds or _bytes), label sets
+// are compile-time constants, and each metric name has exactly one
+// registration site in the tree — obs.Registry is get-or-create at
+// runtime, so a second site would silently alias a family (or panic at
+// startup if the kinds differ) instead of failing review.
+var MetricNameAnalyzer = &Analyzer{
+	Name: "metricname",
+	Doc: "obs metrics are registered exactly once, with constant " +
+		"mithrilog_-prefixed names, unit suffixes, and constant label sets",
+	Run: runMetricName,
+}
+
+const obsPath = "internal/obs"
+
+var metricNameRE = regexp.MustCompile(`^mithrilog_[a-z0-9_]+$`)
+var labelNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// registryMethods maps obs.Registry registration methods to the metric
+// kind they create and the index of their first label-name argument (-1:
+// none; -2: a Labels map argument follows the help string).
+var registryMethods = map[string]struct {
+	kind      string
+	labelFrom int
+}{
+	"Counter":      {"counter", -1},
+	"CounterVec":   {"counter", 2},
+	"CounterFunc":  {"counter", -2},
+	"Gauge":        {"gauge", -1},
+	"GaugeVec":     {"gauge", 2},
+	"GaugeFunc":    {"gauge", -2},
+	"Histogram":    {"histogram", -1},
+	"HistogramVec": {"histogram", 3},
+}
+
+// metricSite is one static registration call.
+type metricSite struct {
+	name   string
+	kind   string
+	labels string // canonical label-name list
+	pos    ast.Node
+	pkg    string
+}
+
+// metricRegistry collects every registration site in the program.
+func buildMetricRegistry(prog *Program) map[string][]metricSite {
+	byName := make(map[string][]metricSite)
+	for _, pkg := range prog.Pkgs {
+		if pkg.Standard {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn, spec, ok := registryCall(pkg.Info, call)
+				if !ok {
+					return true
+				}
+				_ = fn
+				name, ok := constString(pkg.Info, call.Args[0])
+				if !ok {
+					return true // reported per-package, cannot be indexed
+				}
+				byName[name] = append(byName[name], metricSite{
+					name: name, kind: spec.kind,
+					labels: labelSignature(pkg.Info, call, spec.labelFrom),
+					pos:    call, pkg: pkg.Path,
+				})
+				return true
+			})
+		}
+	}
+	return byName
+}
+
+// registryCall matches a call to an obs.Registry registration method.
+func registryCall(info *types.Info, call *ast.CallExpr) (*types.Func, struct {
+	kind      string
+	labelFrom int
+}, bool) {
+	var zero struct {
+		kind      string
+		labelFrom int
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || !pkgPathHasSuffix(fn.Pkg().Path(), obsPath) {
+		return nil, zero, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, zero, false
+	}
+	recv := sig.Recv().Type()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return nil, zero, false
+	}
+	spec, ok := registryMethods[fn.Name()]
+	if !ok || len(call.Args) == 0 {
+		return nil, zero, false
+	}
+	return fn, spec, true
+}
+
+// labelSignature renders the constant label names of a registration, or
+// "!dynamic" when any of them is not a compile-time constant.
+func labelSignature(info *types.Info, call *ast.CallExpr, labelFrom int) string {
+	switch {
+	case labelFrom == -1:
+		return ""
+	case labelFrom == -2:
+		// Labels map argument (position 2): nil or a composite literal of
+		// constant keys.
+		if len(call.Args) < 3 {
+			return ""
+		}
+		arg := unparen(call.Args[2])
+		if id, ok := arg.(*ast.Ident); ok && id.Name == "nil" {
+			return ""
+		}
+		cl, ok := arg.(*ast.CompositeLit)
+		if !ok {
+			return "!dynamic"
+		}
+		var names []string
+		for _, elt := range cl.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				return "!dynamic"
+			}
+			k, ok := constString(info, kv.Key)
+			if !ok {
+				return "!dynamic"
+			}
+			names = append(names, k)
+		}
+		return strings.Join(names, ",")
+	default:
+		if len(call.Args) <= labelFrom {
+			return ""
+		}
+		var names []string
+		for _, arg := range call.Args[labelFrom:] {
+			n, ok := constString(info, arg)
+			if !ok {
+				return "!dynamic"
+			}
+			names = append(names, n)
+		}
+		return strings.Join(names, ",")
+	}
+}
+
+func runMetricName(pass *Pass) {
+	if pkgPathHasSuffix(pass.Pkg.Path, obsPath) {
+		return // the registry implementation itself is exempt
+	}
+	registry := pass.Prog.Memo("metricname", func() interface{} {
+		return buildMetricRegistry(pass.Prog)
+	}).(map[string][]metricSite)
+
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, spec, ok := registryCall(info, call)
+			if !ok {
+				return true
+			}
+			name, isConst := constString(info, call.Args[0])
+			if !isConst {
+				pass.Reportf(call.Pos(),
+					"metric name passed to %s must be a compile-time constant string", fn.Name())
+				return true
+			}
+			if !metricNameRE.MatchString(name) || strings.Contains(name, "__") || strings.HasSuffix(name, "_") {
+				pass.Reportf(call.Pos(),
+					"metric name %q does not match mithrilog_[a-z0-9_]+", name)
+			}
+			switch spec.kind {
+			case "counter":
+				if !strings.HasSuffix(name, "_total") {
+					pass.Reportf(call.Pos(),
+						"counter %q must carry the _total unit suffix", name)
+				}
+			case "histogram":
+				if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+					pass.Reportf(call.Pos(),
+						"histogram %q must carry a unit suffix (_seconds or _bytes)", name)
+				}
+			case "gauge":
+				if strings.HasSuffix(name, "_total") {
+					pass.Reportf(call.Pos(),
+						"gauge %q must not use the counter suffix _total", name)
+				}
+			}
+			sig := labelSignature(info, call, spec.labelFrom)
+			if sig == "!dynamic" {
+				pass.Reportf(call.Pos(),
+					"label set of metric %q must be compile-time constant", name)
+			} else {
+				for _, l := range strings.Split(sig, ",") {
+					if l != "" && !labelNameRE.MatchString(l) {
+						pass.Reportf(call.Pos(),
+							"label name %q of metric %q does not match [a-z][a-z0-9_]*", l, name)
+					}
+				}
+			}
+			// Exactly-once: another static site registering the same name.
+			for _, site := range registry[name] {
+				if site.pos.Pos() != call.Pos() {
+					pass.Reportf(call.Pos(),
+						"metric %q is also registered in %s: each metric must have exactly one registration site", name, site.pkg)
+					break
+				}
+			}
+			return true
+		})
+	}
+}

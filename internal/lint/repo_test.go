@@ -1,0 +1,29 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoInvariantsClean runs the whole suite over the real module, so
+// `go test ./...` fails on an invariant violation even where CI's
+// dedicated mithrilint stage is not wired up. It type-checks the entire
+// dependency graph (a few seconds), hence the -short skip.
+func TestRepoInvariantsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	dir, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("resolving module root: %v", err)
+	}
+	loader := NewLoader(dir)
+	pkgs, prog, err := loader.LoadModule("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := Run(prog, pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

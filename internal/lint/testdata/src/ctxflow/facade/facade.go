@@ -1,0 +1,10 @@
+// Package facade exercises the ctxflow analyzer's negative side: it is
+// not under an internal/ hot-path segment, so it may mint a fresh context
+// for callers that did not supply one.
+package facade
+
+import "context"
+
+func open() context.Context {
+	return context.Background() // the facade is the one layer allowed to do this
+}

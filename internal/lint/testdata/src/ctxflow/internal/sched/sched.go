@@ -1,0 +1,20 @@
+// Package sched exercises the ctxflow analyzer inside a hot-path package
+// (.../internal/sched): minting a context below the facade is a finding,
+// threading the caller's context is not.
+package sched
+
+import (
+	"context"
+	"time"
+)
+
+func run(ctx context.Context) error {
+	bg := context.Background() // want `context\.Background\(\) below the facade`
+	_ = bg
+	todo := context.TODO() // want `context\.TODO\(\) below the facade`
+	_ = todo
+	child, cancel := context.WithTimeout(ctx, time.Second) // threading the caller's context is fine
+	defer cancel()
+	<-child.Done()
+	return child.Err()
+}

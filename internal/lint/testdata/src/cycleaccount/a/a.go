@@ -1,0 +1,41 @@
+// Package a exercises the cycleaccount analyzer: cycle/latency counter
+// fields may only be written through internal/hwsim's accounting API,
+// copied verbatim, or reset to a constant.
+package a
+
+import "mithrilog/internal/hwsim"
+
+// Stats carries the counter fields the analyzer watches.
+type Stats struct {
+	Cycles       uint64
+	ScanLatency  uint64
+	Items        uint64
+	SignedCycles int64
+}
+
+func bad(s *Stats, n uint64) {
+	s.Cycles++             // want `direct increment of cycle counter s\.Cycles`
+	s.Cycles += n          // want `compound assignment to cycle counter s\.Cycles`
+	s.Cycles = n * 8       // want `cycle counter s\.Cycles computed outside internal/hwsim`
+	s.ScanLatency = div(n) // want `cycle counter s\.ScanLatency computed outside internal/hwsim`
+}
+
+func div(n uint64) uint64 { return n / 2 }
+
+func good(s, other *Stats, n uint64, perTurn []uint64) {
+	s.Cycles = 0                          // reset to a constant
+	s.Cycles = other.Cycles               // verbatim copy
+	s.Cycles = perTurn[0]                 // verbatim element read
+	s.Cycles = hwsim.CyclesForBytes(n, 8) // accounting API
+	s.Cycles = hwsim.BottleneckCycles(s.Cycles, other.Cycles)
+	s.ScanLatency = hwsim.SumCycles(s.Cycles, other.Cycles)
+	hwsim.AddCycles(&s.Cycles, n)
+	s.Items++        // not a cycle counter: name does not match
+	s.SignedCycles++ // not a cycle counter: signed type
+	derived := n * 8
+	s.Cycles = uint64(derived) // conversion of a plain read
+}
+
+func suppressed(s *Stats) {
+	s.Cycles++ //mithrilint:ignore cycleaccount fixture demonstrates suppression
+}

@@ -1,0 +1,32 @@
+// Package a exercises the errdrop analyzer: errors from the codecs, the
+// device, and the cuckoo table must not be discarded.
+package a
+
+import (
+	"mithrilog/internal/cuckoo"
+	"mithrilog/internal/lzah"
+	"mithrilog/internal/storage"
+)
+
+func bad(c *lzah.Codec, d *storage.Device, t *cuckoo.Table, page []byte) []byte {
+	out, _ := c.Decompress(nil, page) // want `error from lzah\.Decompress assigned to the blank identifier`
+	d.Read(0, page)                   // want `error from storage\.Read dropped`
+	_ = t.Insert("key", 1)            // want `error from cuckoo\.Insert assigned to the blank identifier`
+	return out
+}
+
+func good(c *lzah.Codec, d *storage.Device, t *cuckoo.Table, page []byte) ([]byte, error) {
+	defer d.Flush() // deferred calls are exempt (the deferred-Close idiom)
+	out, err := c.Decompress(nil, page)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Read(0, page); err != nil {
+		return nil, err
+	}
+	if err := t.Insert("key", 1); err != nil {
+		return nil, err
+	}
+	c.Compress(nil, page) // no error result: a bare call is fine
+	return out, nil
+}

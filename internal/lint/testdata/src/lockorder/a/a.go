@@ -1,0 +1,30 @@
+// Package a exercises the lockorder analyzer: the A.mu/B.mu pair is
+// acquired in both orders (once via a helper-function summary), which is
+// the Stats/NumPages inversion PR 1 fixed by hand.
+package a
+
+import "sync"
+
+// A owns one side of the inverted pair.
+type A struct{ mu sync.Mutex }
+
+// B owns the other side.
+type B struct{ mu sync.Mutex }
+
+func lockBoth(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock-order cycle`
+	b.mu.Unlock()
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+func reversed(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lockA(a) // want `lock-order cycle`
+}

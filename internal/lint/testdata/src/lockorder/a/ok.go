@@ -1,0 +1,45 @@
+package a
+
+import "sync"
+
+// C and D are always taken in the same order: no findings.
+type C struct{ mu sync.Mutex }
+
+// D is always the inner lock.
+type D struct{ mu sync.Mutex }
+
+func pairedOne(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func pairedTwo(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func earlyRelease(c *C, d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Lock() // d.mu already released: no D→C edge
+	c.mu.Unlock()
+}
+
+// R checks read-read reentry through a helper: recursive RLock cannot
+// invert against itself, so no edge is recorded.
+type R struct{ mu sync.RWMutex }
+
+func readers(r *R) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	readAgain(r)
+}
+
+func readAgain(r *R) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+}

@@ -1,0 +1,18 @@
+package a
+
+import "sync"
+
+// S recursively acquires its own non-reentrant mutex through a method
+// call: a guaranteed self-deadlock the summary pass must see.
+type S struct{ mu sync.Mutex }
+
+func (s *S) outer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner() // want `lock-order cycle`
+}
+
+func (s *S) inner() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}

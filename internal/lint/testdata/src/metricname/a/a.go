@@ -1,0 +1,31 @@
+// Package a exercises the metricname analyzer: constant
+// mithrilog_-prefixed names, kind-appropriate unit suffixes, constant
+// label sets, and exactly one registration site per name.
+package a
+
+import "mithrilog/internal/obs"
+
+var reg = obs.NewRegistry()
+
+const pagesRead = "mithrilog_pages_read_total"
+
+func registerGood() {
+	reg.Counter(pagesRead, "Pages read.")
+	reg.Gauge("mithrilog_queue_depth", "Admission queue depth.")
+	reg.Histogram("mithrilog_scan_seconds", "Scan latency.", nil)
+	reg.HistogramVec("mithrilog_page_bytes", "Page sizes by link.", nil, "link")
+	reg.GaugeFunc("mithrilog_link_bytes", "Bytes by link.",
+		obs.Labels{"link": "internal"}, func() float64 { return 0 })
+}
+
+func registerBad(dyn string) {
+	reg.Counter("mithrilog_bad_counter", "x")                                                // want `counter "mithrilog_bad_counter" must carry the _total unit suffix`
+	reg.Gauge("mithrilog_bad_total", "x")                                                    // want `gauge "mithrilog_bad_total" must not use the counter suffix _total`
+	reg.Histogram("mithrilog_bad_hist", "x", nil)                                            // want `histogram "mithrilog_bad_hist" must carry a unit suffix`
+	reg.Counter("MithriLog_Bad_total", "x")                                                  // want `does not match mithrilog_\[a-z0-9_\]\+`
+	reg.CounterVec("mithrilog_reqs_total", "x", "Path")                                      // want `label name "Path" of metric "mithrilog_reqs_total" does not match`
+	reg.Counter(dyn, "x")                                                                    // want `metric name passed to Counter must be a compile-time constant string`
+	reg.CounterFunc("mithrilog_fn_total", "x", dynamicLabels(), func() float64 { return 0 }) // want `label set of metric "mithrilog_fn_total" must be compile-time constant`
+}
+
+func dynamicLabels() obs.Labels { return obs.Labels{"host": "a"} }

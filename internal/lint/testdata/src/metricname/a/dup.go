@@ -1,0 +1,15 @@
+package a
+
+import "mithrilog/internal/obs"
+
+// Two static registration sites for the same name: obs.Registry would
+// silently hand both callers the same family at runtime, so both sites
+// are flagged.
+
+func registerDup(r *obs.Registry) {
+	r.Counter("mithrilog_dup_total", "x") // want `metric "mithrilog_dup_total" is also registered in metricname/a`
+}
+
+func registerDupAgain(r *obs.Registry) {
+	r.Counter("mithrilog_dup_total", "x") // want `metric "mithrilog_dup_total" is also registered in metricname/a`
+}

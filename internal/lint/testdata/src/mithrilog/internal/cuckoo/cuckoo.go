@@ -1,0 +1,9 @@
+// Package cuckoo is a fixture stand-in for mithrilog/internal/cuckoo:
+// a table whose Insert reports failure, for errdrop fixtures.
+package cuckoo
+
+// Table mirrors the real cuckoo hash table's error-returning surface.
+type Table struct{}
+
+// Insert mirrors the real insert; the error reports a full table.
+func (t *Table) Insert(key string, value uint64) error { return nil }

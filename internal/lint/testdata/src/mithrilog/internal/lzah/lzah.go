@@ -1,0 +1,16 @@
+// Package lzah is a fixture stand-in for mithrilog/internal/lzah: a codec
+// whose Decompress returns an error, so errdrop fixtures have an
+// error-critical callee to drop errors from.
+package lzah
+
+// Codec mirrors the real codec's error-returning surface.
+type Codec struct{}
+
+// NewCodec returns a fixture codec.
+func NewCodec() *Codec { return &Codec{} }
+
+// Decompress mirrors the real decompressor: the error reports corrupt input.
+func (c *Codec) Decompress(dst, src []byte) ([]byte, error) { return dst, nil }
+
+// Compress mirrors the real compressor.
+func (c *Codec) Compress(dst, src []byte) []byte { return dst }

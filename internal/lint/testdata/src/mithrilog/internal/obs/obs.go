@@ -1,0 +1,57 @@
+// Package obs is a fixture stand-in for mithrilog/internal/obs: the same
+// registration surface, with empty bodies, so metricname fixtures resolve
+// against the method set the analyzer keys on.
+package obs
+
+// Labels is a constant label set attached at registration time.
+type Labels map[string]string
+
+// Registry mirrors the real registry's registration surface.
+type Registry struct{}
+
+// NewRegistry returns an empty fixture registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter mirrors obs.(*Registry).Counter.
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+// CounterVec mirrors obs.(*Registry).CounterVec.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec { return &CounterVec{} }
+
+// CounterFunc mirrors obs.(*Registry).CounterFunc.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {}
+
+// Gauge mirrors obs.(*Registry).Gauge.
+func (r *Registry) Gauge(name, help string) *Gauge { return &Gauge{} }
+
+// GaugeVec mirrors obs.(*Registry).GaugeVec.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec { return &GaugeVec{} }
+
+// GaugeFunc mirrors obs.(*Registry).GaugeFunc.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {}
+
+// Histogram mirrors obs.(*Registry).Histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram { return &Histogram{} }
+
+// HistogramVec mirrors obs.(*Registry).HistogramVec.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{}
+}
+
+// Counter is a fixture counter.
+type Counter struct{}
+
+// CounterVec is a fixture counter vector.
+type CounterVec struct{}
+
+// Gauge is a fixture gauge.
+type Gauge struct{}
+
+// GaugeVec is a fixture gauge vector.
+type GaugeVec struct{}
+
+// Histogram is a fixture histogram.
+type Histogram struct{}
+
+// HistogramVec is a fixture histogram vector.
+type HistogramVec struct{}

@@ -1,0 +1,12 @@
+// Package storage is a fixture stand-in for mithrilog/internal/storage:
+// a device whose reads return errors, for errdrop fixtures.
+package storage
+
+// Device mirrors the real simulated device's error-returning surface.
+type Device struct{}
+
+// Read mirrors the real page read; the error reports an out-of-range page.
+func (d *Device) Read(page uint32, buf []byte) error { return nil }
+
+// Flush mirrors the real flush; returned errors matter outside defers.
+func (d *Device) Flush() error { return nil }

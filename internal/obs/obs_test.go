@@ -51,12 +51,12 @@ func TestDurationBucketsSpan(t *testing.T) {
 func TestHistogramBucketBoundaries(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("test_hist", "h", []float64{1, 10, 100})
-	h.Observe(0.5)                           // -> le=1
-	h.Observe(1)                             // -> le=1 (inclusive)
-	h.Observe(math.Nextafter(1, 2))          // -> le=10
-	h.Observe(10)                            // -> le=10
-	h.Observe(100)                           // -> le=100
-	h.Observe(1000)                          // -> +Inf
+	h.Observe(0.5)                  // -> le=1
+	h.Observe(1)                    // -> le=1 (inclusive)
+	h.Observe(math.Nextafter(1, 2)) // -> le=10
+	h.Observe(10)                   // -> le=10
+	h.Observe(100)                  // -> le=100
+	h.Observe(1000)                 // -> +Inf
 	if got, want := h.BucketCounts(), []uint64{2, 2, 1, 1}; len(got) != len(want) {
 		t.Fatalf("bucket count %d, want %d", len(got), len(want))
 	} else {

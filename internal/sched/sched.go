@@ -141,11 +141,12 @@ func (s *Scheduler) acquire(ctx context.Context) (release func(), err error) {
 	}
 }
 
-// deadline applies the configured per-query timeout.
+// deadline applies the configured per-query timeout. ctx must be non-nil:
+// the scheduler sits below the facade, and the ctxflow invariant (LINT.md)
+// requires everything below the facade to thread its caller's context
+// rather than minting context.Background() — the facade is the one place a
+// missing context is replaced.
 func (s *Scheduler) deadline(ctx context.Context) (context.Context, context.CancelFunc) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	if s.cfg.Timeout > 0 {
 		return context.WithTimeout(ctx, s.cfg.Timeout)
 	}

@@ -141,7 +141,7 @@ func TestSchedulerTimeout(t *testing.T) {
 func TestQueueTimeAccounting(t *testing.T) {
 	s, _ := buildSched(t, 2000, Config{})
 	q := query.MustParse(`needle`)
-	solo, err := s.Search(nil, q, core.SearchOptions{NoIndex: true})
+	solo, err := s.Search(context.Background(), q, core.SearchOptions{NoIndex: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestQueueTimeAccounting(t *testing.T) {
 	// Simulate one other resident query for the duration of this one.
 	s.arb.Enter()
 	defer s.arb.Exit()
-	shared, err := s.Search(nil, q, core.SearchOptions{NoIndex: true})
+	shared, err := s.Search(context.Background(), q, core.SearchOptions{NoIndex: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestConcurrentSearchIngestStress(t *testing.T) {
 				default:
 				}
 				lower := flushed.Load()
-				res, err := s.Search(nil, q, core.SearchOptions{NoIndex: true})
+				res, err := s.Search(context.Background(), q, core.SearchOptions{NoIndex: true})
 				upper := ingested.Load()
 				if err != nil {
 					errs <- fmt.Errorf("reader: %w", err)
@@ -255,14 +255,14 @@ func TestConcurrentSearchIngestStress(t *testing.T) {
 		t.Fatal(err)
 	}
 	total := int(ingested.Load())
-	cold, err := s.Search(nil, q, core.SearchOptions{NoIndex: true})
+	cold, err := s.Search(context.Background(), q, core.SearchOptions{NoIndex: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cold.Matches != total {
 		t.Fatalf("post-stress count %d, want %d", cold.Matches, total)
 	}
-	warm, err := s.Search(nil, q, core.SearchOptions{NoIndex: true})
+	warm, err := s.Search(context.Background(), q, core.SearchOptions{NoIndex: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestConcurrentSearchIngestStress(t *testing.T) {
 func TestCacheInvalidationOnFlush(t *testing.T) {
 	s, cache := buildSched(t, 300, Config{})
 	q := query.MustParse(`needle`)
-	if _, err := s.Search(nil, q, core.SearchOptions{NoIndex: true}); err != nil {
+	if _, err := s.Search(context.Background(), q, core.SearchOptions{NoIndex: true}); err != nil {
 		t.Fatal(err)
 	}
 	if cache.Len() == 0 {
@@ -302,7 +302,7 @@ func TestCacheInvalidationOnFlush(t *testing.T) {
 	if cache.Len() != 0 {
 		t.Fatalf("flush left %d cached pages", cache.Len())
 	}
-	res, err := s.Search(nil, q, core.SearchOptions{NoIndex: true})
+	res, err := s.Search(context.Background(), q, core.SearchOptions{NoIndex: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +318,7 @@ func TestCacheInvalidationOnFlush(t *testing.T) {
 // scheduler (slot accounting must balance).
 func TestSearchRegexAdmission(t *testing.T) {
 	s, _ := buildSched(t, 200, Config{MaxInFlight: 2})
-	res, err := s.SearchRegex(nil, `needle`, false)
+	res, err := s.SearchRegex(context.Background(), `needle`, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,13 +27,16 @@ func RegisterDeviceMetrics(reg *obs.Registry, d *Device) {
 		nil, func() float64 { return float64(d.Stats().Writes) })
 	for _, link := range []Link{Internal, External} {
 		link := link
-		labels := obs.Labels{"link": link.String()}
+		// Label sets are written as literals at the registration site so
+		// the metricname analyzer can see the label names are constant.
 		reg.CounterFunc("mithrilog_storage_page_reads_total",
 			"Page read operations, by the link the page crossed.",
-			labels, func() float64 { return float64(d.linkStats(link).Reads) })
+			obs.Labels{"link": link.String()},
+			func() float64 { return float64(d.linkStats(link).Reads) })
 		reg.CounterFunc("mithrilog_storage_read_bytes_total",
 			"Bytes read from the device, by the link they crossed.",
-			labels, func() float64 { return float64(d.linkStats(link).Bytes) })
+			obs.Labels{"link": link.String()},
+			func() float64 { return float64(d.linkStats(link).Bytes) })
 	}
 }
 

@@ -1,6 +1,10 @@
 package tokenizer
 
-import "bytes"
+import (
+	"bytes"
+
+	"mithrilog/internal/hwsim"
+)
 
 // Array models the scatter/gather tokenizer array of one filter pipeline
 // (§4.1): lines are distributed round-robin across the tokenizers and the
@@ -74,7 +78,7 @@ func (a *Array) account(cycles uint64) {
 	}
 	a.turnFill++
 	if a.turnFill%len(a.units) == 0 {
-		a.turnCycles += a.turnMax
+		hwsim.AddCycles(&a.turnCycles, a.turnMax)
 		a.turnMax = 0
 	}
 }
@@ -87,7 +91,7 @@ func (a *Array) Stats() Stats {
 	for _, u := range a.units {
 		total.Add(u.Stats())
 	}
-	total.Cycles = a.turnCycles + a.turnMax
+	total.Cycles = hwsim.SumCycles(a.turnCycles, a.turnMax)
 	return total
 }
 

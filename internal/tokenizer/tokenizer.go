@@ -14,7 +14,11 @@
 // hash filters per pipeline.
 package tokenizer
 
-import "fmt"
+import (
+	"fmt"
+
+	"mithrilog/internal/hwsim"
+)
 
 // WordSize is the datapath width in bytes. The prototype uses a 128-bit
 // (16-byte) datapath (§4), a balance between chip resources and the token
@@ -78,7 +82,7 @@ func (s *Stats) Add(other Stats) {
 	s.InputBytes += other.InputBytes
 	s.UsefulBytes += other.UsefulBytes
 	s.EmittedBytes += other.EmittedBytes
-	s.Cycles += other.Cycles
+	hwsim.AddCycles(&s.Cycles, other.Cycles)
 }
 
 // UsefulBitRatio is the fraction of the tokenized datapath that carries
@@ -155,7 +159,7 @@ func (t *Tokenizer) TokenizeLine(dst []Word, line []byte) []Word {
 	}
 	t.stats.Lines++
 	t.stats.InputBytes += uint64(n)
-	t.stats.Cycles += (uint64(n) + uint64(t.bytesPerCycle) - 1) / uint64(t.bytesPerCycle)
+	hwsim.AddCycles(&t.stats.Cycles, hwsim.CyclesForBytes(uint64(n), uint64(t.bytesPerCycle)))
 	return dst
 }
 

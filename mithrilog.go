@@ -289,7 +289,13 @@ func (e *Engine) SearchQuery(q Query, opts SearchOptions) (Result, error) {
 }
 
 func (e *Engine) run(q query.Query, opts SearchOptions, trace *obs.Span) (Result, error) {
-	res, err := e.sched.Search(opts.Context, q, core.SearchOptions{
+	// The facade is the context boundary: a query arriving without a
+	// context gets Background here and nowhere below (ctxflow, LINT.md).
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := e.sched.Search(ctx, q, core.SearchOptions{
 		NoIndex:      opts.NoIndex,
 		CollectLines: opts.CollectLines,
 		From:         opts.From,
@@ -383,13 +389,16 @@ type RegexResult struct {
 // escapes, grouping, alternation, *, +, ?, and ^/$ anchors). Regex
 // queries cannot use the inverted index, so this is always a full scan.
 func (e *Engine) SearchRegex(pattern string, collectLines bool) (RegexResult, error) {
-	return e.SearchRegexContext(nil, pattern, collectLines)
+	return e.SearchRegexContext(context.Background(), pattern, collectLines)
 }
 
 // SearchRegexContext is SearchRegex under a caller context: the scan still
 // runs through the scheduler's admission control, and ctx (plus the
 // configured QueryTimeout) bounds the time spent waiting for a slot.
 func (e *Engine) SearchRegexContext(ctx context.Context, pattern string, collectLines bool) (RegexResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res, err := e.sched.SearchRegex(ctx, pattern, collectLines)
 	if err != nil {
 		return RegexResult{}, err

@@ -3,17 +3,22 @@
 //
 //	go run ./cmd/mithrilint ./...          # whole module (CI does this)
 //	go run ./cmd/mithrilint -only lockorder ./internal/storage/...
+//	go run ./cmd/mithrilint -json ./...    # machine-readable findings
 //	go run ./cmd/mithrilint -list
 //
-// Output is one finding per line in the usual file:line:col form, and the
-// exit status is 1 when anything was found. The suite is self-contained
-// (stdlib only), so the driver needs no tool installation — it cannot be
-// plugged into `go vet -vettool` (that protocol needs the unitchecker
-// wiring from golang.org/x/tools, a dependency this repository does not
-// carry), which is why CI runs the command directly.
+// Plain output is one finding per line in the usual file:line:col form;
+// -json emits a JSON array of finding objects on stdout instead. Exit
+// status: 0 when the tree is clean, 1 when findings were reported, 2 on a
+// load or internal error (bad flags, unknown analyzer, type errors in the
+// tree). The suite is self-contained (stdlib only), so the driver needs
+// no tool installation — it cannot be plugged into `go vet -vettool`
+// (that protocol needs the unitchecker wiring from golang.org/x/tools, a
+// dependency this repository does not carry), which is why CI runs the
+// command directly.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,12 +27,29 @@ import (
 	"mithrilog/internal/lint"
 )
 
+// Exit codes, also documented in LINT.md and relied on by CI.
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitError    = 2
+)
+
+// jsonFinding is the -json wire form of one diagnostic.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	dir := flag.String("C", ".", "module directory to analyze")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mithrilint [-list] [-only a,b] [-C dir] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: mithrilint [-list] [-only a,b] [-json] [-C dir] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -46,7 +68,7 @@ func main() {
 			a := lint.AnalyzerByName(strings.TrimSpace(name))
 			if a == nil {
 				fmt.Fprintf(os.Stderr, "mithrilint: unknown analyzer %q (try -list)\n", name)
-				os.Exit(2)
+				os.Exit(exitError)
 			}
 			analyzers = append(analyzers, a)
 		}
@@ -57,14 +79,34 @@ func main() {
 	pkgs, prog, err := loader.LoadModule(patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mithrilint: %v\n", err)
-		os.Exit(2)
+		os.Exit(exitError)
 	}
 	diags := lint.Run(prog, pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonFinding{
+				Analyzer: d.Analyzer.Name,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "mithrilint: encoding findings: %v\n", err)
+			os.Exit(exitError)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "mithrilint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		os.Exit(exitFindings)
 	}
 }

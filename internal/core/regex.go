@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"time"
 
+	"mithrilog/internal/hwsim"
 	"mithrilog/internal/rex"
 	"mithrilog/internal/storage"
 )
@@ -86,7 +87,7 @@ func (e *Engine) SearchRegex(pattern string, collect bool) (RegexResult, error) 
 		}
 	}
 	transfer := e.dev.TransferTime(storage.External, e.compBytes)
-	scan := time.Duration(float64(res.ScannedRawBytes) / softwareRegexBytesPerSecond * float64(time.Second))
+	scan := hwsim.DurationForBytes(res.ScannedRawBytes, softwareRegexBytesPerSecond)
 	if scan > transfer {
 		res.SimElapsed = scan
 	} else {

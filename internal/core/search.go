@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"mithrilog/internal/hwsim"
 	"mithrilog/internal/obs"
 	"mithrilog/internal/query"
 	"mithrilog/internal/storage"
@@ -109,7 +110,7 @@ func (r SearchResult) EffectiveThroughput(datasetRawBytes uint64) float64 {
 	if r.SimElapsed <= 0 {
 		return 0
 	}
-	return float64(datasetRawBytes) / r.SimElapsed.Seconds()
+	return hwsim.BytesPerSecond(datasetRawBytes, r.SimElapsed)
 }
 
 // Search executes a query through the near-storage path.
@@ -536,7 +537,7 @@ func (e *Engine) simulateElapsed(res *SearchResult, offloaded bool) time.Duratio
 		res.StreamTime = e.dev.TransferTime(storage.Internal, res.ScannedCompBytes)
 		sys := e.cfg.System
 		if res.MaxPipelineCycles > 0 {
-			res.FilterTime = time.Duration(float64(res.MaxPipelineCycles) / sys.ClockHz * float64(time.Second))
+			res.FilterTime = hwsim.CyclesToDuration(res.MaxPipelineCycles, sys.ClockHz)
 		}
 		res.ReturnTime = e.dev.TransferTime(storage.External, res.ReturnedBytes)
 	} else {
@@ -544,7 +545,7 @@ func (e *Engine) simulateElapsed(res *SearchResult, offloaded bool) time.Duratio
 		// host matcher runs at a calibrated software text rate. Matching
 		// lines are already host-side, so ReturnTime is zero.
 		res.StreamTime = e.dev.TransferTime(storage.External, res.ScannedCompBytes)
-		res.FilterTime = time.Duration(float64(res.ScannedRawBytes) / softwareScanBytesPerSecond * float64(time.Second))
+		res.FilterTime = hwsim.DurationForBytes(res.ScannedRawBytes, softwareScanBytesPerSecond)
 	}
 	t := res.IndexTime + res.ReturnTime
 	if res.StreamTime > res.FilterTime {

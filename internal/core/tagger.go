@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mithrilog/internal/filter"
+	"mithrilog/internal/hwsim"
 	"mithrilog/internal/query"
 	"mithrilog/internal/storage"
 )
@@ -163,7 +164,7 @@ func (t *Tagger) Run(collectTags bool) (TagResult, error) {
 		// functional pipeline's work divides across the hardware's four).
 		st := pipe.Stats()
 		perPipeCycles := st.Cycles / uint64(len(scan.pipes))
-		filterTime := time.Duration(float64(perPipeCycles) / e.cfg.System.ClockHz * float64(time.Second))
+		filterTime := hwsim.CyclesToDuration(perPipeCycles, e.cfg.System.ClockHz)
 		stream := e.dev.TransferTime(storage.Internal, e.compBytes)
 		if filterTime > stream {
 			simTotal += filterTime

@@ -64,7 +64,7 @@ func (s PipelineStats) Utilization() float64 {
 	if s.Cycles == 0 {
 		return 0
 	}
-	u := float64(s.RawBytes) / (float64(s.Cycles) * tokenizer.WordSize)
+	u := float64(s.RawBytes) / float64(hwsim.CapacityBytes(s.Cycles, tokenizer.WordSize))
 	if u > 1 {
 		u = 1
 	}

@@ -26,6 +26,14 @@ func CyclesForBytes(n, bytesPerCycle uint64) uint64 {
 	return (n + bytesPerCycle - 1) / bytesPerCycle
 }
 
+// CapacityBytes is the inverse of CyclesForBytes: the data a datapath of
+// the given width can stream in the given cycles. Utilization figures
+// divide useful bytes by this capacity, so the ratio is bytes over bytes
+// rather than an inline cycles×width conversion.
+func CapacityBytes(cycles, bytesPerCycle uint64) uint64 {
+	return cycles * bytesPerCycle
+}
+
 // BottleneckCycles returns the busy-cycle count of a pipeline whose stages
 // run in lockstep: the pipeline advances at the rate of its slowest stage,
 // so its occupancy is the maximum of the per-stage cycle counts (§4.1).

@@ -30,6 +30,26 @@ const (
 	ComparisonStorageBandwidth = 7e9
 )
 
+// Canonical datapath and index geometry (§4.1, §6.1). These are the
+// paper's magic numbers: every other package references these symbols
+// instead of redeclaring the literals, and the `paperconst` analyzer in
+// internal/lint enforces that (a redefined 16 or 2 silently forks the
+// model the Fig. 13/14 numbers are derived from).
+const (
+	// TokenizerBytesPerCycle is the per-tokenizer ingest rate (§4.1:
+	// each tokenizer consumes 2 B/cycle, so 8 tokenizers saturate a
+	// 16 B/cycle pipeline).
+	TokenizerBytesPerCycle = 2
+	// TokenizersPerPipeline is the number of tokenizers per filter
+	// pipeline (§4.1).
+	TokenizersPerPipeline = 8
+	// IndexLeafEntries is the number of data-page addresses per index
+	// leaf node; IndexRootEntries the number of leaf references per root
+	// node — the paper's two-level 16×16 index trees (§6.1).
+	IndexLeafEntries = 16
+	IndexRootEntries = 16
+)
+
 // GB is 1e9 bytes, the unit used throughout the paper's bandwidth figures.
 const GB = 1e9
 

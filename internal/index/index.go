@@ -26,14 +26,15 @@ import (
 	"sort"
 	"time"
 
+	"mithrilog/internal/hwsim"
 	"mithrilog/internal/storage"
 )
 
 // Default geometry from the prototype (§6.1).
 const (
 	DefaultBuckets     = 1 << 16
-	DefaultLeafEntries = 16
-	DefaultRootEntries = 16
+	DefaultLeafEntries = hwsim.IndexLeafEntries
+	DefaultRootEntries = hwsim.IndexRootEntries
 )
 
 // nilPage marks an absent page reference.

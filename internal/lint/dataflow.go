@@ -1,0 +1,185 @@
+package lint
+
+// This file is the forward-dataflow layer over the CFG (cfg.go): a
+// worklist fixpoint solver plus two concrete analyses — reaching
+// definitions, and the per-variable environment propagation the unitcheck
+// analyzer uses for its tag lattice. The solver is deliberately small: a
+// monotone transfer function, a join, and an equality test, iterated until
+// the per-block input facts stop changing. Loops converge because every
+// client lattice here has finite height (sets of definition sites; the
+// eight-point unit lattice).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// dfFact is one analysis' per-block fact. nil is ⊥ ("block not reached
+// yet") and is never passed to transfer or equal.
+type dfFact interface{}
+
+// dataflow describes one forward problem.
+type dataflow struct {
+	g *funcCFG
+	// init is the fact at function entry.
+	init func() dfFact
+	// transfer pushes a fact through one block. It must not mutate in.
+	transfer func(b *cfgBlock, in dfFact) dfFact
+	// join merges facts at a control-flow merge.
+	join func(a, b dfFact) dfFact
+	// equal reports whether two facts are the same (fixpoint test).
+	equal func(a, b dfFact) bool
+}
+
+// solve runs the worklist to fixpoint and returns each block's input
+// fact. Blocks never reached from entry are absent from the result.
+func (d *dataflow) solve() map[*cfgBlock]dfFact {
+	in := make(map[*cfgBlock]dfFact)
+	in[d.g.entry] = d.init()
+	work := []*cfgBlock{d.g.entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		out := d.transfer(b, in[b])
+		for _, s := range b.succs {
+			cur, ok := in[s]
+			next := out
+			if ok {
+				next = d.join(cur, out)
+				if d.equal(cur, next) {
+					continue
+				}
+			}
+			in[s] = next
+			work = append(work, s)
+		}
+	}
+	return in
+}
+
+// ---------------------------------------------------------------------------
+// Reaching definitions.
+
+// defSites is the set of definition positions of one variable.
+type defSites map[token.Pos]bool
+
+// rdFact maps each variable to the definitions that may reach this point.
+type rdFact map[types.Object]defSites
+
+func (f rdFact) clone() rdFact {
+	out := make(rdFact, len(f))
+	for obj, sites := range f {
+		s := make(defSites, len(sites))
+		for p := range sites {
+			s[p] = true
+		}
+		out[obj] = s
+	}
+	return out
+}
+
+// reachingDefs solves reaching definitions for one function body: the
+// returned map gives, per block, the definitions live at block entry.
+func reachingDefs(g *funcCFG, info *types.Info) map[*cfgBlock]rdFact {
+	d := &dataflow{
+		g:    g,
+		init: func() dfFact { return rdFact{} },
+		transfer: func(b *cfgBlock, in dfFact) dfFact {
+			f := in.(rdFact).clone()
+			for _, n := range b.nodes {
+				forEachDef(n, info, func(obj types.Object, pos token.Pos) {
+					f[obj] = defSites{pos: true}
+				})
+			}
+			return f
+		},
+		join: func(a, b dfFact) dfFact {
+			fa, fb := a.(rdFact), b.(rdFact)
+			out := fa.clone()
+			for obj, sites := range fb {
+				if out[obj] == nil {
+					out[obj] = make(defSites, len(sites))
+				}
+				for p := range sites {
+					out[obj][p] = true
+				}
+			}
+			return out
+		},
+		equal: func(a, b dfFact) bool {
+			fa, fb := a.(rdFact), b.(rdFact)
+			if len(fa) != len(fb) {
+				return false
+			}
+			for obj, sa := range fa {
+				sb, ok := fb[obj]
+				if !ok || len(sa) != len(sb) {
+					return false
+				}
+				for p := range sa {
+					if !sb[p] {
+						return false
+					}
+				}
+			}
+			return true
+		},
+	}
+	out := make(map[*cfgBlock]rdFact, len(g.blocks))
+	for b, f := range d.solve() {
+		out[b] = f.(rdFact)
+	}
+	return out
+}
+
+// forEachDef reports each variable definition inside one CFG node (an
+// assignment, declaration, inc/dec, or range clause). It does not descend
+// into nested function literals — those have their own CFGs — nor into the
+// body of a range statement, whose statements live in their own blocks.
+func forEachDef(n ast.Node, info *types.Info, fn func(types.Object, token.Pos)) {
+	ident := func(e ast.Expr) {
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if obj := info.Defs[id]; obj != nil {
+			fn(obj, id.Pos())
+			return
+		}
+		if obj := info.Uses[id]; obj != nil {
+			if _, isVar := obj.(*types.Var); isVar {
+				fn(obj, id.Pos())
+			}
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			ident(lhs)
+		}
+	case *ast.IncDecStmt:
+		ident(n.X)
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				ident(name)
+			}
+		}
+	case *ast.RangeStmt:
+		if n.Key != nil {
+			ident(n.Key)
+		}
+		if n.Value != nil {
+			ident(n.Value)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoLeakAnalyzer checks that every goroutine started in the concurrency
+// layers (internal/sched, internal/core, internal/server) can actually
+// terminate: the CFG of the goroutine body must offer, from every
+// reachable point, some path to function exit. A `for { <-ch }` receive
+// loop, a `select {}`, or an unconditional retry loop with no return has
+// no such path — the goroutine outlives its query, pins its page buffers,
+// and under the scheduler's bounded admission eventually wedges the whole
+// engine. The fix is structural, and the analyzer's message says so: give
+// the loop a reachable exit — a `case <-ctx.Done(): return`, a closed
+// done channel, or a bounded iteration.
+//
+// `for range ch` is accepted: ranging over a channel terminates when the
+// producer closes it, which is a legitimate done protocol. Goroutines
+// whose body is declared in another package are not analyzed (the callee
+// package is checked when its own turn comes).
+var GoLeakAnalyzer = &Analyzer{
+	Name: "goleak",
+	Doc: "goroutines started in sched/core/server must have a reachable " +
+		"exit (context cancellation, done channel, or bounded work) on " +
+		"all control-flow paths",
+	Run: runGoLeak,
+}
+
+// goLeakSegments are the packages that start goroutines on the query path.
+var goLeakSegments = map[string]bool{
+	"sched":  true,
+	"core":   true,
+	"server": true,
+}
+
+func inGoLeakScope(path string) bool {
+	i := strings.LastIndex(path, "internal/")
+	if i < 0 {
+		return false
+	}
+	rest := path[i+len("internal/"):]
+	seg := rest
+	if j := strings.IndexByte(rest, '/'); j >= 0 {
+		seg = rest[:j]
+	}
+	return goLeakSegments[seg]
+}
+
+func runGoLeak(pass *Pass) {
+	if !inGoLeakScope(pass.Pkg.Path) {
+		return
+	}
+	info := pass.Pkg.Info
+	// Map package-declared functions to their bodies, so `go s.loop()`
+	// can be checked like a literal.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			var what string
+			switch fun := unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				body, what = fun.Body, "goroutine"
+			default:
+				fn := calleeFunc(info, g.Call)
+				if fn == nil {
+					return true
+				}
+				fd, ok := decls[fn]
+				if !ok {
+					return true // declared elsewhere; analyzed there
+				}
+				body, what = fd.Body, "goroutine "+fn.Name()
+			}
+			if body == nil {
+				return true
+			}
+			cfg := buildCFG(body)
+			reach := cfg.reachable()
+			exits := cfg.canReachExit()
+			for _, blk := range cfg.blocks {
+				if reach[blk] && !exits[blk] {
+					pass.Reportf(g.Pos(),
+						"%s has no reachable exit from all paths (it can loop or block forever); give it a `case <-ctx.Done(): return`, a done channel, or bounded work",
+						what)
+					break
+				}
+			}
+			return true
+		})
+	}
+}

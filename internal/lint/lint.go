@@ -10,6 +10,14 @@
 //	metricname    obs metrics: one registration site, valid name, constant labels
 //	ctxflow       no context.Background()/TODO() below the facade on hot paths
 //	errdrop       codec/device/index/cuckoo errors are never discarded
+//	unitcheck     cycles/bytes/hertz/duration mix only via hwsim helpers
+//	paperconst    the paper's magic numbers have one definition, in hwsim
+//	goleak        goroutines in sched/core/server have a reachable exit
+//	hwpure        hwsim and the cycle-accounting paths stay deterministic
+//
+// The last four are built on a statement-level control-flow graph
+// (cfg.go) and a forward-dataflow fixpoint solver (dataflow.go), both
+// stdlib-only like the rest of the suite.
 //
 // See LINT.md at the repository root for the rationale behind each
 // invariant and the suppression syntax. The cmd/mithrilint driver runs the
@@ -47,6 +55,10 @@ func Analyzers() []*Analyzer {
 		MetricNameAnalyzer,
 		CtxFlowAnalyzer,
 		ErrDropAnalyzer,
+		UnitCheckAnalyzer,
+		PaperConstAnalyzer,
+		GoLeakAnalyzer,
+		HwPureAnalyzer,
 	}
 }
 
@@ -133,7 +145,9 @@ func (prog *Program) Memo(key string, build func() interface{}) interface{} {
 
 // Run applies the analyzers to the given packages (skipping GOROOT
 // packages), filters suppressed findings, and returns the remainder sorted
-// by position.
+// by position. Malformed suppression comments (no reason, unknown
+// analyzer) are themselves findings, reported under the pseudo-analyzer
+// "ignore".
 func Run(prog *Program, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -161,30 +175,59 @@ func Run(prog *Program, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 
 // IgnorePrefix is the suppression comment marker:
 //
-//	//mithrilint:ignore <analyzer> [reason...]
+//	//mithrilint:ignore <analyzer> <reason...>
+//	//mithrilint:ignore all <reason...>
 //
 // on the flagged line or the line directly above it suppresses that
-// analyzer's findings there. The analyzer name "all" suppresses every
-// analyzer (use sparingly; LINT.md asks for a reason in the comment).
+// analyzer's findings there ("all" suppresses the whole suite). The
+// reason is mandatory — it is the review trail for every silenced
+// finding. A suppression without one, or naming an analyzer that does not
+// exist, suppresses nothing and is itself reported.
 const IgnorePrefix = "mithrilint:ignore"
 
-// suppressionsFor maps file -> line -> suppressed analyzer names.
-func suppressionsFor(prog *Program, pkgs []*Package) map[string]map[int]map[string]bool {
+// ignoreAnalyzer attributes diagnostics about malformed suppression
+// comments. It is not part of Analyzers(): it cannot be run, only
+// reported under.
+var ignoreAnalyzer = &Analyzer{
+	Name: "ignore",
+	Doc:  "mithrilint:ignore comments name a real analyzer (or \"all\") and carry a reason",
+}
+
+// suppressionsFor maps file -> line -> suppressed analyzer names, and
+// returns a diagnostic for every malformed suppression comment.
+func suppressionsFor(prog *Program, pkgs []*Package) (map[string]map[int]map[string]bool, []Diagnostic) {
 	out := make(map[string]map[int]map[string]bool)
+	var bad []Diagnostic
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					text := strings.TrimPrefix(c.Text, "//")
-					text = strings.TrimSpace(text)
-					if !strings.HasPrefix(text, IgnorePrefix) {
+					// Directive form only ("//mithrilint:ignore", no space),
+					// like //go:build — prose that merely mentions the
+					// marker is not a suppression.
+					if !strings.HasPrefix(c.Text, "//"+IgnorePrefix) {
 						continue
 					}
-					fields := strings.Fields(strings.TrimPrefix(text, IgnorePrefix))
-					if len(fields) == 0 {
-						continue
-					}
+					fields := strings.Fields(c.Text[len("//"+IgnorePrefix):])
 					pos := prog.Fset.Position(c.Pos())
+					if len(fields) < 2 {
+						bad = append(bad, Diagnostic{
+							Analyzer: ignoreAnalyzer,
+							Pos:      pos,
+							Message: "mithrilint:ignore needs an analyzer name and a reason " +
+								"(//mithrilint:ignore <analyzer|all> <why>); nothing suppressed",
+						})
+						continue
+					}
+					if fields[0] != "all" && AnalyzerByName(fields[0]) == nil {
+						bad = append(bad, Diagnostic{
+							Analyzer: ignoreAnalyzer,
+							Pos:      pos,
+							Message: fmt.Sprintf("mithrilint:ignore names unknown analyzer %q; nothing suppressed",
+								fields[0]),
+						})
+						continue
+					}
 					file := out[pos.Filename]
 					if file == nil {
 						file = make(map[int]map[string]bool)
@@ -203,11 +246,11 @@ func suppressionsFor(prog *Program, pkgs []*Package) map[string]map[int]map[stri
 			}
 		}
 	}
-	return out
+	return out, bad
 }
 
 func filterSuppressed(prog *Program, pkgs []*Package, diags []Diagnostic) []Diagnostic {
-	sup := suppressionsFor(prog, pkgs)
+	sup, bad := suppressionsFor(prog, pkgs)
 	out := diags[:0]
 	for _, d := range diags {
 		names := sup[d.Pos.Filename][d.Pos.Line]
@@ -216,7 +259,7 @@ func filterSuppressed(prog *Program, pkgs []*Package, diags []Diagnostic) []Diag
 		}
 		out = append(out, d)
 	}
-	return out
+	return append(out, bad...)
 }
 
 // ---------------------------------------------------------------------------

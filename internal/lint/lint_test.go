@@ -2,6 +2,7 @@ package lint
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -44,6 +45,62 @@ func TestErrDropFixture(t *testing.T) {
 	RunFixture(t, fixtures(t), ErrDropAnalyzer, "errdrop/a")
 }
 
+func TestUnitCheckFixture(t *testing.T) {
+	RunFixture(t, fixtures(t), UnitCheckAnalyzer, "unitcheck/internal/core")
+}
+
+func TestPaperConstFixture(t *testing.T) {
+	RunFixture(t, fixtures(t), PaperConstAnalyzer, "paperconst/internal/filter")
+}
+
+func TestGoLeakFixture(t *testing.T) {
+	RunFixture(t, fixtures(t), GoLeakAnalyzer, "goleak/internal/sched")
+}
+
+func TestHwPureFixture(t *testing.T) {
+	RunFixture(t, fixtures(t), HwPureAnalyzer, "hwpure/internal/hwsim")
+}
+
+// TestIgnoreDirective checks the suppression contract over the ignore/a
+// fixture: a reasoned directive (analyzer or "all") suppresses, while a
+// reasonless or unknown-analyzer directive suppresses nothing and is
+// itself reported under the "ignore" pseudo-analyzer.
+func TestIgnoreDirective(t *testing.T) {
+	pkg, prog, err := fixtures(t).LoadFixture("ignore/a")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := Run(prog, []*Package{pkg}, []*Analyzer{CycleAccountAnalyzer})
+
+	byAnalyzer := make(map[string]int)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer.Name]++
+	}
+	// The two malformed directives leave their lines unsuppressed (2
+	// cycleaccount findings) and are findings themselves (2 ignore ones).
+	if byAnalyzer["cycleaccount"] != 2 || byAnalyzer["ignore"] != 2 || len(diags) != 4 {
+		t.Errorf("got %d diagnostics (%v), want 2 cycleaccount + 2 ignore:", len(diags), byAnalyzer)
+		for _, d := range diags {
+			t.Errorf("  %s", d)
+		}
+	}
+	var sawNoReason, sawUnknown bool
+	for _, d := range diags {
+		if d.Analyzer.Name != "ignore" {
+			continue
+		}
+		if strings.Contains(d.Message, "needs an analyzer name and a reason") {
+			sawNoReason = true
+		}
+		if strings.Contains(d.Message, `unknown analyzer "nosuch"`) {
+			sawUnknown = true
+		}
+	}
+	if !sawNoReason || !sawUnknown {
+		t.Errorf("missing ignore diagnostics: noReason=%v unknown=%v", sawNoReason, sawUnknown)
+	}
+}
+
 // TestFixtureExclusivity runs the FULL suite over each broken fixture and
 // checks every diagnostic comes from the analyzer the fixture targets:
 // the invariants are orthogonal, so a fixture written for one analyzer
@@ -58,6 +115,10 @@ func TestFixtureExclusivity(t *testing.T) {
 		{"metricname/a", "metricname"},
 		{"ctxflow/internal/sched", "ctxflow"},
 		{"errdrop/a", "errdrop"},
+		{"unitcheck/internal/core", "unitcheck"},
+		{"paperconst/internal/filter", "paperconst"},
+		{"goleak/internal/sched", "goleak"},
+		{"hwpure/internal/hwsim", "hwpure"},
 	}
 	l := fixtures(t)
 	for _, tc := range cases {

@@ -1,0 +1,101 @@
+// Package sched is a goleak fixture: goroutines with no reachable exit
+// (flagged) versus context-cancelled, done-channel, bounded, and
+// channel-range goroutines (clean).
+package sched
+
+import "context"
+
+func leakyReceive(ch chan int) {
+	go func() { // want `goroutine has no reachable exit from all paths`
+		for {
+			<-ch
+		}
+	}()
+}
+
+func leakyBlock() {
+	go func() { // want `goroutine has no reachable exit from all paths`
+		select {}
+	}()
+}
+
+func leakyRetry(ch chan int) {
+	go func() { // want `goroutine has no reachable exit from all paths`
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			default:
+			}
+		}
+	}()
+}
+
+// worker is a package-level goroutine body with no exit; the finding lands
+// on the `go` statement that starts it.
+func worker(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+func startWorker(ch chan int) {
+	go worker(ch) // want `goroutine worker has no reachable exit from all paths`
+}
+
+func cleanCtx(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+func cleanDone(done chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+func cleanBounded() {
+	go func() {
+		total := 0
+		for i := 0; i < 64; i++ {
+			total += i
+		}
+		_ = total
+	}()
+}
+
+func cleanRange(ch chan int) {
+	go func() {
+		// Ranging a channel terminates when the producer closes it.
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+func cleanBreak(ch chan int) {
+	go func() {
+		for {
+			v, ok := <-ch
+			if !ok {
+				break
+			}
+			_ = v
+		}
+	}()
+}

@@ -1,0 +1,45 @@
+// Package hwsim is an hwpure fixture: every function in a package rooted
+// at internal/hwsim is on the deterministic cycle-accounting path, so wall
+// clock, entropy, I/O, and map iteration are flagged; pure arithmetic over
+// the input bytes is clean.
+package hwsim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+type model struct {
+	pipelineCycles uint64
+}
+
+func (m *model) tickWall() {
+	start := time.Now() // want `tickWall is on the deterministic cycle-accounting path but reads the wall clock \(time.Now\)`
+	_ = start
+	time.Sleep(time.Millisecond)              // want `tickWall is on the deterministic cycle-accounting path but reads the wall clock \(time.Sleep\)`
+	m.pipelineCycles += uint64(rand.Intn(16)) // want `tickWall is on the deterministic cycle-accounting path but calls rand.Intn \(nondeterminism/I/O\)`
+}
+
+func (m *model) loadTable(counts map[string]uint64) {
+	for _, n := range counts { // want `loadTable is on the deterministic cycle-accounting path but iterates a map \(randomized order\)`
+		m.pipelineCycles += n
+	}
+}
+
+func (m *model) readDisk(path string) {
+	data, err := os.ReadFile(path) // want `readDisk is on the deterministic cycle-accounting path but calls os.ReadFile \(nondeterminism/I/O\)`
+	if err != nil {
+		return
+	}
+	m.pipelineCycles += uint64(len(data))
+}
+
+// pure is the clean shape: cycles are a function of the input bytes only,
+// consumed by slice iteration (deterministic order).
+func (m *model) pure(page []byte, perStage []uint64) {
+	m.pipelineCycles += uint64(len(page))
+	for _, c := range perStage {
+		m.pipelineCycles += c
+	}
+}

@@ -1,0 +1,19 @@
+// Package a exercises the mithrilint:ignore directive contract: a
+// suppression must name a real analyzer (or "all") and carry a reason.
+// This fixture is checked by TestIgnoreDirective with explicit assertions
+// rather than `want` comments, because the directives under test would
+// collide with want markers sharing the comment. Note a valid directive
+// also covers the line below it, so the malformed cases come first.
+package a
+
+type stats struct {
+	pipelineCycles uint64
+}
+
+func mutate(s *stats) {
+	s.pipelineCycles++ //mithrilint:ignore cycleaccount
+	s.pipelineCycles++ //mithrilint:ignore nosuch because reasons
+	s.pipelineCycles++ //mithrilint:ignore cycleaccount fixture exercises a reasoned suppression
+	s.pipelineCycles++ //mithrilint:ignore all fixture exercises a reasoned blanket suppression
+	// mithrilint:ignore mentioned in prose is not a directive and changes nothing.
+}

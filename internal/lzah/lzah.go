@@ -29,10 +29,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"mithrilog/internal/hwsim"
 )
 
 // WordSize is the compression word, matching the filter datapath (§5).
-const WordSize = 16
+const WordSize = hwsim.DatapathBytes
 
 // ChunkPairs is the number of header-payload pairs per chunk; 128 header
 // bits fill exactly one datapath word.

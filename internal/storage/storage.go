@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"mithrilog/internal/hwsim"
 )
 
 // PageSize is the storage page granularity (4 KiB, §6.1).
@@ -54,10 +56,10 @@ type Config struct {
 
 func (c Config) withDefaults() Config {
 	if c.InternalBandwidth <= 0 {
-		c.InternalBandwidth = 4.8e9
+		c.InternalBandwidth = hwsim.InternalBandwidth
 	}
 	if c.ExternalBandwidth <= 0 {
-		c.ExternalBandwidth = 3.1e9
+		c.ExternalBandwidth = hwsim.ExternalBandwidth
 	}
 	if c.ReadLatency <= 0 {
 		c.ReadLatency = 100 * time.Microsecond
@@ -272,7 +274,7 @@ func (d *Device) Bandwidth(link Link) float64 {
 // TransferTime returns the simulated time to stream the given volume over
 // a link at full queue depth (bandwidth-bound).
 func (d *Device) TransferTime(link Link, bytes uint64) time.Duration {
-	return time.Duration(float64(bytes) / d.Bandwidth(link) * float64(time.Second))
+	return hwsim.DurationForBytes(bytes, d.Bandwidth(link))
 }
 
 // DependentAccessTime returns the simulated time for n serially dependent

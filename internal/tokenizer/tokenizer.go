@@ -23,16 +23,16 @@ import (
 // WordSize is the datapath width in bytes. The prototype uses a 128-bit
 // (16-byte) datapath (§4), a balance between chip resources and the token
 // length distribution.
-const WordSize = 16
+const WordSize = hwsim.DatapathBytes
 
 // DefaultBytesPerCycle is the per-tokenizer ingest rate chosen by the
 // paper's design-space exploration (§4.1).
-const DefaultBytesPerCycle = 2
+const DefaultBytesPerCycle = hwsim.TokenizerBytesPerCycle
 
 // DefaultTokenizersPerPipeline is the number of tokenizers instantiated per
 // filter pipeline, sized so the array sustains the full 16 B/cycle datapath
 // (8 tokenizers × 2 B/cycle).
-const DefaultTokenizersPerPipeline = 8
+const DefaultTokenizersPerPipeline = hwsim.TokenizersPerPipeline
 
 // Word is one datapath beat of tokenized output.
 type Word struct {

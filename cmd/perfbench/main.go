@@ -1,0 +1,113 @@
+// Command perfbench runs the repeatable wall-clock benchmark harness
+// (internal/perf) and maintains the BENCH_<n>.json perf trajectory at the
+// repository root. See PERFORMANCE.md for the workload matrix, the report
+// schema, and how to read a diff.
+//
+// Usage:
+//
+//	perfbench                         run the matrix, print a summary
+//	perfbench -out BENCH_6.json       ... and append the run to a report
+//	perfbench -label pr6 -prev old.json -out BENCH_6.json
+//	                                  carry runs forward from old.json
+//	perfbench -baseline BENCH_6.json  diff against the last recorded run;
+//	                                  exit 1 on >10% headline regression
+//	perfbench -quick                  reduced CI-smoke matrix
+//	perfbench -validate BENCH_6.json  schema-check a report and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mithrilog/internal/perf"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "", "write/append the run to this report file")
+		prev     = flag.String("prev", "", "carry the runs of this report into -out before appending")
+		label    = flag.String("label", "dev", "label for the recorded run")
+		lines    = flag.Int("lines", 0, "dataset lines (0 = default for the mode)")
+		rounds   = flag.Int("rounds", 0, "queries per matrix point (0 = default for the mode)")
+		quick    = flag.Bool("quick", false, "reduced matrix for CI smoke runs")
+		baseline = flag.String("baseline", "", "diff this run against the last run in the given report; exit 1 on regression")
+		regress  = flag.Float64("regress", perf.DefaultRegressionPct, "regression gate percentage for -baseline")
+		validate = flag.String("validate", "", "validate a report file's schema and exit")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		rep, err := perf.ReadReport(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: valid (%s, %d runs, last %q)\n",
+			*validate, rep.Schema, len(rep.Runs), rep.Runs[len(rep.Runs)-1].Label)
+		return
+	}
+
+	opts := perf.Options{
+		Label:  *label,
+		Lines:  *lines,
+		Rounds: *rounds,
+		Quick:  *quick,
+	}
+	if !*quiet {
+		opts.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	run, err := perf.Measure(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(perf.FormatRun(&run))
+
+	if *out != "" {
+		rep := &perf.Report{Schema: perf.Schema}
+		src := *prev
+		if src == "" {
+			if _, err := os.Stat(*out); err == nil {
+				src = *out
+			}
+		}
+		if src != "" {
+			old, err := perf.ReadReport(src)
+			if err != nil {
+				fatal(fmt.Errorf("read %s: %w", src, err))
+			}
+			rep = old
+		}
+		rep.Schema = perf.Schema
+		rep.Runs = append(rep.Runs, run)
+		if err := perf.WriteReport(*out, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d runs)\n", *out, len(rep.Runs))
+	}
+
+	if *baseline != "" {
+		rep, err := perf.ReadReport(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		base, _ := rep.Last()
+		if err := perf.Comparable(&base, &run); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: %v — diff is informational only\n", err)
+		}
+		deltas, regressed := perf.Diff(&base, &run, *regress)
+		fmt.Printf("\nbaseline %q -> %q (gate: -%.0f%%)\n%s",
+			base.Label, run.Label, *regress, perf.FormatDeltas(deltas))
+		if regressed {
+			fmt.Fprintln(os.Stderr, "perfbench: headline regression beyond gate")
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfbench:", err)
+	os.Exit(1)
+}

@@ -107,6 +107,13 @@ type Engine struct {
 	pendingBytes int
 	ratioGuess   float64
 
+	// ingest scratch, reused across pages so the steady-state ingest path
+	// allocates only for first-seen token keys: the concatenated raw group,
+	// the compressed page image, and the per-page distinct-token set.
+	groupBuf []byte
+	compBuf  []byte
+	seenToks map[string]struct{}
+
 	// ingest profiling (wall time per stage)
 	profile IngestProfile
 
@@ -327,17 +334,37 @@ func (e *Engine) flushPending() error {
 	raw := 0
 	tokens := 0
 	indexStart := time.Now()
-	seen := make(map[string]bool)
+	if e.seenToks == nil {
+		e.seenToks = make(map[string]struct{}, 256)
+	} else {
+		clear(e.seenToks)
+	}
+	// Token scan inlined from splitTokens: the `string(tok)` map probe
+	// compiles alloc-free, so only first-seen tokens materialize a string
+	// (the map key); the index hashes the byte view directly.
 	for _, line := range group {
 		raw += len(line) + 1
-		for _, tok := range splitTokens(line) {
-			if !seen[tok] {
-				seen[tok] = true
-				if err := e.ix.Add(tok, id); err != nil {
-					return err
-				}
-				tokens++
+		i := 0
+		for i < len(line) {
+			for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+				i++
 			}
+			start := i
+			for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+				i++
+			}
+			if i == start {
+				continue
+			}
+			tok := line[start:i]
+			if _, dup := e.seenToks[string(tok)]; dup {
+				continue
+			}
+			e.seenToks[string(tok)] = struct{}{}
+			if err := e.ix.AddBytes(tok, id); err != nil {
+				return err
+			}
+			tokens++
 		}
 	}
 	indexTime := time.Since(indexStart)
@@ -370,15 +397,19 @@ func (e *Engine) flushPending() error {
 	return nil
 }
 
-// compressGroup LZAH-compresses a line group (newline separated).
+// compressGroup LZAH-compresses a line group (newline separated) into the
+// engine's reused scratch buffers; the returned slice is valid until the
+// next call (the device copies pages on write).
 func (e *Engine) compressGroup(lines [][]byte) []byte {
-	var raw []byte
+	raw := e.groupBuf[:0]
 	for _, l := range lines {
 		raw = append(raw, l...)
 		raw = append(raw, '\n')
 	}
+	e.groupBuf = raw
 	start := time.Now()
-	out := e.codec.Compress(nil, raw)
+	out := e.codec.Compress(e.compBuf[:0], raw)
+	e.compBuf = out
 	d := time.Since(start)
 	e.profile.CompressTime += d
 	e.met.ingestCompressSec.Add(d.Seconds())

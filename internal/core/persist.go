@@ -25,8 +25,11 @@ type savedEngine struct {
 }
 
 const (
-	saveMagic   = "MITHRILOG"
-	saveVersion = 1
+	saveMagic = "MITHRILOG"
+	// saveVersion 2: LZAH switched to the register-half word hash, so data
+	// pages written by version-1 builds decode against the wrong table
+	// slots and must be rejected, not silently misread.
+	saveVersion = 2
 )
 
 // Save serializes the engine's full persistent state (storage pages,

@@ -1,0 +1,145 @@
+package cuckoo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mithrilog/internal/query"
+)
+
+// batchTable compiles a table holding a mix of short, slot-sized, and
+// overflow tokens across several intersection sets, for the batch-path
+// differential tests.
+func batchTable(t *testing.T) (*Table, []string) {
+	t.Helper()
+	stored := []string{
+		"a", "ab", "error", "WARN", "kernel:", "sixteen-bytes-xy",
+		"a-token-longer-than-one-slot", "10.0.0.1", "10.0.0.2", "FATAL",
+	}
+	var qs string
+	for i, tok := range stored {
+		if i > 0 {
+			qs += " OR "
+		}
+		qs += fmt.Sprintf("(%s)", tok)
+	}
+	tbl, err := Compile(query.MustParse(qs), Config{Rows: 64, Sets: len(stored)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, stored
+}
+
+// TestLookupBatchMatchesLookupBytes pins the batched lookup byte-for-byte
+// against the scalar path: for every token — hits, misses, absent
+// lengths, empties — LookupBatch must report exactly the row and flag
+// pairs LookupBytes does.
+func TestLookupBatchMatchesLookupBytes(t *testing.T) {
+	tbl, stored := batchTable(t)
+	rng := rand.New(rand.NewSource(42))
+	var toks [][]byte
+	for _, s := range stored {
+		toks = append(toks, []byte(s))
+	}
+	// Misses that share lengths with stored tokens, absent lengths, an
+	// empty token, and a token past the lenMask cap.
+	toks = append(toks,
+		[]byte("b"), []byte("xy"), []byte("eRRor"), []byte("warn"),
+		[]byte(""), []byte("zz"), []byte("a-token-longer-than-one-slo_"),
+		[]byte("this-token-is-far-longer-than-sixty-four-bytes-to-exercise-the-shared-lenmask-bit-at-the-top"),
+	)
+	rng.Shuffle(len(toks), func(i, j int) { toks[i], toks[j] = toks[j], toks[i] })
+
+	// Exercise group sizes around the BatchSize boundary, including a
+	// stream that is not a multiple of BatchSize.
+	for _, n := range []int{1, BatchSize - 1, BatchSize, BatchSize + 3, len(toks)} {
+		sub := toks[:n]
+		rows := make([]int32, n)
+		pairs := make([][]FlagPair, n)
+		tbl.LookupBatch(sub, rows, pairs)
+		for k, tok := range sub {
+			wantRow, wantPairs, ok := tbl.LookupBytes(tok)
+			if !ok {
+				if pairs[k] != nil {
+					t.Fatalf("n=%d tok %q: batch hit row %d, scalar miss", n, tok, rows[k])
+				}
+				continue
+			}
+			if pairs[k] == nil {
+				t.Fatalf("n=%d tok %q: batch miss, scalar hit row %d", n, tok, wantRow)
+			}
+			if int(rows[k]) != wantRow {
+				t.Fatalf("n=%d tok %q: batch row %d, scalar row %d", n, tok, rows[k], wantRow)
+			}
+			if len(pairs[k]) != len(wantPairs) {
+				t.Fatalf("n=%d tok %q: pair count %d vs %d", n, tok, len(pairs[k]), len(wantPairs))
+			}
+			for i := range wantPairs {
+				if pairs[k][i] != wantPairs[i] {
+					t.Fatalf("n=%d tok %q: pair %d = %+v, want %+v", n, tok, i, pairs[k][i], wantPairs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLookupBatchRandomTokens widens the differential to random byte
+// strings so the two paths are compared across arbitrary hash traffic,
+// not just compiled vocabulary.
+func TestLookupBatchRandomTokens(t *testing.T) {
+	tbl, stored := batchTable(t)
+	rng := rand.New(rand.NewSource(7))
+	const streamLen = 4096
+	toks := make([][]byte, streamLen)
+	for i := range toks {
+		if rng.Intn(3) == 0 {
+			toks[i] = []byte(stored[rng.Intn(len(stored))])
+			continue
+		}
+		b := make([]byte, rng.Intn(20))
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(26))
+		}
+		toks[i] = b
+	}
+	rows := make([]int32, streamLen)
+	pairs := make([][]FlagPair, streamLen)
+	tbl.LookupBatch(toks, rows, pairs)
+	hits := 0
+	for k, tok := range toks {
+		wantRow, _, ok := tbl.LookupBytes(tok)
+		gotHit := pairs[k] != nil
+		if gotHit != ok {
+			t.Fatalf("tok %q: batch hit=%v scalar hit=%v", tok, gotHit, ok)
+		}
+		if ok {
+			hits++
+			if int(rows[k]) != wantRow {
+				t.Fatalf("tok %q: batch row %d, scalar row %d", tok, rows[k], wantRow)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("differential stream produced no hits")
+	}
+}
+
+// TestLookupBatchZeroAllocs is the raw-speed pass's allocation guard:
+// the batched lookup must not allocate per lookup.
+func TestLookupBatchZeroAllocs(t *testing.T) {
+	tbl, stored := batchTable(t)
+	toks := make([][]byte, 0, 2*len(stored))
+	for _, s := range stored {
+		toks = append(toks, []byte(s), []byte(s+"x"))
+	}
+	rows := make([]int32, len(toks))
+	pairs := make([][]FlagPair, len(toks))
+	tbl.LookupBatch(toks, rows, pairs) // warm
+	allocs := testing.AllocsPerRun(100, func() {
+		tbl.LookupBatch(toks, rows, pairs)
+	})
+	if allocs != 0 {
+		t.Fatalf("LookupBatch allocates %.1f times per call, want 0", allocs)
+	}
+}

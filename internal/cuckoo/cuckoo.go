@@ -12,6 +12,13 @@
 // the caller must fall back to software evaluation — exactly the behaviour
 // the paper describes. Cuckoo tables statistically succeed below a load
 // factor of 0.5, and the prototype over-provisions rows accordingly.
+//
+// Allocation discipline: the lookup paths — Lookup, LookupBytes, and the
+// batched LookupBatch — allocate nothing (guarded by
+// TestLookupBatchZeroAllocs and the perf harness's cuckoo micro legs);
+// only query compilation allocates. Lookups are also hwpure: results and
+// any cycle-relevant behavior depend only on the table contents and the
+// probed bytes, never on wall clock, randomness, or map iteration order.
 package cuckoo
 
 import (
@@ -173,13 +180,22 @@ func fmix64(h uint64) uint64 {
 	return h
 }
 
+// reduce maps a full-avalanche hash onto a row index. Modulo keeps the
+// mapping identical to the seed implementation (placement statistics and
+// golden row assignments depend on it); profiling showed the divide is
+// dwarfed by the fmix multiplies on the probe path, so a multiply-high
+// reduction is not worth a mapping change here.
+func (t *Table) reduce(h uint64) int {
+	return int(h % uint64(t.cfg.Rows))
+}
+
 func (t *Table) hash1(tok string) int {
 	h := uint64(14695981039346656037) ^ t.cfg.Seed
 	for i := 0; i < len(tok); i++ {
 		h ^= uint64(tok[i])
 		h *= 1099511628211
 	}
-	return int(fmix64(h) % uint64(t.cfg.Rows))
+	return t.reduce(fmix64(h))
 }
 
 func (t *Table) hash2(tok string) int {
@@ -187,7 +203,7 @@ func (t *Table) hash2(tok string) int {
 	for i := 0; i < len(tok); i++ {
 		h = (h ^ uint64(tok[i])) * 0xff51afd7ed558ccd
 	}
-	return int(fmix64(h^0xabcdef1234567890) % uint64(t.cfg.Rows))
+	return t.reduce(fmix64(h ^ 0xabcdef1234567890))
 }
 
 // overflowWordsFor returns the overflow words a token of length n needs.
@@ -243,16 +259,37 @@ func (t *Table) mergePairs(idx int, pairs []FlagPair) error {
 	return nil
 }
 
-// place runs the cuckoo displacement loop for a new entry. On failure the
-// displacement chain is unwound so previously inserted tokens stay intact.
+// place inserts a new entry, preferring whichever of its two slots is
+// free, and otherwise running the cuckoo displacement loop from each
+// starting slot in turn — a cycle blocking the walk rooted at one slot
+// does not necessarily block the other. On failure every displacement
+// chain is unwound so previously inserted tokens stay intact.
 func (t *Table) place(e Entry) error {
+	s1, s2 := t.hash1(e.token), t.hash2(e.token)
+	if !t.entries[s1].used {
+		t.entries[s1] = e
+		return nil
+	}
+	if !t.entries[s2].used {
+		t.entries[s2] = e
+		return nil
+	}
+	if t.walkFrom(e, s1) || t.walkFrom(e, s2) {
+		return nil
+	}
+	return ErrPlacementFailed
+}
+
+// walkFrom runs one displacement walk starting at slot; on cycle
+// detection it unwinds the swaps in reverse so the table is exactly as
+// before the attempt and reports failure.
+func (t *Table) walkFrom(e Entry, slot int) bool {
 	cur := e
-	slot := t.hash1(cur.token)
 	var path []int
 	for hop := 0; hop < t.cfg.MaxEvictions; hop++ {
 		if !t.entries[slot].used {
 			t.entries[slot] = cur
-			return nil
+			return true
 		}
 		// Evict the resident and move it to its alternate location.
 		cur, t.entries[slot] = t.entries[slot], cur
@@ -263,13 +300,11 @@ func (t *Table) place(e Entry) error {
 			slot = t.hash2(cur.token)
 		}
 	}
-	// Cycle detected: unwind the swaps in reverse so the table is exactly
-	// as before the failed insertion.
 	for i := len(path) - 1; i >= 0; i-- {
 		s := path[i]
 		cur, t.entries[s] = t.entries[s], cur
 	}
-	return ErrPlacementFailed
+	return false
 }
 
 // find locates a token's row.
@@ -322,7 +357,7 @@ func (t *Table) hashBytes1(tok []byte) int {
 		h ^= uint64(b)
 		h *= 1099511628211
 	}
-	return int(fmix64(h) % uint64(t.cfg.Rows))
+	return t.reduce(fmix64(h))
 }
 
 func (t *Table) hashBytes2(tok []byte) int {
@@ -330,7 +365,7 @@ func (t *Table) hashBytes2(tok []byte) int {
 	for _, b := range tok {
 		h = (h ^ uint64(b)) * 0xff51afd7ed558ccd
 	}
-	return int(fmix64(h^0xabcdef1234567890) % uint64(t.cfg.Rows))
+	return t.reduce(fmix64(h ^ 0xabcdef1234567890))
 }
 
 // Compile encodes a query into a fresh table, retrying placement with

@@ -1,0 +1,125 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+
+	"mithrilog/internal/query"
+	"mithrilog/internal/tokenizer"
+)
+
+// diffFilters builds two hash filters over the same compiled query, one
+// driven through the batched line path and one through the word-at-a-time
+// reference path.
+func diffFilters(t *testing.T, qs string) (*HashFilter, *HashFilter) {
+	t.Helper()
+	q := query.MustParse(qs)
+	mkPipe := func() *HashFilter {
+		p := NewPipeline(PipelineConfig{HashFilters: 1, Tokenizers: 1})
+		if err := p.Configure(q); err != nil {
+			t.Fatal(err)
+		}
+		return p.filters[0]
+	}
+	return mkPipe(), mkPipe()
+}
+
+// diffLines is a corpus stressing every branch of the line path: empty
+// lines, pure delimiters, multi-word (>16 byte) tokens, negated terms,
+// and column-sensitive orderings.
+func diffLines(rng *rand.Rand, n int) [][]byte {
+	vocab := []string{
+		"error", "warn", "info", "kernel:", "panic", "oom",
+		"a-token-longer-than-one-datapath-word", "10.0.0.1",
+		"disk", "full", "retry", "x",
+	}
+	lines := make([][]byte, n)
+	for i := range lines {
+		switch rng.Intn(10) {
+		case 0:
+			lines[i] = []byte{}
+		case 1:
+			lines[i] = []byte("   \t  ")
+		default:
+			words := rng.Intn(8) + 1
+			var b []byte
+			for w := 0; w < words; w++ {
+				if w > 0 {
+					b = append(b, ' ')
+				}
+				b = append(b, vocab[rng.Intn(len(vocab))]...)
+			}
+			lines[i] = b
+		}
+	}
+	return lines
+}
+
+// TestFeedLineTaggedMatchesFeedTagged pins the batched line path against
+// the word-at-a-time stream: same per-line masks, same counters. The two
+// paths share the compiled table but nothing of the evaluation loop, so
+// this is the oracle for the batched-lookup and deferred-evaluation
+// rewrite (bitmap sets and violation flags commute within a line).
+func TestFeedLineTaggedMatchesFeedTagged(t *testing.T) {
+	queries := []string{
+		`(error) OR (warn AND NOT info)`,
+		`(kernel: AND panic) OR (oom) OR (disk AND full AND NOT retry)`,
+		`(a-token-longer-than-one-datapath-word) OR (x)`,
+		`(error:0) OR (warn:1)`, // column-constrained terms
+	}
+	for _, qs := range queries {
+		fLine, fWord := diffFilters(t, qs)
+		rng := rand.New(rand.NewSource(99))
+		arr := tokenizer.NewArray(1, 0)
+		var words []tokenizer.Word
+		for _, line := range diffLines(rng, 500) {
+			words = arr.TokenizeLine(words[:0], line)
+			gotMask, err := fLine.FeedLineTagged(words)
+			if err != nil {
+				t.Fatalf("%s: line %q: %v", qs, line, err)
+			}
+			var wantMask SetMask
+			for _, w := range words {
+				done, m := fWord.FeedTagged(w)
+				if done {
+					wantMask = m
+				}
+			}
+			if gotMask != wantMask {
+				t.Fatalf("%s: line %q: batch mask %04b, stream mask %04b", qs, line, gotMask, wantMask)
+			}
+		}
+		if fLine.Words() != fWord.Words() || fLine.Lines() != fWord.Lines() || fLine.Kept() != fWord.Kept() {
+			t.Fatalf("%s: counters diverge: line path (w=%d l=%d k=%d) stream (w=%d l=%d k=%d)",
+				qs, fLine.Words(), fLine.Lines(), fLine.Kept(),
+				fWord.Words(), fWord.Lines(), fWord.Kept())
+		}
+	}
+}
+
+// TestFeedLineSteadyStateZeroAllocs guards the warm-path allocation
+// discipline: once scratch buffers have grown, tokenize + filter of a
+// line allocates nothing.
+func TestFeedLineSteadyStateZeroAllocs(t *testing.T) {
+	fLine, _ := diffFilters(t, `(error) OR (warn AND NOT info)`)
+	arr := tokenizer.NewArray(1, 0)
+	lines := [][]byte{
+		[]byte("error disk full"),
+		[]byte("warn retry oom kernel: panic"),
+		[]byte("info a-token-longer-than-one-datapath-word trailing"),
+	}
+	var words []tokenizer.Word
+	feedAll := func() {
+		for _, line := range lines {
+			words = arr.TokenizeLine(words[:0], line)
+			if _, err := fLine.FeedLineTagged(words); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	feedAll() // warm scratch buffers
+	allocs := testing.AllocsPerRun(100, feedAll)
+	if allocs != 0 {
+		t.Fatalf("steady-state tokenize+filter allocates %.1f times per pass, want 0", allocs)
+	}
+}

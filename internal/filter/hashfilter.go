@@ -42,6 +42,15 @@ type HashFilter struct {
 
 	tokBuf []byte
 
+	// Per-line batch scratch for the FeedLine fast path: single-word
+	// tokens gather here (aliasing the caller's word stream) and resolve
+	// through cuckoo.LookupBatch in groups of cuckoo.BatchSize. Reused
+	// across lines; never escapes the filter.
+	batchToks  [][]byte
+	batchCols  []uint16
+	batchRows  []int32
+	batchPairs [][]cuckoo.FlagPair
+
 	words uint64 // datapath words consumed (== busy cycles)
 	lines uint64
 	kept  uint64
@@ -92,6 +101,11 @@ func (h *HashFilter) evalToken(tok []byte, col uint16) {
 	if !ok {
 		return
 	}
+	h.applyPairs(row, pairs, col)
+}
+
+// applyPairs folds one matched row's flag pairs into the line state.
+func (h *HashFilter) applyPairs(row int, pairs []cuckoo.FlagPair, col uint16) {
 	for si := 0; si < h.active; si++ {
 		p := pairs[si]
 		if !p.Valid {
@@ -108,6 +122,29 @@ func (h *HashFilter) evalToken(tok []byte, col uint16) {
 	}
 }
 
+// evalBatch resolves the gathered single-word tokens through the batched
+// cuckoo path and folds every hit into the line state. Bitmap sets and
+// violation flags commute, so deferring these tokens to a line-level
+// batch yields exactly the word-order evaluation's verdict.
+func (h *HashFilter) evalBatch(toks [][]byte, cols []uint16) {
+	if len(toks) == 0 {
+		return
+	}
+	if cap(h.batchRows) < len(toks) {
+		h.batchRows = make([]int32, len(toks))
+		h.batchPairs = make([][]cuckoo.FlagPair, len(toks))
+	}
+	rows := h.batchRows[:len(toks)]
+	prs := h.batchPairs[:len(toks)]
+	h.table.LookupBatch(toks, rows, prs)
+	for k, p := range prs {
+		if p == nil {
+			continue
+		}
+		h.applyPairs(int(rows[k]), p, cols[k])
+	}
+}
+
 func (h *HashFilter) resetLine() {
 	for si := 0; si < h.active; si++ {
 		h.lineBM[si].Reset()
@@ -117,16 +154,10 @@ func (h *HashFilter) resetLine() {
 
 // FeedLine runs a whole pre-tokenized line (its word stream) through the
 // filter and returns the keep decision. The words must form exactly one
-// line (final word flagged LastOfLine).
+// line (final word flagged LastOfLine). This is the warm-path inner loop:
+// it walks the words by pointer, defers single-word tokens to a batched
+// cuckoo lookup, and allocates nothing in steady state.
 func (h *HashFilter) FeedLine(words []tokenizer.Word) (bool, error) {
-	for i, w := range words {
-		done, keep := h.Feed(w)
-		if done {
-			if i != len(words)-1 {
-				return false, fmt.Errorf("filter: line terminated early at word %d/%d", i+1, len(words))
-			}
-			return keep, nil
-		}
-	}
-	return false, fmt.Errorf("filter: word stream did not terminate a line")
+	mask, err := h.FeedLineTagged(words)
+	return mask != 0, err
 }

@@ -139,7 +139,7 @@ func (p *Pipeline) FilterLines(lines [][]byte) ([]int, error) {
 		// hash filters exclusively, so line i lands on filter (i / groupSize) % groups
 		// — equivalently round-robin across filters per tokenizer turn.
 		f := p.filters[i%groups]
-		p.wordBuf = p.array.TokenizeLines(p.wordBuf[:0], [][]byte{line})
+		p.wordBuf = p.array.TokenizeLine(p.wordBuf[:0], line)
 		keep, err := f.FeedLine(p.wordBuf)
 		if err != nil {
 			return nil, err
@@ -172,7 +172,7 @@ func (p *Pipeline) FilterBlock(block []byte) ([][]byte, error) {
 			line, block = block[:nl], block[nl+1:]
 		}
 		f := p.filters[i%len(p.filters)]
-		p.wordBuf = p.array.TokenizeLines(p.wordBuf[:0], [][]byte{line})
+		p.wordBuf = p.array.TokenizeLine(p.wordBuf[:0], line)
 		keep, err := f.FeedLine(p.wordBuf)
 		if err != nil {
 			return nil, err

@@ -71,18 +71,51 @@ func (h *HashFilter) FeedTagged(w tokenizer.Word) (lineDone bool, mask SetMask) 
 }
 
 // FeedLineTagged runs a whole line's word stream through the filter and
-// returns its set mask.
+// returns its set mask. It computes the same mask the word-at-a-time
+// FeedTagged stream would — bitmap sets and violation flags commute
+// within a line — but walks the words by pointer (no per-word struct
+// copy) and resolves single-word tokens through the batched cuckoo
+// lookup; only multi-word tokens pay the reassembly path.
 func (h *HashFilter) FeedLineTagged(words []tokenizer.Word) (SetMask, error) {
-	for i, w := range words {
-		done, mask := h.FeedTagged(w)
-		if done {
-			if i != len(words)-1 {
-				return 0, fmt.Errorf("filter: line terminated early at word %d/%d", i+1, len(words))
-			}
-			return mask, nil
+	n := len(words)
+	if n == 0 {
+		return 0, fmt.Errorf("filter: word stream did not terminate a line")
+	}
+	if !words[n-1].LastOfLine {
+		return 0, fmt.Errorf("filter: word stream did not terminate a line")
+	}
+	toks := h.batchToks[:0]
+	cols := h.batchCols[:0]
+	for i := range words {
+		w := &words[i]
+		if w.LastOfLine && i != n-1 {
+			return 0, fmt.Errorf("filter: line terminated early at word %d/%d", i+1, n)
+		}
+		if !w.LastOfToken {
+			h.tokBuf = append(h.tokBuf, w.Data[:w.Len]...)
+			continue
+		}
+		if len(h.tokBuf) != 0 {
+			// Multi-word token: reassemble and evaluate immediately.
+			h.tokBuf = append(h.tokBuf, w.Data[:w.Len]...)
+			h.evalToken(h.tokBuf, w.Column)
+			h.tokBuf = h.tokBuf[:0]
+		} else if w.Len > 0 {
+			toks = append(toks, w.Data[:w.Len:w.Len])
+			cols = append(cols, w.Column)
 		}
 	}
-	return 0, fmt.Errorf("filter: word stream did not terminate a line")
+	h.evalBatch(toks, cols)
+	h.batchToks = toks[:0]
+	h.batchCols = cols[:0]
+	h.words += uint64(n)
+	mask := h.decideMask()
+	h.resetLine()
+	h.lines++
+	if mask != 0 {
+		h.kept++
+	}
+	return mask, nil
 }
 
 // Tagged pairs a kept line with its set mask.
@@ -111,7 +144,7 @@ func (p *Pipeline) TagBlock(masks []SetMask, block []byte) ([]SetMask, error) {
 			line, block = block[:nl], block[nl+1:]
 		}
 		f := p.filters[i%len(p.filters)]
-		p.wordBuf = p.array.TokenizeLines(p.wordBuf[:0], [][]byte{line})
+		p.wordBuf = p.array.TokenizeLine(p.wordBuf[:0], line)
 		mask, err := f.FeedLineTagged(p.wordBuf)
 		if err != nil {
 			return nil, err
@@ -145,7 +178,7 @@ func (p *Pipeline) FilterBlockTagged(block []byte) ([]Tagged, error) {
 			line, block = block[:nl], block[nl+1:]
 		}
 		f := p.filters[i%len(p.filters)]
-		p.wordBuf = p.array.TokenizeLines(p.wordBuf[:0], [][]byte{line})
+		p.wordBuf = p.array.TokenizeLine(p.wordBuf[:0], line)
 		mask, err := f.FeedLineTagged(p.wordBuf)
 		if err != nil {
 			return nil, err

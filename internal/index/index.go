@@ -173,7 +173,11 @@ func (ix *Index) MemoryFootprint() int {
 }
 
 // hash returns the token's two bucket indices.
-func (ix *Index) hash(token string) (int, int) {
+func (ix *Index) hash(token string) (int, int) { return hashToken(ix, token) }
+
+// hashToken is the shared bucket-pair hash over string and []byte token
+// views, so the ingest path never materializes a string just to hash it.
+func hashToken[T string | []byte](ix *Index, token T) (int, int) {
 	h1 := uint64(14695981039346656037) ^ ix.params.Seed
 	for i := 0; i < len(token); i++ {
 		h1 ^= uint64(token[i])
@@ -205,6 +209,26 @@ func (ix *Index) Add(token string, page storage.PageID) error {
 	}
 	a, b := ix.hash(token)
 	// Push into the bucket with fewer pages so far (§6.2).
+	target := a
+	if ix.buckets[b].count < ix.buckets[a].count {
+		target = b
+	}
+	ix.stats.Adds++
+	if page+1 > ix.highData {
+		ix.highData = page + 1
+	}
+	return ix.push(target, page)
+}
+
+// AddBytes is Add over a byte-slice token view. The index never stores
+// tokens — only their bucket hashes — so the byte form avoids the
+// per-token string conversion on the ingest hot path. Results are
+// identical to Add(string(tok), page).
+func (ix *Index) AddBytes(tok []byte, page storage.PageID) error {
+	if len(tok) == 0 {
+		return ErrTokenEmpty
+	}
+	a, b := hashToken(ix, tok)
 	target := a
 	if ix.buckets[b].count < ix.buckets[a].count {
 		target = b

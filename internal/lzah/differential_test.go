@@ -1,0 +1,163 @@
+package lzah
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// referenceDecompress decodes an LZAH block with a plain byte-at-a-time
+// implementation of the format: per-bit header reads, a [WordSize]byte
+// table, and byte-loop newline scans. It shares only the hash function
+// with the optimized decoder (the hash is part of the format — compressor
+// and decompressor must agree on it), so it is an oracle for the
+// register-half word handling, the SWAR newline scan, and the cached
+// stored-length decode path.
+func referenceDecompress(c *Codec, block []byte) ([]byte, error) {
+	if len(block) < headerBytes {
+		return nil, ErrCorrupt
+	}
+	uncomp := int(binary.LittleEndian.Uint32(block[:4]))
+	payloadLen := int(binary.LittleEndian.Uint32(block[4:]))
+	if headerBytes+payloadLen > len(block) {
+		return nil, ErrCorrupt
+	}
+	in := block[headerBytes : headerBytes+payloadLen]
+
+	type slot struct {
+		word [WordSize]byte
+		n    int
+		used bool
+	}
+	table := make([]slot, c.entries)
+	hash := func(w [WordSize]byte) int {
+		lo := binary.LittleEndian.Uint64(w[:8])
+		hi := binary.LittleEndian.Uint64(w[8:])
+		return c.hashWord(lo, hi)
+	}
+
+	var out []byte
+	pos := 0
+	for len(out) < uncomp {
+		if pos+WordSize > len(in) {
+			return nil, fmt.Errorf("%w: truncated chunk header", ErrCorrupt)
+		}
+		header := in[pos : pos+WordSize]
+		chunkStart := pos
+		pos += WordSize
+		for pair := 0; pair < ChunkPairs && len(out) < uncomp; pair++ {
+			isMatch := header[pair/8]>>(uint(pair)%8)&1 != 0
+			if isMatch {
+				if pos+2 > len(in) {
+					return nil, fmt.Errorf("%w: truncated match index", ErrCorrupt)
+				}
+				idx := int(in[pos]) | int(in[pos+1])<<8
+				pos += 2
+				if idx >= c.entries || !table[idx].used {
+					return nil, fmt.Errorf("%w: bad match index %d", ErrCorrupt, idx)
+				}
+				n := table[idx].n
+				if rem := uncomp - len(out); n > rem {
+					n = rem
+				}
+				out = append(out, table[idx].word[:n]...)
+			} else {
+				limit := WordSize
+				if rem := uncomp - len(out); rem < limit {
+					limit = rem
+				}
+				if avail := len(in) - pos; limit > avail {
+					limit = avail
+				}
+				if limit == 0 {
+					return nil, fmt.Errorf("%w: truncated literal", ErrCorrupt)
+				}
+				n := limit
+				if !c.opts.DisableNewlineAlign {
+					for i := 0; i < limit; i++ {
+						if in[pos+i] == '\n' {
+							n = i + 1
+							break
+						}
+					}
+				}
+				var w [WordSize]byte
+				copy(w[:], in[pos:pos+n])
+				s := &table[hash(w)]
+				s.word, s.n, s.used = w, n, true
+				out = append(out, in[pos:pos+n]...)
+				pos += n
+			}
+		}
+		if rem := (pos - chunkStart) % WordSize; rem != 0 {
+			pos += WordSize - rem
+		}
+	}
+	return out, nil
+}
+
+// diffCorpora builds inputs stressing the decoder's branches: log-like
+// repetitive lines, incompressible noise, runs of newlines, and tails
+// shorter than one word.
+func diffCorpora(rng *rand.Rand) [][]byte {
+	var logs bytes.Buffer
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&logs, "worker-%d state=%s retry=%d kernel: page fault at 0x%08x\n",
+			i%7, []string{"up", "down", "draining"}[i%3], i%5, rng.Uint32())
+	}
+	noise := make([]byte, 3000)
+	rng.Read(noise)
+	newlines := bytes.Repeat([]byte{'\n'}, 257)
+	short := []byte("tail")
+	mixed := append(append([]byte{}, logs.Bytes()[:1000]...), noise[:500]...)
+	return [][]byte{logs.Bytes(), noise, newlines, short, mixed, {}, {'\n'}}
+}
+
+// TestDecompressMatchesReference pins the optimized word-at-a-time
+// decoder byte-for-byte against the naive oracle, with and without
+// newline alignment.
+func TestDecompressMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2021))
+	for _, align := range []bool{true, false} {
+		c := NewCodec(Options{DisableNewlineAlign: !align})
+		for ci, src := range diffCorpora(rng) {
+			block := c.Compress(nil, src)
+			want, err := referenceDecompress(c, block)
+			if err != nil {
+				t.Fatalf("align=%v corpus %d: reference: %v", align, ci, err)
+			}
+			got, err := c.Decompress(nil, block)
+			if err != nil {
+				t.Fatalf("align=%v corpus %d: optimized: %v", align, ci, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("align=%v corpus %d: decoder outputs diverge (%d vs %d bytes)", align, ci, len(got), len(want))
+			}
+			if !bytes.Equal(got, src) {
+				t.Fatalf("align=%v corpus %d: round trip mismatch", align, ci)
+			}
+		}
+	}
+}
+
+// TestDecompressArenaZeroAllocs guards the decode-into-arena contract:
+// decompressing into a dst with sufficient capacity allocates nothing.
+func TestDecompressArenaZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewCodec(Options{})
+	src := diffCorpora(rng)[0]
+	block := c.Compress(nil, src)
+	arena := make([]byte, 0, len(src))
+	allocs := testing.AllocsPerRun(50, func() {
+		var err error
+		arena, err = c.Decompress(arena[:0], block)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("arena decompress allocates %.1f times per block, want 0", allocs)
+	}
+}

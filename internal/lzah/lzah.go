@@ -23,12 +23,20 @@
 // tiny fixed header and the hash table is rebuilt from block-local data on
 // both sides. Blocks therefore map directly onto storage pages (§5,
 // "aligning chunks at page boundaries").
+//
+// Allocation discipline: Compress and Decompress only grow the caller's
+// dst — decoding into an arena with sufficient capacity allocates nothing
+// (guarded by TestDecompressArenaZeroAllocs and the perf harness's LZAH
+// micro leg). The codec is hwpure: output bytes and the DecodeWords cycle
+// account are pure functions of the input block, with the cycle counter
+// maintained only through hwsim's accounting rules (see LINT.md).
 package lzah
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"mithrilog/internal/hwsim"
 )
@@ -74,13 +82,24 @@ func (o Options) withDefaults() Options {
 // Codec compresses and decompresses LZAH blocks. A Codec is stateless
 // between blocks (every block is independent) and safe to reuse; it is not
 // safe for concurrent use because it owns scratch tables.
+//
+// The software model holds each 16-byte table word as a pair of uint64
+// register halves (little-endian lane order) rather than a byte array:
+// window extraction, hashing, and the match compare all run word-at-a-time
+// on those halves, mirroring the hardware's registered 128-bit datapath.
+// tabLen caches each stored word's emission length (through its newline),
+// so match decode never rescans the word. All inner loops are free of heap
+// allocation; Compress and Decompress only grow the caller's dst.
 type Codec struct {
 	opts    Options
 	entries int
-	table   [][WordSize]byte
-	valid   []bool
-	gen     []uint32 // table generation tags, avoiding O(table) clears per block
-	curGen  uint32
+	// tabLo/tabHi are the stored words' low/high uint64 halves; tabLen is
+	// the stored byte length (1..WordSize, newline included).
+	tabLo  []uint64
+	tabHi  []uint64
+	tabLen []uint8
+	gen    []uint32 // table generation tags, avoiding O(table) clears per block
+	curGen uint32
 
 	decodeWords uint64 // deterministic one-word-per-cycle decode accounting
 }
@@ -95,8 +114,9 @@ func NewCodec(opts Options) *Codec {
 	return &Codec{
 		opts:    opts,
 		entries: n,
-		table:   make([][WordSize]byte, n),
-		valid:   make([]bool, n),
+		tabLo:   make([]uint64, n),
+		tabHi:   make([]uint64, n),
+		tabLen:  make([]uint8, n),
 		gen:     make([]uint32, n),
 	}
 }
@@ -120,41 +140,87 @@ func (c *Codec) newBlock() {
 	}
 }
 
-func (c *Codec) tableGet(idx int) ([WordSize]byte, bool) {
-	if c.gen[idx] != c.curGen {
-		return [WordSize]byte{}, false
-	}
-	return c.table[idx], true
-}
-
-func (c *Codec) tableSet(idx int, w [WordSize]byte) {
+// tableSet stores a word (as register halves plus byte length) at idx.
+func (c *Codec) tableSet(idx int, lo, hi uint64, n int) {
 	c.gen[idx] = c.curGen
-	c.table[idx] = w
+	c.tabLo[idx] = lo
+	c.tabHi[idx] = hi
+	c.tabLen[idx] = uint8(n)
 }
 
-// hashWord maps a (zero-padded) window word to a table index.
-func (c *Codec) hashWord(w [WordSize]byte) int {
-	h := uint64(14695981039346656037)
-	for _, b := range w {
-		h ^= uint64(b)
-		h *= 1099511628211
-	}
+// hashWord maps a (zero-padded) window word, given as register halves, to
+// a table index: one multiply per half, a xor-shift finalizer, and a
+// multiply-high range reduction — the software stand-in for the hardware
+// hash unit, at a fixed handful of ALU ops per window instead of a
+// byte-serial dependency chain.
+func (c *Codec) hashWord(lo, hi uint64) int {
+	h := lo*0x9e3779b97f4a7c15 ^ hi*0xc2b2ae3d27d4eb4f
 	h ^= h >> 29
 	h *= 0xbf58476d1ce4e5b9
 	h ^= h >> 32
-	return int(h % uint64(c.entries))
+	q, _ := bits.Mul64(h, uint64(c.entries))
+	return int(q)
+}
+
+// SWAR byte masks for the newline scan.
+const (
+	nlLanes  = 0x0a0a0a0a0a0a0a0a
+	lsbLanes = 0x0101010101010101
+	msbLanes = 0x8080808080808080
+)
+
+// nlIndex returns the byte index (0..7) of the first '\n' in the
+// little-endian packed word, or 8 when absent — the zero-byte SWAR trick
+// applied to x XOR '\n' lanes.
+func nlIndex(x uint64) int {
+	y := x ^ nlLanes
+	m := (y - lsbLanes) &^ y & msbLanes
+	if m == 0 {
+		return 8
+	}
+	return bits.TrailingZeros64(m) >> 3
+}
+
+// maskWin zeroes the bytes at and above n in the 16-byte window held as
+// register halves, producing the zero-padded stored form.
+func maskWin(lo, hi uint64, n int) (uint64, uint64) {
+	if n >= WordSize {
+		return lo, hi
+	}
+	if n >= 8 {
+		return lo, hi & (1<<(uint(n-8)*8) - 1)
+	}
+	return lo & (1<<(uint(n)*8) - 1), 0
 }
 
 // window extracts the next window at src[pos:]: up to WordSize bytes,
 // truncated at (and including) the first newline when newline alignment is
-// enabled. It returns the zero-padded word and the number of input bytes
-// consumed.
-func (c *Codec) window(src []byte, pos int) (w [WordSize]byte, consumed int) {
-	end := pos + WordSize
-	if end > len(src) {
-		end = len(src)
+// enabled. It returns the zero-padded word as register halves and the
+// number of input bytes consumed. The common interior case is two 8-byte
+// loads and a SWAR newline scan; only the block tail falls back to the
+// byte loop.
+func (c *Codec) window(src []byte, pos int) (lo, hi uint64, consumed int) {
+	if pos+WordSize <= len(src) {
+		lo = binary.LittleEndian.Uint64(src[pos:])
+		hi = binary.LittleEndian.Uint64(src[pos+8:])
+		n := WordSize
+		if !c.opts.DisableNewlineAlign {
+			if i := nlIndex(lo); i < 8 {
+				n = i + 1
+			} else if j := nlIndex(hi); j < 8 {
+				n = 8 + j + 1
+			}
+			lo, hi = maskWin(lo, hi, n)
+		}
+		return lo, hi, n
 	}
-	n := end - pos
+	return c.windowTail(src, pos)
+}
+
+// windowTail handles the final, shorter-than-a-word stretch of the block.
+func (c *Codec) windowTail(src []byte, pos int) (lo, hi uint64, consumed int) {
+	var w [WordSize]byte
+	n := len(src) - pos
 	if !c.opts.DisableNewlineAlign {
 		for i := 0; i < n; i++ {
 			if src[pos+i] == '\n' {
@@ -164,7 +230,9 @@ func (c *Codec) window(src []byte, pos int) (w [WordSize]byte, consumed int) {
 		}
 	}
 	copy(w[:], src[pos:pos+n])
-	return w, n
+	lo = binary.LittleEndian.Uint64(w[:8])
+	hi = binary.LittleEndian.Uint64(w[8:])
+	return lo, hi, n
 }
 
 // Compress appends the compressed form of src to dst and returns the
@@ -180,21 +248,24 @@ func (c *Codec) window(src []byte, pos int) (w [WordSize]byte, consumed int) {
 func (c *Codec) Compress(dst, src []byte) []byte {
 	c.newBlock()
 	base := len(dst)
-	dst = append(dst, make([]byte, headerBytes)...)
+	dst = append(dst, zeroWord[:headerBytes]...)
 	binary.LittleEndian.PutUint32(dst[base:], uint32(len(src)))
 
-	var headerBits [WordSize]byte
+	// The 128 header bits accumulate in two uint64 halves and are stored
+	// little-endian, identical to the former per-byte bit sets.
+	var headLo, headHi uint64
 	pairCount := 0
 	headerPos := len(dst)
-	dst = append(dst, headerBits[:]...) // placeholder for first chunk header
+	dst = append(dst, zeroWord[:]...) // placeholder for first chunk header
 
 	flushChunk := func() {
-		copy(dst[headerPos:], headerBits[:])
+		binary.LittleEndian.PutUint64(dst[headerPos:], headLo)
+		binary.LittleEndian.PutUint64(dst[headerPos+8:], headHi)
 		// Pad payloads to a word boundary.
 		if rem := (len(dst) - headerPos) % WordSize; rem != 0 {
-			dst = append(dst, make([]byte, WordSize-rem)...)
+			dst = append(dst, zeroWord[:WordSize-rem]...)
 		}
-		headerBits = [WordSize]byte{}
+		headLo, headHi = 0, 0
 		pairCount = 0
 	}
 
@@ -203,17 +274,19 @@ func (c *Codec) Compress(dst, src []byte) []byte {
 		if pairCount == ChunkPairs {
 			flushChunk()
 			headerPos = len(dst)
-			dst = append(dst, headerBits[:]...)
+			dst = append(dst, zeroWord[:]...)
 		}
-		w, consumed := c.window(src, pos)
-		idx := c.hashWord(w)
-		if stored, ok := c.tableGet(idx); ok && stored == w {
-			headerBits[pairCount>>3] |= 1 << (uint(pairCount) & 7)
-			var ib [2]byte
-			binary.LittleEndian.PutUint16(ib[:], uint16(idx))
-			dst = append(dst, ib[:]...)
+		lo, hi, consumed := c.window(src, pos)
+		idx := c.hashWord(lo, hi)
+		if c.gen[idx] == c.curGen && c.tabLo[idx] == lo && c.tabHi[idx] == hi {
+			if pairCount < 64 {
+				headLo |= 1 << uint(pairCount)
+			} else {
+				headHi |= 1 << uint(pairCount-64)
+			}
+			dst = append(dst, byte(idx), byte(idx>>8))
 		} else {
-			c.tableSet(idx, w)
+			c.tableSet(idx, lo, hi, consumed)
 			dst = append(dst, src[pos:pos+consumed]...)
 		}
 		pairCount++
@@ -225,6 +298,9 @@ func (c *Codec) Compress(dst, src []byte) []byte {
 	binary.LittleEndian.PutUint32(dst[base+4:], uint32(len(dst)-base-headerBytes))
 	return dst
 }
+
+// zeroWord is a shared all-zero word used for headers and padding.
+var zeroWord [WordSize]byte
 
 // CompressedLen returns the total block length (header + payload) encoded
 // at the start of block, without decompressing.
@@ -248,6 +324,11 @@ func UncompressedLen(block []byte) (int, error) {
 // register; payload words are parsed per header bit, either indexing the
 // table or passing through as literals; the table is maintained
 // identically to the compressor by hashing emitted words.
+//
+// dst is grown to the block's full uncompressed length up front (one
+// reallocation at most), so decoding into a reused arena is allocation
+// free; a match emits straight from the table's register halves at the
+// stored word length, never rescanning for the newline.
 func (c *Codec) Decompress(dst, block []byte) ([]byte, error) {
 	c.newBlock()
 	if len(block) < headerBytes {
@@ -259,37 +340,51 @@ func (c *Codec) Decompress(dst, block []byte) ([]byte, error) {
 		return dst, fmt.Errorf("%w: payload length %d exceeds block", ErrCorrupt, payloadLen)
 	}
 	in := block[headerBytes : headerBytes+payloadLen]
+	if need := len(dst) + uncomp; cap(dst) < need {
+		grown := make([]byte, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
 
 	produced := 0
 	pos := 0
 	for produced < uncomp {
-		// Read one chunk header word.
+		// Read one chunk header word into its two uint64 halves.
 		if pos+WordSize > len(in) {
 			return dst, fmt.Errorf("%w: truncated chunk header", ErrCorrupt)
 		}
-		var header [WordSize]byte
-		copy(header[:], in[pos:pos+WordSize])
+		headLo := binary.LittleEndian.Uint64(in[pos:])
+		headHi := binary.LittleEndian.Uint64(in[pos+8:])
 		chunkStart := pos
 		pos += WordSize
 		for pair := 0; pair < ChunkPairs && produced < uncomp; pair++ {
-			isMatch := header[pair>>3]&(1<<(uint(pair)&7)) != 0
-			var w [WordSize]byte
-			var n int
+			var isMatch bool
+			if pair < 64 {
+				isMatch = headLo>>uint(pair)&1 != 0
+			} else {
+				isMatch = headHi>>uint(pair-64)&1 != 0
+			}
 			if isMatch {
 				if pos+2 > len(in) {
 					return dst, fmt.Errorf("%w: truncated match index", ErrCorrupt)
 				}
-				idx := int(binary.LittleEndian.Uint16(in[pos:]))
+				idx := int(in[pos]) | int(in[pos+1])<<8
 				pos += 2
 				if idx >= c.entries {
 					return dst, fmt.Errorf("%w: table index %d out of range", ErrCorrupt, idx)
 				}
-				stored, ok := c.tableGet(idx)
-				if !ok {
+				if c.gen[idx] != c.curGen {
 					return dst, fmt.Errorf("%w: match references empty table slot %d", ErrCorrupt, idx)
 				}
-				w = stored
-				n = c.wordLen(w, uncomp-produced)
+				n := int(c.tabLen[idx])
+				if rem := uncomp - produced; n > rem {
+					n = rem
+				}
+				var w [WordSize]byte
+				binary.LittleEndian.PutUint64(w[:8], c.tabLo[idx])
+				binary.LittleEndian.PutUint64(w[8:], c.tabHi[idx])
+				dst = append(dst, w[:n]...)
+				produced += n
 			} else {
 				remaining := uncomp - produced
 				limit := WordSize
@@ -303,21 +398,40 @@ func (c *Codec) Decompress(dst, block []byte) ([]byte, error) {
 				if limit > avail {
 					limit = avail
 				}
-				n = limit
-				if !c.opts.DisableNewlineAlign {
-					for i := 0; i < limit; i++ {
-						if in[pos+i] == '\n' {
-							n = i + 1
-							break
+				var lo, hi uint64
+				n := limit
+				if pos+WordSize <= len(in) {
+					lo = binary.LittleEndian.Uint64(in[pos:])
+					hi = binary.LittleEndian.Uint64(in[pos+8:])
+					if !c.opts.DisableNewlineAlign {
+						if i := nlIndex(lo); i < 8 {
+							if i+1 < n {
+								n = i + 1
+							}
+						} else if j := nlIndex(hi); j < 8 && 8+j+1 < n {
+							n = 8 + j + 1
 						}
 					}
+					lo, hi = maskWin(lo, hi, n)
+				} else {
+					if !c.opts.DisableNewlineAlign {
+						for i := 0; i < limit; i++ {
+							if in[pos+i] == '\n' {
+								n = i + 1
+								break
+							}
+						}
+					}
+					var w [WordSize]byte
+					copy(w[:], in[pos:pos+n])
+					lo = binary.LittleEndian.Uint64(w[:8])
+					hi = binary.LittleEndian.Uint64(w[8:])
 				}
-				copy(w[:], in[pos:pos+n])
+				c.tableSet(c.hashWord(lo, hi), lo, hi, n)
+				dst = append(dst, in[pos:pos+n]...)
 				pos += n
-				c.tableSet(c.hashWord(w), w)
+				produced += n
 			}
-			dst = append(dst, w[:n]...)
-			produced += n
 			c.decodeWords++
 		}
 		// Skip the chunk's word-boundary padding.
@@ -329,25 +443,6 @@ func (c *Codec) Decompress(dst, block []byte) ([]byte, error) {
 		return dst, fmt.Errorf("%w: produced %d of %d bytes", ErrCorrupt, produced, uncomp)
 	}
 	return dst, nil
-}
-
-// wordLen returns how many bytes of a matched word are emitted: through
-// the newline if present, else the full word, capped by the remaining
-// output budget.
-func (c *Codec) wordLen(w [WordSize]byte, remaining int) int {
-	n := WordSize
-	if !c.opts.DisableNewlineAlign {
-		for i := 0; i < WordSize; i++ {
-			if w[i] == '\n' {
-				n = i + 1
-				break
-			}
-		}
-	}
-	if n > remaining {
-		n = remaining
-	}
-	return n
 }
 
 // Ratio is a convenience: original size divided by compressed size.

@@ -1,0 +1,22 @@
+package perf
+
+import (
+	"time"
+
+	"mithrilog/internal/cuckoo"
+)
+
+// cuckooBatchNs times Table.LookupBatch over the token stream in groups
+// of cuckoo.BatchSize, returning ns per token. The result arrays are
+// reused across iterations so the figure measures the lookup path, not
+// allocator traffic (the batch path itself allocates nothing).
+func cuckooBatchNs(table *cuckoo.Table, toks [][]byte, iters int) float64 {
+	rows := make([]int32, len(toks))
+	pairs := make([][]cuckoo.FlagPair, len(toks))
+	table.LookupBatch(toks, rows, pairs) // warm
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		table.LookupBatch(toks, rows, pairs)
+	}
+	return nsPerOp(int64(len(toks))*int64(iters), time.Since(start))
+}

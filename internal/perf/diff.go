@@ -1,0 +1,132 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Delta is one headline metric compared between two runs.
+type Delta struct {
+	// Name is the metric ("ingest.mb_per_s", "queries.warm.8.qps", ...).
+	Name string
+	// Old and New are the metric values; HigherIsBetter orients them.
+	Old, New       float64
+	HigherIsBetter bool
+	// ChangePct is the signed relative change in the metric's good
+	// direction: positive = improvement, negative = regression.
+	ChangePct float64
+	// Regressed marks a change worse than the gating threshold.
+	Regressed bool
+}
+
+// Ratio returns New/Old in the "speedup" orientation: >1 means the new
+// run is better, regardless of the metric's direction.
+func (d Delta) Ratio() float64 {
+	if d.Old == 0 || d.New == 0 {
+		return 0
+	}
+	if d.HigherIsBetter {
+		return d.New / d.Old
+	}
+	return d.Old / d.New
+}
+
+// Comparable reports whether two runs were recorded on matching machines
+// and workloads; wall-clock diffs across machines are noise.
+func Comparable(old, cur *Run) error {
+	if old.GOOS != cur.GOOS || old.GOARCH != cur.GOARCH || old.CPUs != cur.CPUs {
+		return fmt.Errorf("machine mismatch: %s/%s/%d CPUs vs %s/%s/%d CPUs",
+			old.GOOS, old.GOARCH, old.CPUs, cur.GOOS, cur.GOARCH, cur.CPUs)
+	}
+	ow, cw := old.Workload, cur.Workload
+	if ow.Dataset != cw.Dataset || ow.Lines != cw.Lines || ow.Rounds != cw.Rounds {
+		return fmt.Errorf("workload mismatch: %s/%d lines/%d rounds vs %s/%d lines/%d rounds",
+			ow.Dataset, ow.Lines, ow.Rounds, cw.Dataset, cw.Lines, cw.Rounds)
+	}
+	return nil
+}
+
+// Diff compares cur against old over the headline metrics and returns the
+// deltas plus whether any metric regressed by more than thresholdPct.
+// Metrics absent from either run (e.g. the batched-lookup leg in runs
+// recorded before the API existed) are skipped.
+func Diff(old, cur *Run, thresholdPct float64) (deltas []Delta, regressed bool) {
+	if thresholdPct <= 0 {
+		thresholdPct = DefaultRegressionPct
+	}
+	add := func(name string, o, n float64, higherBetter bool) {
+		if o <= 0 || n <= 0 {
+			return
+		}
+		var change float64
+		if higherBetter {
+			change = (n - o) / o * 100
+		} else {
+			change = (o - n) / o * 100
+		}
+		d := Delta{Name: name, Old: o, New: n, HigherIsBetter: higherBetter,
+			ChangePct: change, Regressed: change < -thresholdPct}
+		if d.Regressed {
+			regressed = true
+		}
+		deltas = append(deltas, d)
+	}
+
+	add("ingest.mb_per_s", old.Ingest.MBPerS, cur.Ingest.MBPerS, true)
+	add("ingest.allocs_per_line", old.Ingest.AllocsPerLine, cur.Ingest.AllocsPerLine, false)
+	for _, oq := range old.Queries {
+		cq, ok := cur.Point(oq.InFlight, oq.Cache)
+		if !ok {
+			continue
+		}
+		base := fmt.Sprintf("queries.%s.%d", oq.Cache, oq.InFlight)
+		add(base+".qps", oq.QPS, cq.QPS, true)
+		add(base+".p99_us", oq.P99Us, cq.P99Us, false)
+	}
+	add("micro.tokenize_mb_per_s", old.Micro.TokenizeMBPerS, cur.Micro.TokenizeMBPerS, true)
+	add("micro.cuckoo_lookup_ns", old.Micro.CuckooLookupNs, cur.Micro.CuckooLookupNs, false)
+	add("micro.cuckoo_batch_ns", old.Micro.CuckooBatchNs, cur.Micro.CuckooBatchNs, false)
+	add("micro.lzah_decode_mb_per_s", old.Micro.LZAHDecodeMBPerS, cur.Micro.LZAHDecodeMBPerS, true)
+	add("micro.lzah_compress_mb_per_s", old.Micro.LZAHCompressMBPerS, cur.Micro.LZAHCompressMBPerS, true)
+	add("micro.filter_warm_mb_per_s", old.Micro.FilterWarmMBPerS, cur.Micro.FilterWarmMBPerS, true)
+	return deltas, regressed
+}
+
+// FormatDeltas renders a diff as an aligned text table.
+func FormatDeltas(deltas []Delta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %14s %14s %9s %8s\n", "metric", "old", "new", "change", "speedup")
+	for _, d := range deltas {
+		flag := ""
+		if d.Regressed {
+			flag = "  REGRESSED"
+		}
+		fmt.Fprintf(&b, "%-28s %14.2f %14.2f %+8.1f%% %7.2fx%s\n",
+			d.Name, d.Old, d.New, d.ChangePct, d.Ratio(), flag)
+	}
+	return b.String()
+}
+
+// FormatRun renders one run as a human-readable summary table.
+func FormatRun(run *Run) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run %q  %s %s/%s %d CPUs\n", run.Label, run.GoVersion, run.GOOS, run.GOARCH, run.CPUs)
+	w := run.Workload
+	fmt.Fprintf(&b, "workload: %s, %d lines (%.1f MB), %d-query mix, %d rounds/point\n",
+		w.Dataset, w.Lines, float64(w.RawBytes)/1e6, w.QueryMix, w.Rounds)
+	fmt.Fprintf(&b, "ingest: %8.1f MB/s  %9.0f lines/s  %6.1f allocs/line\n",
+		run.Ingest.MBPerS, run.Ingest.LinesPerS, run.Ingest.AllocsPerLine)
+	for _, q := range run.Queries {
+		fmt.Fprintf(&b, "queries %-4s @%-2d in-flight: %8.1f q/s  p50 %7.0f us  p99 %7.0f us\n",
+			q.Cache, q.InFlight, q.QPS, q.P50Us, q.P99Us)
+	}
+	m := run.Micro
+	fmt.Fprintf(&b, "micro: tokenize %.1f MB/s (%.2f allocs/line)  cuckoo %.1f ns/lookup",
+		m.TokenizeMBPerS, m.TokenizeAllocsPerLine, m.CuckooLookupNs)
+	if m.CuckooBatchNs > 0 {
+		fmt.Fprintf(&b, " (batch %.1f ns/tok)", m.CuckooBatchNs)
+	}
+	fmt.Fprintf(&b, "\nmicro: lzah decode %.1f MB/s (%.2f allocs/block)  compress %.1f MB/s  filter-warm %.1f MB/s\n",
+		m.LZAHDecodeMBPerS, m.LZAHDecodeAllocsPerBlock, m.LZAHCompressMBPerS, m.FilterWarmMBPerS)
+	return b.String()
+}

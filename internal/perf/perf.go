@@ -1,0 +1,303 @@
+// Package perf is the wall-clock benchmark harness behind cmd/perfbench
+// and the committed BENCH_<n>.json trajectory (see PERFORMANCE.md).
+//
+// Everything this package measures is host wall-clock time — the cost of
+// running the reproduction's software engine — never the simulated cycle
+// model: hwsim cycle accounts are a pure function of the input data and
+// are fenced separately by the hwpure/unitcheck analyzers. The harness
+// runs a fixed workload matrix (ingest MB/s; full-scan queries/s at 1, 8,
+// and 64 in-flight against cold and warm page caches; p50/p99 latency;
+// allocations per operation on the tokenize, cuckoo-lookup, and LZAH
+// decode inner loops) and emits a schema-versioned report that diffs
+// against a recorded baseline.
+//
+// Allocation discipline: the harness itself allocates freely (it is not a
+// hot path), but its micro legs measure the zero-allocation contracts of
+// internal/tokenizer, internal/cuckoo, and internal/lzah directly, so a
+// regression in those contracts moves a committed number.
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"mithrilog"
+	"mithrilog/internal/loggen"
+)
+
+// DefaultRegressionPct is the -baseline gate: a headline metric moving
+// worse by more than this fraction fails the diff.
+const DefaultRegressionPct = 10.0
+
+// Options size a harness run. The zero value selects the full matrix;
+// Quick shrinks everything to CI-smoke scale.
+type Options struct {
+	// Label names the tree state in the recorded run.
+	Label string
+	// Lines is the generated dataset size (default 30000; quick 6000).
+	Lines int
+	// Rounds is the number of queries issued per matrix point (default
+	// 96; quick 16).
+	Rounds int
+	// InFlight are the offered-load levels (default 1, 8, 64).
+	InFlight []int
+	// CacheBytes sizes the warm engine's page cache (default 256 MiB).
+	CacheBytes int64
+	// Seed drives dataset generation (default: the profile seed).
+	Seed int64
+	// Quick selects the reduced CI-smoke matrix.
+	Quick bool
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Label == "" {
+		o.Label = "dev"
+	}
+	if o.Lines <= 0 {
+		if o.Quick {
+			o.Lines = 6000
+		} else {
+			o.Lines = 30000
+		}
+	}
+	if o.Rounds <= 0 {
+		if o.Quick {
+			o.Rounds = 16
+		} else {
+			o.Rounds = 96
+		}
+	}
+	if len(o.InFlight) == 0 {
+		o.InFlight = []int{1, 8, 64}
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 256 << 20
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+	return o
+}
+
+// queryMix is the fixed expression set issued round-robin at every matrix
+// point: single tokens of varying selectivity, conjunctions, negations,
+// and disjunctions over the Liberty2 vocabulary, all offloadable.
+var queryMix = []string{
+	`kernel:`, `lustre`, `recovery`, `error`, `daemon`, `session`,
+	`kernel: AND error`, `lustre AND NOT recovery`, `daemon OR session`,
+	`connection AND refused`, `NOT kernel:`, `heartbeat`,
+	`client AND session`, `pbs_mom:`, `status`, `failed OR aborted`,
+}
+
+// Measure executes the full workload matrix and returns the recorded run.
+func Measure(opts Options) (Run, error) {
+	opts = opts.withDefaults()
+	run := Run{
+		Label:     opts.Label,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Quick:     opts.Quick,
+	}
+
+	profile := loggen.Liberty2
+	ds := loggen.Generate(profile, opts.Lines, opts.Seed)
+	raw := int64(ds.SizeBytes())
+	run.Workload = WorkloadSpec{
+		Dataset:    profile.Name,
+		Lines:      len(ds.Lines),
+		RawBytes:   raw,
+		QueryMix:   len(queryMix),
+		Rounds:     opts.Rounds,
+		CacheBytes: opts.CacheBytes,
+		Seed:       opts.Seed,
+	}
+
+	queries := make([]mithrilog.Query, len(queryMix))
+	for i, e := range queryMix {
+		q, err := mithrilog.ParseQuery(e)
+		if err != nil {
+			return run, fmt.Errorf("perf: query mix %q: %w", e, err)
+		}
+		queries[i] = q
+	}
+
+	opts.Log("ingest: %d lines (%.1f MB)", len(ds.Lines), float64(raw)/1e6)
+	ing, err := measureIngest(ds)
+	if err != nil {
+		return run, err
+	}
+	run.Ingest = ing
+
+	// Cold engine: no page cache — every query pays the flash read, the
+	// LZAH decode, and the tokenization. Warm engine: cache sized to hold
+	// the whole tokenized dataset, pre-warmed with one pass, so measured
+	// queries re-enter the pipeline at the hash filters.
+	maxFlight := 0
+	for _, n := range opts.InFlight {
+		if n > maxFlight {
+			maxFlight = n
+		}
+	}
+	mkEngine := func(cacheBytes int64) (*mithrilog.Engine, error) {
+		eng := mithrilog.Open(mithrilog.Config{
+			CacheBytes:  cacheBytes,
+			MaxInFlight: maxFlight,
+			QueueDepth:  maxFlight * 4,
+		})
+		if err := eng.IngestBytes(ds.Lines); err != nil {
+			return nil, err
+		}
+		if err := eng.Flush(); err != nil {
+			return nil, err
+		}
+		return eng, nil
+	}
+	cold, err := mkEngine(0)
+	if err != nil {
+		return run, err
+	}
+	warm, err := mkEngine(opts.CacheBytes)
+	if err != nil {
+		return run, err
+	}
+	// Warm pass: populate the cache and the allocator's steady state.
+	for _, q := range queries {
+		if _, err := warm.SearchQuery(q, mithrilog.SearchOptions{NoIndex: true}); err != nil {
+			return run, err
+		}
+	}
+	if _, err := cold.SearchQuery(queries[0], mithrilog.SearchOptions{NoIndex: true}); err != nil {
+		return run, err
+	}
+
+	for _, cache := range []string{"cold", "warm"} {
+		eng := cold
+		if cache == "warm" {
+			eng = warm
+		}
+		for _, n := range opts.InFlight {
+			pt, err := measureQueries(eng, queries, n, opts.Rounds, cache)
+			if err != nil {
+				return run, err
+			}
+			opts.Log("queries: %s @%d in-flight: %.0f q/s (p99 %.0f us)",
+				cache, n, pt.QPS, pt.P99Us)
+			run.Queries = append(run.Queries, pt)
+		}
+	}
+	run.SortQueries()
+
+	opts.Log("micro: tokenizer / cuckoo / lzah / filter")
+	micro, err := measureMicro(ds, opts)
+	if err != nil {
+		return run, err
+	}
+	run.Micro = micro
+	return run, nil
+}
+
+// measureIngest times IngestBytes+Flush over the dataset on a fresh
+// engine and counts allocations per line.
+func measureIngest(ds *loggen.Dataset) (IngestResult, error) {
+	var res IngestResult
+	// Warm-up engine absorbs one-time allocator growth.
+	warmup := mithrilog.Open(mithrilog.Config{})
+	if err := warmup.IngestBytes(ds.Lines); err != nil {
+		return res, err
+	}
+	if err := warmup.Flush(); err != nil {
+		return res, err
+	}
+
+	eng := mithrilog.Open(mithrilog.Config{})
+	var ingestErr error
+	allocs, elapsed := allocsAndTime(func() {
+		if err := eng.IngestBytes(ds.Lines); err != nil {
+			ingestErr = err
+			return
+		}
+		ingestErr = eng.Flush()
+	})
+	if ingestErr != nil {
+		return res, ingestErr
+	}
+	raw := float64(ds.SizeBytes())
+	sec := elapsed.Seconds()
+	res.WallMs = sec * 1e3
+	res.MBPerS = raw / 1e6 / sec
+	res.LinesPerS = float64(len(ds.Lines)) / sec
+	res.AllocsPerLine = float64(allocs) / float64(len(ds.Lines))
+	return res, nil
+}
+
+// measureQueries issues rounds queries from the mix with inFlight workers
+// and reports aggregate throughput and latency percentiles.
+func measureQueries(eng *mithrilog.Engine, queries []mithrilog.Query, inFlight, rounds int, cache string) (QueryPoint, error) {
+	pt := QueryPoint{InFlight: inFlight, Cache: cache, Queries: rounds}
+	opts := mithrilog.SearchOptions{NoIndex: true}
+
+	jobs := make(chan mithrilog.Query, rounds)
+	for i := 0; i < rounds; i++ {
+		jobs <- queries[i%len(queries)]
+	}
+	close(jobs)
+
+	lats := make([]time.Duration, 0, rounds)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, inFlight)
+	start := time.Now()
+	for w := 0; w < inFlight; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, rounds/inFlight+1)
+			for q := range jobs {
+				qs := time.Now()
+				if _, err := eng.SearchQuery(q, opts); err != nil {
+					errCh <- err
+					return
+				}
+				local = append(local, time.Since(qs))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return pt, err
+	default:
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pt.WallMs = elapsed.Seconds() * 1e3
+	pt.QPS = float64(rounds) / elapsed.Seconds()
+	pt.P50Us = float64(percentile(lats, 50).Microseconds())
+	pt.P99Us = float64(percentile(lats, 99).Microseconds())
+	return pt, nil
+}
+
+// percentile returns the p-th percentile of sorted durations (nearest
+// rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,201 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleRun builds a minimal structurally-valid run for schema tests.
+func sampleRun(label string) Run {
+	return Run{
+		Label:     label,
+		GoVersion: "go1.24.0",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		CPUs:      1,
+		Workload: WorkloadSpec{
+			Dataset: "liberty2", Lines: 100, RawBytes: 8000,
+			QueryMix: 4, Rounds: 8, CacheBytes: 1 << 20,
+		},
+		Ingest: IngestResult{WallMs: 10, MBPerS: 20, LinesPerS: 1e4, AllocsPerLine: 5},
+		Queries: []QueryPoint{
+			{InFlight: 1, Cache: "cold", Queries: 8, WallMs: 5, QPS: 100, P50Us: 900, P99Us: 1500},
+			{InFlight: 1, Cache: "warm", Queries: 8, WallMs: 2, QPS: 400, P50Us: 200, P99Us: 600},
+		},
+		Micro: MicroResults{
+			TokenizeMBPerS: 300, CuckooLookupNs: 9,
+			LZAHDecodeMBPerS: 700, LZAHCompressMBPerS: 250, FilterWarmMBPerS: 300,
+		},
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	rep := &Report{Schema: Schema, Bench: 6, Runs: []Run{sampleRun("a"), sampleRun("b")}}
+	if err := WriteReport(path, rep); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Error("report file should end with a newline")
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatalf("ReadReport: %v", err)
+	}
+	if got.Schema != Schema || got.Bench != 6 || len(got.Runs) != 2 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	last, ok := got.Last()
+	if !ok || last.Label != "b" {
+		t.Fatalf("Last = %q, %v; want b, true", last.Label, ok)
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	if _, err := DecodeReport(strings.NewReader(`{"schema":"mithrilog.bench/1","runs":[],"surprise":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+	}{
+		{"bad schema", func(r *Report) { r.Schema = "mithrilog.bench/0" }},
+		{"no runs", func(r *Report) { r.Runs = nil }},
+		{"missing label", func(r *Report) { r.Runs[0].Label = "" }},
+		{"no machine", func(r *Report) { r.Runs[0].CPUs = 0 }},
+		{"no workload", func(r *Report) { r.Runs[0].Workload.Lines = 0 }},
+		{"no ingest", func(r *Report) { r.Runs[0].Ingest.MBPerS = 0 }},
+		{"no queries", func(r *Report) { r.Runs[0].Queries = nil }},
+		{"bad cache tag", func(r *Report) { r.Runs[0].Queries[0].Cache = "tepid" }},
+		{"dup point", func(r *Report) { r.Runs[0].Queries[1] = r.Runs[0].Queries[0] }},
+		{"no micro", func(r *Report) { r.Runs[0].Micro.TokenizeMBPerS = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := &Report{Schema: Schema, Runs: []Run{sampleRun("x")}}
+			tc.mutate(rep)
+			if err := rep.Validate(); err == nil {
+				t.Errorf("%s: expected validation error", tc.name)
+			}
+		})
+	}
+}
+
+func TestSortQueriesCanonicalOrder(t *testing.T) {
+	run := sampleRun("x")
+	run.Queries = []QueryPoint{
+		{InFlight: 8, Cache: "warm", Queries: 1, QPS: 1},
+		{InFlight: 1, Cache: "warm", Queries: 1, QPS: 1},
+		{InFlight: 8, Cache: "cold", Queries: 1, QPS: 1},
+		{InFlight: 1, Cache: "cold", Queries: 1, QPS: 1},
+	}
+	run.SortQueries()
+	want := []struct {
+		n     int
+		cache string
+	}{{1, "cold"}, {8, "cold"}, {1, "warm"}, {8, "warm"}}
+	for i, w := range want {
+		if run.Queries[i].InFlight != w.n || run.Queries[i].Cache != w.cache {
+			t.Fatalf("order[%d] = %d/%s, want %d/%s",
+				i, run.Queries[i].InFlight, run.Queries[i].Cache, w.n, w.cache)
+		}
+	}
+}
+
+func TestDiffDirectionsAndGate(t *testing.T) {
+	old, cur := sampleRun("old"), sampleRun("new")
+	// Improvements: throughput up, latency and allocs down.
+	cur.Ingest.MBPerS = old.Ingest.MBPerS * 2
+	cur.Ingest.AllocsPerLine = old.Ingest.AllocsPerLine / 2
+	cur.Queries[1].QPS = old.Queries[1].QPS * 1.5
+	deltas, regressed := Diff(&old, &cur, 10)
+	if regressed {
+		t.Fatal("improvement flagged as regression")
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["ingest.mb_per_s"]; d.Ratio() < 1.99 || d.ChangePct < 99 {
+		t.Errorf("ingest.mb_per_s delta = %+v", d)
+	}
+	if d := byName["ingest.allocs_per_line"]; d.Ratio() < 1.99 || d.ChangePct < 49 {
+		t.Errorf("allocs_per_line should improve when it drops: %+v", d)
+	}
+
+	// A >10% throughput drop must gate; a 5% drop must not.
+	slow := sampleRun("slow")
+	slow.Queries[1].QPS = old.Queries[1].QPS * 0.8
+	if _, reg := Diff(&old, &slow, 10); !reg {
+		t.Error("20% qps drop not flagged")
+	}
+	slight := sampleRun("slight")
+	slight.Queries[1].QPS = old.Queries[1].QPS * 0.95
+	if _, reg := Diff(&old, &slight, 10); reg {
+		t.Error("5% qps drop flagged at 10% gate")
+	}
+}
+
+func TestDiffSkipsAbsentMetrics(t *testing.T) {
+	old, cur := sampleRun("old"), sampleRun("new")
+	old.Micro.CuckooBatchNs = 0 // recorded before the batch API existed
+	cur.Micro.CuckooBatchNs = 3
+	deltas, _ := Diff(&old, &cur, 10)
+	for _, d := range deltas {
+		if d.Name == "micro.cuckoo_batch_ns" {
+			t.Fatal("absent metric should be skipped")
+		}
+	}
+}
+
+func TestComparable(t *testing.T) {
+	a, b := sampleRun("a"), sampleRun("b")
+	if err := Comparable(&a, &b); err != nil {
+		t.Fatalf("matching runs: %v", err)
+	}
+	b.CPUs = 64
+	if err := Comparable(&a, &b); err == nil {
+		t.Error("machine mismatch not detected")
+	}
+	b = sampleRun("b")
+	b.Workload.Lines = 999
+	if err := Comparable(&a, &b); err == nil {
+		t.Error("workload mismatch not detected")
+	}
+}
+
+// TestMeasureTiny runs the real harness end to end at minimal scale and
+// checks the produced run validates inside a complete report.
+func TestMeasureTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full matrix")
+	}
+	run, err := Measure(Options{
+		Label: "test", Quick: true, Lines: 1200, Rounds: 4, InFlight: []int{1, 2},
+	})
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	rep := &Report{Schema: Schema, Runs: []Run{run}}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("tiny run does not validate: %v", err)
+	}
+	if len(run.Queries) != 4 {
+		t.Fatalf("expected 4 matrix points, got %d", len(run.Queries))
+	}
+	if run.Ingest.AllocsPerLine <= 0 {
+		t.Error("ingest allocs not recorded")
+	}
+	if _, ok := run.Point(2, "warm"); !ok {
+		t.Error("warm @2 point missing")
+	}
+}

@@ -1,0 +1,245 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Schema identifies the BENCH_*.json layout this package reads and
+// writes. Bump the trailing version on any incompatible change and teach
+// Validate both forms for at least one PR.
+const Schema = "mithrilog.bench/1"
+
+// Report is the persistent perf trajectory: a schema tag plus an ordered
+// list of runs (oldest first). The committed BENCH_<n>.json at the repo
+// root holds one Report whose runs span the "before" and "after" of the
+// PR that produced it; later PRs append runs or start a new file.
+type Report struct {
+	// Schema is always the Schema constant.
+	Schema string `json:"schema"`
+	// Bench is the PR number the file belongs to (BENCH_6.json -> 6).
+	Bench int `json:"bench,omitempty"`
+	// Runs is the recorded trajectory, oldest first.
+	Runs []Run `json:"runs"`
+}
+
+// Run is one full execution of the workload matrix on one machine.
+type Run struct {
+	// Label names the tree state measured ("pre-pr6", "pr6", "dev", ...).
+	Label string `json:"label"`
+	// Timestamp is RFC3339 wall time of the run (informational only).
+	Timestamp string `json:"timestamp,omitempty"`
+	// GoVersion/GOOS/GOARCH/CPUs describe the machine; wall-clock numbers
+	// are only comparable between runs with matching machine fields.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// Quick marks a reduced-size CI smoke run; quick numbers are noisy
+	// and never used for regression gating.
+	Quick bool `json:"quick,omitempty"`
+
+	Workload WorkloadSpec `json:"workload"`
+	Ingest   IngestResult `json:"ingest"`
+	Queries  []QueryPoint `json:"queries"`
+	Micro    MicroResults `json:"micro"`
+}
+
+// WorkloadSpec pins the workload so runs are comparable.
+type WorkloadSpec struct {
+	// Dataset is the loggen profile name.
+	Dataset string `json:"dataset"`
+	// Lines generated; RawBytes is their total size with newlines.
+	Lines    int   `json:"lines"`
+	RawBytes int64 `json:"raw_bytes"`
+	// QueryMix is the number of distinct expressions in the mix.
+	QueryMix int `json:"query_mix"`
+	// Rounds is the number of queries issued per matrix point.
+	Rounds int `json:"rounds"`
+	// CacheBytes sizes the decompressed-page cache of the warm engine.
+	CacheBytes int64 `json:"cache_bytes"`
+	// Seed drives dataset generation.
+	Seed int64 `json:"seed"`
+}
+
+// IngestResult is the ingest leg of the matrix: wall-clock cost of
+// IngestBytes+Flush over the whole dataset on a fresh engine.
+type IngestResult struct {
+	WallMs    float64 `json:"wall_ms"`
+	MBPerS    float64 `json:"mb_per_s"`
+	LinesPerS float64 `json:"lines_per_s"`
+	// AllocsPerLine is the allocation count per ingested line.
+	AllocsPerLine float64 `json:"allocs_per_line"`
+}
+
+// QueryPoint is one cell of the query matrix: Rounds full-scan queries
+// issued from InFlight workers against a cold (uncached) or warm
+// (pre-warmed page cache) engine.
+type QueryPoint struct {
+	InFlight int `json:"in_flight"`
+	// Cache is "cold" (no page cache: every query pays flash read, LZAH
+	// decode, and tokenization) or "warm" (cache pre-warmed, hits re-enter
+	// the pipeline at the hash filters).
+	Cache   string  `json:"cache"`
+	Queries int     `json:"queries"`
+	WallMs  float64 `json:"wall_ms"`
+	QPS     float64 `json:"qps"`
+	P50Us   float64 `json:"p50_us"`
+	P99Us   float64 `json:"p99_us"`
+}
+
+// MicroResults are single-goroutine microbenchmarks of the three scan-path
+// engines, with allocation discipline measured directly.
+type MicroResults struct {
+	// TokenizeMBPerS streams dataset lines through one tokenizer Array.
+	TokenizeMBPerS float64 `json:"tokenize_mb_per_s"`
+	// TokenizeAllocsPerLine is steady-state allocations per tokenized
+	// line (the zero-alloc target of the raw-speed pass).
+	TokenizeAllocsPerLine float64 `json:"tokenize_allocs_per_line"`
+	// CuckooLookupNs is ns per single LookupBytes over a token stream.
+	CuckooLookupNs float64 `json:"cuckoo_lookup_ns"`
+	// CuckooBatchNs is ns per token for the batched 8-at-a-time lookup
+	// path; zero in runs recorded before the API existed.
+	CuckooBatchNs float64 `json:"cuckoo_batch_ns,omitempty"`
+	// CuckooAllocsPerLookup is allocations per lookup (target: zero).
+	CuckooAllocsPerLookup float64 `json:"cuckoo_allocs_per_lookup"`
+	// LZAHDecodeMBPerS decompresses page-sized blocks into a reused arena.
+	LZAHDecodeMBPerS float64 `json:"lzah_decode_mb_per_s"`
+	// LZAHCompressMBPerS compresses the dataset text into blocks.
+	LZAHCompressMBPerS float64 `json:"lzah_compress_mb_per_s"`
+	// LZAHDecodeAllocsPerBlock is allocations per decompressed block with
+	// a pre-grown destination (target: zero).
+	LZAHDecodeAllocsPerBlock float64 `json:"lzah_decode_allocs_per_block"`
+	// FilterWarmMBPerS runs the hash-filter pass over pre-tokenized
+	// blocks (the page-cache hit path) in raw-text MB/s.
+	FilterWarmMBPerS float64 `json:"filter_warm_mb_per_s"`
+}
+
+// Validate checks structural invariants of a decoded report: schema tag,
+// non-empty runs, per-run machine fields, and a complete query matrix.
+func (r *Report) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("perf: unknown schema %q (want %q)", r.Schema, Schema)
+	}
+	if len(r.Runs) == 0 {
+		return fmt.Errorf("perf: report has no runs")
+	}
+	for i := range r.Runs {
+		if err := r.Runs[i].validate(); err != nil {
+			return fmt.Errorf("perf: run %d (%q): %w", i, r.Runs[i].Label, err)
+		}
+	}
+	return nil
+}
+
+func (run *Run) validate() error {
+	if run.Label == "" {
+		return fmt.Errorf("missing label")
+	}
+	if run.GoVersion == "" || run.GOOS == "" || run.GOARCH == "" || run.CPUs <= 0 {
+		return fmt.Errorf("incomplete machine fields")
+	}
+	w := run.Workload
+	if w.Dataset == "" || w.Lines <= 0 || w.RawBytes <= 0 || w.QueryMix <= 0 || w.Rounds <= 0 {
+		return fmt.Errorf("incomplete workload spec")
+	}
+	if run.Ingest.MBPerS <= 0 || run.Ingest.LinesPerS <= 0 {
+		return fmt.Errorf("ingest leg missing or non-positive")
+	}
+	if len(run.Queries) == 0 {
+		return fmt.Errorf("query matrix empty")
+	}
+	seen := map[string]bool{}
+	for _, q := range run.Queries {
+		if q.Cache != "cold" && q.Cache != "warm" {
+			return fmt.Errorf("query point cache %q (want cold|warm)", q.Cache)
+		}
+		if q.InFlight <= 0 || q.QPS <= 0 || q.Queries <= 0 {
+			return fmt.Errorf("query point %d/%s non-positive", q.InFlight, q.Cache)
+		}
+		key := fmt.Sprintf("%d/%s", q.InFlight, q.Cache)
+		if seen[key] {
+			return fmt.Errorf("duplicate query point %s", key)
+		}
+		seen[key] = true
+	}
+	if run.Micro.TokenizeMBPerS <= 0 || run.Micro.LZAHDecodeMBPerS <= 0 || run.Micro.CuckooLookupNs <= 0 {
+		return fmt.Errorf("micro leg missing or non-positive")
+	}
+	return nil
+}
+
+// Point returns the query point at (inFlight, cache), or false.
+func (run *Run) Point(inFlight int, cache string) (QueryPoint, bool) {
+	for _, q := range run.Queries {
+		if q.InFlight == inFlight && q.Cache == cache {
+			return q, true
+		}
+	}
+	return QueryPoint{}, false
+}
+
+// Last returns the most recent run, or false on an empty report.
+func (r *Report) Last() (Run, bool) {
+	if len(r.Runs) == 0 {
+		return Run{}, false
+	}
+	return r.Runs[len(r.Runs)-1], true
+}
+
+// SortQueries orders a run's query matrix canonically (cold before warm,
+// then ascending in-flight), so reports diff cleanly.
+func (run *Run) SortQueries() {
+	sort.Slice(run.Queries, func(i, j int) bool {
+		a, b := run.Queries[i], run.Queries[j]
+		if a.Cache != b.Cache {
+			return a.Cache == "cold"
+		}
+		return a.InFlight < b.InFlight
+	})
+}
+
+// ReadReport decodes and validates a report file.
+func ReadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeReport(f)
+}
+
+// DecodeReport decodes and validates a report stream.
+func DecodeReport(r io.Reader) (*Report, error) {
+	var rep Report
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("perf: decode report: %w", err)
+	}
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// WriteReport validates and writes a report to path with a trailing
+// newline, via a temp file rename so a crash never leaves a torn file.
+func WriteReport(path string, rep *Report) error {
+	if err := rep.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

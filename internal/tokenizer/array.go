@@ -37,16 +37,26 @@ func NewArray(n, bytesPerCycle int) *Array {
 // Size returns the number of tokenizer units.
 func (a *Array) Size() int { return len(a.units) }
 
+// TokenizeLine feeds one line through the array's current round-robin
+// unit, appending its word stream to dst. This is the streaming per-line
+// entry point used by the filter hot path: it is equivalent to a
+// single-line TokenizeLines call without forcing the caller to build a
+// one-element batch slice, and it allocates nothing beyond dst growth.
+func (a *Array) TokenizeLine(dst []Word, line []byte) []Word {
+	unit := a.units[a.turnFill%len(a.units)]
+	before := unit.stats.Cycles
+	dst = unit.TokenizeLine(dst, line)
+	a.account(unit.stats.Cycles - before)
+	return dst
+}
+
 // TokenizeLines scatters the lines round-robin, tokenizes, and gathers the
 // word streams back in original line order (appended to dst). The
 // round-robin position persists across calls, so streaming one line at a
 // time still rotates through the units.
 func (a *Array) TokenizeLines(dst []Word, lines [][]byte) []Word {
 	for _, line := range lines {
-		unit := a.units[a.turnFill%len(a.units)]
-		before := unit.stats.Cycles
-		dst = unit.TokenizeLine(dst, line)
-		a.account(unit.stats.Cycles - before)
+		dst = a.TokenizeLine(dst, line)
 	}
 	return dst
 }
@@ -64,10 +74,7 @@ func (a *Array) TokenizeBlock(dst []Word, block []byte) []Word {
 		} else {
 			line, block = block[:nl], block[nl+1:]
 		}
-		unit := a.units[a.turnFill%len(a.units)]
-		before := unit.stats.Cycles
-		dst = unit.TokenizeLine(dst, line)
-		a.account(unit.stats.Cycles - before)
+		dst = a.TokenizeLine(dst, line)
 	}
 	return dst
 }

@@ -1,0 +1,92 @@
+package tokenizer
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// referenceTokenizeLine is a deliberately naive oracle for TokenizeLine:
+// split on delimiters with index arithmetic, emit WordSize slabs per
+// token, flag the last word of each token and of the line. It shares no
+// code with the optimized loop.
+func referenceTokenizeLine(line []byte) []Word {
+	var toks [][]byte
+	start := -1
+	for i := 0; i <= len(line); i++ {
+		if i == len(line) || isDelimiter(line[i]) {
+			if start >= 0 {
+				toks = append(toks, line[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	var out []Word
+	for col, tok := range toks {
+		for off := 0; off < len(tok); off += WordSize {
+			end := off + WordSize
+			if end > len(tok) {
+				end = len(tok)
+			}
+			var w Word
+			copy(w.Data[:], tok[off:end])
+			w.Len = uint8(end - off)
+			w.LastOfToken = end == len(tok)
+			w.Column = uint16(col)
+			out = append(out, w)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, Word{LastOfToken: true})
+	}
+	out[len(out)-1].LastOfLine = true
+	return out
+}
+
+// TestTokenizeLineMatchesReference pins the optimized tokenizer loop
+// byte-for-byte against the naive oracle across random lines covering
+// empty lines, delimiter runs, and tokens spanning several words.
+func TestTokenizeLineMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	alphabet := []byte("ab \t\txyz- longtokenpieces0123456789")
+	tz := New(0)
+	for trial := 0; trial < 2000; trial++ {
+		line := make([]byte, rng.Intn(90))
+		for i := range line {
+			line[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		got := tz.TokenizeLine(nil, line)
+		want := referenceTokenizeLine(line)
+		if len(got) != len(want) {
+			t.Fatalf("line %q: %d words, want %d", line, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("line %q word %d:\n got %v\nwant %v", line, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTokenizeLineZeroAllocs guards the zero-allocation contract: with
+// dst capacity grown, tokenizing a line performs no heap allocation.
+func TestTokenizeLineZeroAllocs(t *testing.T) {
+	tz := New(0)
+	lines := [][]byte{
+		[]byte("error kernel: a-token-spanning-more-than-one-datapath-word end"),
+		[]byte(""),
+		[]byte("  spaced \t out  "),
+	}
+	var dst []Word
+	runAll := func() {
+		for _, line := range lines {
+			dst = tz.TokenizeLine(dst[:0], line)
+		}
+	}
+	runAll() // grow dst once
+	allocs := testing.AllocsPerRun(100, runAll)
+	if allocs != 0 {
+		t.Fatalf("TokenizeLine allocates %.1f times per pass, want 0", allocs)
+	}
+}

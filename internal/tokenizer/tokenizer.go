@@ -12,6 +12,13 @@
 // paper evaluates: useful (non-padding) bytes on the tokenized datapath
 // (Figure 13) and the resulting ~2x data amplification that motivates two
 // hash filters per pipeline.
+//
+// Allocation discipline: tokenizing a line into a dst slice with grown
+// capacity performs no heap allocation (guarded by TestTokenizeLineZeroAllocs
+// and the perf harness's tokenize micro leg). The tokenize loop also sits
+// inside the hwpure fence — its cycle accounting is a pure function of the
+// input bytes, flowing only through hwsim's accounting API, with no wall
+// clock, randomness, or map iteration on the path (see LINT.md).
 package tokenizer
 
 import (
@@ -129,9 +136,15 @@ func (t *Tokenizer) ResetStats() { t.stats = Stats{} }
 // datapath word stream, appending to dst and returning the extended slice.
 // An empty line (no tokens) emits a single zero-length word with both flags
 // set so downstream modules still observe the line boundary.
+//
+// The loop accumulates its statistics in locals and folds them into the
+// Stats struct once per line, so the steady-state path (dst capacity
+// already grown) performs no heap allocation and no per-word stores
+// outside the word stream itself.
 func (t *Tokenizer) TokenizeLine(dst []Word, line []byte) []Word {
 	start := len(dst)
 	col := uint16(0)
+	var tokens, useful uint64
 	i := 0
 	n := len(line)
 	for i < n {
@@ -146,43 +159,42 @@ func (t *Tokenizer) TokenizeLine(dst []Word, line []byte) []Word {
 		for i < n && !isDelimiter(line[i]) {
 			i++
 		}
-		dst = t.emitToken(dst, line[tokStart:i], col)
+		tok := line[tokStart:i]
+		tokens++
+		useful += uint64(len(tok))
+		for off := 0; ; off += WordSize {
+			var w Word
+			w.Column = col
+			rem := len(tok) - off
+			if rem > WordSize {
+				copy(w.Data[:], tok[off:off+WordSize])
+				w.Len = WordSize
+			} else {
+				copy(w.Data[:], tok[off:])
+				w.Len = uint8(rem)
+				w.LastOfToken = true
+			}
+			dst = append(dst, w)
+			if w.LastOfToken {
+				break
+			}
+		}
 		col++
 	}
-	if len(dst) == start {
+	words := uint64(len(dst) - start)
+	if words == 0 {
 		// Empty line: emit the line-boundary marker word.
 		dst = append(dst, Word{Len: 0, LastOfToken: true, LastOfLine: true})
-		t.stats.Words++
-		t.stats.EmittedBytes += WordSize
+		words = 1
 	} else {
 		dst[len(dst)-1].LastOfLine = true
 	}
 	t.stats.Lines++
+	t.stats.Tokens += tokens
+	t.stats.Words += words
 	t.stats.InputBytes += uint64(n)
+	t.stats.UsefulBytes += useful
+	t.stats.EmittedBytes += words * WordSize
 	hwsim.AddCycles(&t.stats.Cycles, hwsim.CyclesForBytes(uint64(n), uint64(t.bytesPerCycle)))
 	return dst
-}
-
-func (t *Tokenizer) emitToken(dst []Word, tok []byte, col uint16) []Word {
-	t.stats.Tokens++
-	for off := 0; ; off += WordSize {
-		var w Word
-		w.Column = col
-		rem := len(tok) - off
-		if rem > WordSize {
-			copy(w.Data[:], tok[off:off+WordSize])
-			w.Len = WordSize
-		} else {
-			copy(w.Data[:], tok[off:])
-			w.Len = uint8(rem)
-			w.LastOfToken = true
-		}
-		dst = append(dst, w)
-		t.stats.Words++
-		t.stats.UsefulBytes += uint64(w.Len)
-		t.stats.EmittedBytes += WordSize
-		if w.LastOfToken {
-			return dst
-		}
-	}
 }

@@ -6,6 +6,15 @@
 //
 //	mithrilogd [-addr :8080] [-load store.mlog] [-save store.mlog] [-save-every 5m]
 //	           [-cache-mb 64] [-max-in-flight 8] [-queue-depth 64] [-query-timeout 30s]
+//	           [-shards 1] [-tenant-in-flight 0] [-shard-timeout 0]
+//
+// With -shards N (N > 1) the daemon runs an N-shard fleet behind the
+// scatter-gather router: ingest accepts a ?tenant= parameter for
+// placement, searches fan out with per-shard deadlines, and /metrics
+// federates every shard's registry. Sharded stores persist as segment
+// streams (WriteSegments/Reopen) rather than the single-engine save
+// format, so a -save file written at -shards 1 cannot be -load-ed at
+// -shards 4 and vice versa.
 //
 // Endpoints are documented in internal/server. Example session:
 //
@@ -35,13 +44,19 @@ func main() {
 	maxInFlight := flag.Int("max-in-flight", 0, "queries executing concurrently (0 = default 8)")
 	queueDepth := flag.Int("queue-depth", 0, "queries waiting beyond the in-flight limit before 429 (0 = default 64)")
 	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-query deadline covering queue wait and scan (0 disables)")
+	shards := flag.Int("shards", 1, "engine shards behind the scatter-gather router (1 = single engine)")
+	tenantInFlight := flag.Int("tenant-in-flight", 0, "per-tenant concurrent-query quota when sharded (0 = default)")
+	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard deadline for scattered queries (0 = query timeout only)")
 	flag.Parse()
 
 	cfg := mithrilog.Config{
-		CacheBytes:   *cacheMB << 20,
-		MaxInFlight:  *maxInFlight,
-		QueueDepth:   *queueDepth,
-		QueryTimeout: *queryTimeout,
+		CacheBytes:     *cacheMB << 20,
+		MaxInFlight:    *maxInFlight,
+		QueueDepth:     *queueDepth,
+		QueryTimeout:   *queryTimeout,
+		Shards:         *shards,
+		TenantInFlight: *tenantInFlight,
+		ShardTimeout:   *shardTimeout,
 	}
 	var eng *mithrilog.Engine
 	if *load != "" {
@@ -49,13 +64,20 @@ func main() {
 		if err != nil {
 			log.Fatalf("load: %v", err)
 		}
-		eng, err = mithrilog.Load(cfg, f)
+		if cfg.Shards > 1 {
+			// Sharded stores are segment streams; Reopen also checks
+			// that the stream really is a fleet stream and adopts the
+			// shard count it records.
+			eng, err = mithrilog.Reopen(cfg, f)
+		} else {
+			eng, err = mithrilog.Load(cfg, f)
+		}
 		f.Close()
 		if err != nil {
 			log.Fatalf("load: %v", err)
 		}
 		st := eng.Stats()
-		log.Printf("loaded %s: %d lines, %d pages", *load, st.Lines, st.DataPages)
+		log.Printf("loaded %s: %d lines, %d pages, %d shard(s)", *load, st.Lines, st.DataPages, st.Shards)
 	} else {
 		eng = mithrilog.Open(cfg)
 	}
@@ -86,7 +108,13 @@ func saveTo(eng *mithrilog.Engine, path string) error {
 	if err != nil {
 		return err
 	}
-	if err := eng.Save(f); err != nil {
+	// A sharded engine has no single-engine save format; its durable
+	// form is the fleet segment stream.
+	write := eng.Save
+	if eng.Shards() > 1 {
+		write = eng.WriteSegments
+	}
+	if err := write(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"mithrilog/internal/perf"
 )
@@ -31,6 +33,7 @@ func main() {
 		lines    = flag.Int("lines", 0, "dataset lines (0 = default for the mode)")
 		rounds   = flag.Int("rounds", 0, "queries per matrix point (0 = default for the mode)")
 		quick    = flag.Bool("quick", false, "reduced matrix for CI smoke runs")
+		shards   = flag.String("shards", "", "comma-separated fleet widths for the query matrix (default 1,4)")
 		baseline = flag.String("baseline", "", "diff this run against the last run in the given report; exit 1 on regression")
 		regress  = flag.Float64("regress", perf.DefaultRegressionPct, "regression gate percentage for -baseline")
 		validate = flag.String("validate", "", "validate a report file's schema and exit")
@@ -53,6 +56,15 @@ func main() {
 		Lines:  *lines,
 		Rounds: *rounds,
 		Quick:  *quick,
+	}
+	if *shards != "" {
+		for _, part := range strings.Split(*shards, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fatal(fmt.Errorf("bad -shards value %q", part))
+			}
+			opts.Shards = append(opts.Shards, n)
+		}
 	}
 	if !*quiet {
 		opts.Log = func(format string, args ...any) {

@@ -84,6 +84,7 @@ type Engine struct {
 	cfg Config
 
 	dev   *storage.Device
+	store *storage.SegmentStore // segment bookkeeping over dev's data pages
 	ix    *index.Index
 	codec *lzah.Codec // ingest-side compressor
 
@@ -144,6 +145,7 @@ func NewEngine(cfg Config) *Engine {
 	e := &Engine{
 		cfg:        cfg,
 		dev:        dev,
+		store:      storage.NewSegmentStore(dev, cfg.Storage.SegmentPages),
 		ix:         index.New(dev, cfg.Index),
 		codec:      lzah.NewCodec(cfg.Compression),
 		cache:      cfg.PageCache,
@@ -152,6 +154,7 @@ func NewEngine(cfg Config) *Engine {
 	}
 	e.scanPool.New = func() interface{} { return newScanState(cfg) }
 	storage.RegisterDeviceMetrics(reg, dev)
+	storage.RegisterSegmentMetrics(reg, e.store)
 	hwsim.RegisterSystemMetrics(reg, cfg.System)
 	return e
 }
@@ -212,6 +215,25 @@ func (e *Engine) DataPages() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return len(e.dataPages)
+}
+
+// Segments snapshots the engine's segment-store seal state.
+func (e *Engine) Segments() storage.SegmentStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.Stats()
+}
+
+// SealSegments flushes buffered lines and seals the active segment,
+// making every accepted line immutable and serializable (WriteSegments).
+func (e *Engine) SealSegments() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.flushLocked(); err != nil {
+		return err
+	}
+	e.store.Seal()
+	return nil
 }
 
 // CompressionRatio is raw/compressed over all ingested data.
@@ -325,7 +347,7 @@ func (e *Engine) flushPending() error {
 		}
 	}
 	group := e.pending[:n]
-	id, err := e.dev.Append(comp)
+	id, err := e.store.Append(comp)
 	if err != nil {
 		return err
 	}
@@ -334,38 +356,14 @@ func (e *Engine) flushPending() error {
 	raw := 0
 	tokens := 0
 	indexStart := time.Now()
-	if e.seenToks == nil {
-		e.seenToks = make(map[string]struct{}, 256)
-	} else {
-		clear(e.seenToks)
-	}
-	// Token scan inlined from splitTokens: the `string(tok)` map probe
-	// compiles alloc-free, so only first-seen tokens materialize a string
-	// (the map key); the index hashes the byte view directly.
+	e.resetSeenToks()
 	for _, line := range group {
 		raw += len(line) + 1
-		i := 0
-		for i < len(line) {
-			for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
-				i++
-			}
-			start := i
-			for i < len(line) && line[i] != ' ' && line[i] != '\t' {
-				i++
-			}
-			if i == start {
-				continue
-			}
-			tok := line[start:i]
-			if _, dup := e.seenToks[string(tok)]; dup {
-				continue
-			}
-			e.seenToks[string(tok)] = struct{}{}
-			if err := e.ix.AddBytes(tok, id); err != nil {
-				return err
-			}
-			tokens++
+		nt, err := e.indexLineTokens(line, id)
+		if err != nil {
+			return err
 		}
+		tokens += nt
 	}
 	indexTime := time.Since(indexStart)
 	e.profile.IndexTime += indexTime
@@ -395,6 +393,49 @@ func (e *Engine) flushPending() error {
 		e.pendingBytes = 0
 	}
 	return nil
+}
+
+// resetSeenToks prepares the per-page distinct-token set for a new page.
+func (e *Engine) resetSeenToks() {
+	if e.seenToks == nil {
+		e.seenToks = make(map[string]struct{}, 256)
+	} else {
+		clear(e.seenToks)
+	}
+}
+
+// indexLineTokens feeds line's first-seen tokens (per e.seenToks, which
+// the caller resets per page) to the index under page id, returning how
+// many were added. The scan is the inlined form of splitTokens: the
+// `string(tok)` map probe compiles alloc-free, so only first-seen tokens
+// materialize a string (the map key); the index hashes the byte view
+// directly. ReopenEngine re-runs this exact scan over recovered pages, so
+// a reopened index is bit-for-bit equivalent to the original.
+func (e *Engine) indexLineTokens(line []byte, id storage.PageID) (int, error) {
+	tokens := 0
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			i++
+		}
+		if i == start {
+			continue
+		}
+		tok := line[start:i]
+		if _, dup := e.seenToks[string(tok)]; dup {
+			continue
+		}
+		e.seenToks[string(tok)] = struct{}{}
+		if err := e.ix.AddBytes(tok, id); err != nil {
+			return tokens, err
+		}
+		tokens++
+	}
+	return tokens, nil
 }
 
 // compressGroup LZAH-compresses a line group (newline separated) into the

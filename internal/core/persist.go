@@ -22,6 +22,7 @@ type savedEngine struct {
 	RawBytes  uint64
 	CompBytes uint64
 	LineCount uint64
+	Segments  *storage.SavedSegments
 }
 
 const (
@@ -29,7 +30,10 @@ const (
 	// saveVersion 2: LZAH switched to the register-half word hash, so data
 	// pages written by version-1 builds decode against the wrong table
 	// slots and must be rejected, not silently misread.
-	saveVersion = 2
+	// saveVersion 3: data pages are tracked by the append-only segment
+	// store; the save carries the segment record tables (page lengths and
+	// checksums), which version-2 files lack.
+	saveVersion = 3
 )
 
 // Save serializes the engine's full persistent state (storage pages,
@@ -48,6 +52,7 @@ func (e *Engine) Save(w io.Writer) error {
 		RawBytes:  e.rawBytes,
 		CompBytes: e.compBytes,
 		LineCount: e.lineCount,
+		Segments:  e.store.Save(),
 	}
 	for _, p := range e.dataPages {
 		s.DataPages = append(s.DataPages, uint32(p))
@@ -79,6 +84,15 @@ func LoadEngine(cfg Config, r io.Reader) (*Engine, error) {
 		return nil, err
 	}
 	e.ix = ix
+	// Rebuild the segment store over the restored pages; every record's
+	// checksum is verified against the device contents before the engine
+	// serves anything, so a bit-flipped save file fails here, not mid-query.
+	st, err := storage.LoadSegmentStore(e.dev, s.Segments)
+	if err != nil {
+		return nil, err
+	}
+	e.store = st
+	storage.RegisterSegmentMetrics(e.met.reg, st)
 	for _, p := range s.DataPages {
 		e.dataPages = append(e.dataPages, storage.PageID(p))
 	}

@@ -35,6 +35,7 @@ var ctxHotSegments = map[string]bool{
 	"filter":  true,
 	"query":   true,
 	"rex":     true,
+	"router":  true,
 }
 
 // isHotPathPackage reports whether an import path is below the facade on a

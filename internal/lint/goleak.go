@@ -34,6 +34,7 @@ var goLeakSegments = map[string]bool{
 	"sched":  true,
 	"core":   true,
 	"server": true,
+	"router": true,
 }
 
 func inGoLeakScope(path string) bool {

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Federation renders several registries as a single Prometheus
+// exposition, injecting a constant distinguishing label (e.g. shard="2")
+// into every series of each member. The sharded router needs it because
+// each shard's engine maintains a private registry — sharing one registry
+// would silently collapse the shards' function-backed series into a
+// single closure (the registry's *Func registration replaces, it does
+// not merge) — and a scrape must still see one page with all shards,
+// distinguishable by label.
+//
+// Families with the same name across members are rendered as one group
+// (the exposition format forbids repeating a family), with HELP/TYPE
+// taken from the first member that registered the name. A name
+// registered with conflicting kinds across members fails the render.
+type Federation struct {
+	mu      sync.Mutex
+	members []fedMember
+}
+
+// fedMember is one registry plus its injected label (empty name = none).
+type fedMember struct {
+	labelName, labelValue string
+	reg                   *Registry
+}
+
+// NewFederation creates an empty federation.
+func NewFederation() *Federation { return &Federation{} }
+
+// Add appends a member registry whose series get labelName=labelValue
+// injected. An empty labelName injects nothing (for the federating
+// component's own registry).
+func (f *Federation) Add(reg *Registry, labelName, labelValue string) {
+	if labelName != "" {
+		mustValidName(labelName)
+	}
+	f.mu.Lock()
+	f.members = append(f.members, fedMember{labelName, labelValue, reg})
+	f.mu.Unlock()
+}
+
+// fedFamily accumulates one family name's render across members.
+type fedFamily struct {
+	help string
+	k    kind
+	body strings.Builder
+}
+
+// WritePrometheus renders all members, grouped by family name in
+// first-registration order across members.
+func (f *Federation) WritePrometheus(w io.Writer) error {
+	f.mu.Lock()
+	members := make([]fedMember, len(f.members))
+	copy(members, f.members)
+	f.mu.Unlock()
+
+	var order []string
+	groups := make(map[string]*fedFamily)
+	for _, m := range members {
+		m.reg.mu.Lock()
+		fams := make([]*family, len(m.reg.fams))
+		copy(fams, m.reg.fams)
+		m.reg.mu.Unlock()
+		for _, fam := range fams {
+			g, ok := groups[fam.name]
+			if !ok {
+				g = &fedFamily{help: fam.help, k: fam.k}
+				groups[fam.name] = g
+				order = append(order, fam.name)
+			} else if g.k != fam.k {
+				return fmt.Errorf("obs: federated metric %q is %s in one member, %s in another", fam.name, g.k, fam.k)
+			}
+			fam.mu.Lock()
+			for _, key := range fam.order {
+				fam.series[key].write(&g.body, fam.name, mergeLabel(key, m.labelName, m.labelValue))
+			}
+			fam.mu.Unlock()
+		}
+	}
+
+	var b strings.Builder
+	for _, name := range order {
+		g := groups[name]
+		b.WriteString("# HELP ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(g.help))
+		b.WriteString("\n# TYPE ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(g.k.String())
+		b.WriteByte('\n')
+		b.WriteString(g.body.String())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ServeHTTP implements http.Handler, serving the federated exposition.
+func (f *Federation) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", ContentType)
+	_ = f.WritePrometheus(w)
+}
+
+// mergeLabel appends name="value" to an existing (possibly empty)
+// rendered label set; an empty name returns labels unchanged.
+func mergeLabel(labels, name, value string) string {
+	if name == "" {
+		return labels
+	}
+	pair := name + `="` + labelEscaper.Replace(value) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}

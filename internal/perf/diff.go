@@ -75,11 +75,16 @@ func Diff(old, cur *Run, thresholdPct float64) (deltas []Delta, regressed bool) 
 	add("ingest.mb_per_s", old.Ingest.MBPerS, cur.Ingest.MBPerS, true)
 	add("ingest.allocs_per_line", old.Ingest.AllocsPerLine, cur.Ingest.AllocsPerLine, false)
 	for _, oq := range old.Queries {
-		cq, ok := cur.Point(oq.InFlight, oq.Cache)
+		cq, ok := cur.PointAt(oq.InFlight, oq.Cache, oq.ShardsOrOne())
 		if !ok {
 			continue
 		}
 		base := fmt.Sprintf("queries.%s.%d", oq.Cache, oq.InFlight)
+		if s := oq.ShardsOrOne(); s > 1 {
+			// Sharded points carry a suffix so the single-engine metric
+			// names stay stable across reports recorded before the axis.
+			base = fmt.Sprintf("%s.x%d", base, s)
+		}
 		add(base+".qps", oq.QPS, cq.QPS, true)
 		add(base+".p99_us", oq.P99Us, cq.P99Us, false)
 	}
@@ -117,8 +122,12 @@ func FormatRun(run *Run) string {
 	fmt.Fprintf(&b, "ingest: %8.1f MB/s  %9.0f lines/s  %6.1f allocs/line\n",
 		run.Ingest.MBPerS, run.Ingest.LinesPerS, run.Ingest.AllocsPerLine)
 	for _, q := range run.Queries {
-		fmt.Fprintf(&b, "queries %-4s @%-2d in-flight: %8.1f q/s  p50 %7.0f us  p99 %7.0f us\n",
-			q.Cache, q.InFlight, q.QPS, q.P50Us, q.P99Us)
+		shard := ""
+		if q.ShardsOrOne() > 1 {
+			shard = fmt.Sprintf(" x%d shards", q.ShardsOrOne())
+		}
+		fmt.Fprintf(&b, "queries %-4s @%-2d in-flight: %8.1f q/s  p50 %7.0f us  p99 %7.0f us%s\n",
+			q.Cache, q.InFlight, q.QPS, q.P50Us, q.P99Us, shard)
 	}
 	m := run.Micro
 	fmt.Fprintf(&b, "micro: tokenize %.1f MB/s (%.2f allocs/line)  cuckoo %.1f ns/lookup",

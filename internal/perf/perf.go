@@ -44,6 +44,11 @@ type Options struct {
 	Rounds int
 	// InFlight are the offered-load levels (default 1, 8, 64).
 	InFlight []int
+	// Shards are the fleet widths to measure the query matrix at (default
+	// 1 and 4). Widths above 1 route the same full-scan mix through the
+	// scatter-gather router over an identically-ingested fleet, so the
+	// delta against width 1 is the router's overhead.
+	Shards []int
 	// CacheBytes sizes the warm engine's page cache (default 256 MiB).
 	CacheBytes int64
 	// Seed drives dataset generation (default: the profile seed).
@@ -74,6 +79,9 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.InFlight) == 0 {
 		o.InFlight = []int{1, 8, 64}
+	}
+	if len(o.Shards) == 0 {
+		o.Shards = []int{1, 4}
 	}
 	if o.CacheBytes <= 0 {
 		o.CacheBytes = 256 << 20
@@ -139,18 +147,24 @@ func Measure(opts Options) (Run, error) {
 	// Cold engine: no page cache — every query pays the flash read, the
 	// LZAH decode, and the tokenization. Warm engine: cache sized to hold
 	// the whole tokenized dataset, pre-warmed with one pass, so measured
-	// queries re-enter the pipeline at the hash filters.
+	// queries re-enter the pipeline at the hash filters. The shards axis
+	// repeats the matrix on a fleet: same lines, same cache budget, the
+	// queries scattered and merged by the router.
 	maxFlight := 0
 	for _, n := range opts.InFlight {
 		if n > maxFlight {
 			maxFlight = n
 		}
 	}
-	mkEngine := func(cacheBytes int64) (*mithrilog.Engine, error) {
+	mkEngine := func(cacheBytes int64, shards int) (*mithrilog.Engine, error) {
 		eng := mithrilog.Open(mithrilog.Config{
 			CacheBytes:  cacheBytes,
 			MaxInFlight: maxFlight,
 			QueueDepth:  maxFlight * 4,
+			Shards:      shards,
+			// All bench queries share the anonymous tenant; the quota must
+			// admit the full offered load or the fleet measures rejections.
+			TenantInFlight: maxFlight,
 		})
 		if err := eng.IngestBytes(ds.Lines); err != nil {
 			return nil, err
@@ -160,37 +174,40 @@ func Measure(opts Options) (Run, error) {
 		}
 		return eng, nil
 	}
-	cold, err := mkEngine(0)
-	if err != nil {
-		return run, err
-	}
-	warm, err := mkEngine(opts.CacheBytes)
-	if err != nil {
-		return run, err
-	}
-	// Warm pass: populate the cache and the allocator's steady state.
-	for _, q := range queries {
-		if _, err := warm.SearchQuery(q, mithrilog.SearchOptions{NoIndex: true}); err != nil {
+	for _, nsh := range opts.Shards {
+		cold, err := mkEngine(0, nsh)
+		if err != nil {
 			return run, err
 		}
-	}
-	if _, err := cold.SearchQuery(queries[0], mithrilog.SearchOptions{NoIndex: true}); err != nil {
-		return run, err
-	}
-
-	for _, cache := range []string{"cold", "warm"} {
-		eng := cold
-		if cache == "warm" {
-			eng = warm
+		warm, err := mkEngine(opts.CacheBytes, nsh)
+		if err != nil {
+			return run, err
 		}
-		for _, n := range opts.InFlight {
-			pt, err := measureQueries(eng, queries, n, opts.Rounds, cache)
-			if err != nil {
+		// Warm pass: populate the cache and the allocator's steady state.
+		for _, q := range queries {
+			if _, err := warm.SearchQuery(q, mithrilog.SearchOptions{NoIndex: true}); err != nil {
 				return run, err
 			}
-			opts.Log("queries: %s @%d in-flight: %.0f q/s (p99 %.0f us)",
-				cache, n, pt.QPS, pt.P99Us)
-			run.Queries = append(run.Queries, pt)
+		}
+		if _, err := cold.SearchQuery(queries[0], mithrilog.SearchOptions{NoIndex: true}); err != nil {
+			return run, err
+		}
+
+		for _, cache := range []string{"cold", "warm"} {
+			eng := cold
+			if cache == "warm" {
+				eng = warm
+			}
+			for _, n := range opts.InFlight {
+				pt, err := measureQueries(eng, queries, n, opts.Rounds, cache)
+				if err != nil {
+					return run, err
+				}
+				pt.Shards = nsh
+				opts.Log("queries: %s @%d in-flight x%d shards: %.0f q/s (p99 %.0f us)",
+					cache, n, nsh, pt.QPS, pt.P99Us)
+				run.Queries = append(run.Queries, pt)
+			}
 		}
 	}
 	run.SortQueries()

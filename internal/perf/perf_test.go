@@ -180,7 +180,8 @@ func TestMeasureTiny(t *testing.T) {
 		t.Skip("runs the full matrix")
 	}
 	run, err := Measure(Options{
-		Label: "test", Quick: true, Lines: 1200, Rounds: 4, InFlight: []int{1, 2},
+		Label: "test", Quick: true, Lines: 1200, Rounds: 4,
+		InFlight: []int{1, 2}, Shards: []int{1, 4},
 	})
 	if err != nil {
 		t.Fatalf("Measure: %v", err)
@@ -189,13 +190,17 @@ func TestMeasureTiny(t *testing.T) {
 	if err := rep.Validate(); err != nil {
 		t.Fatalf("tiny run does not validate: %v", err)
 	}
-	if len(run.Queries) != 4 {
-		t.Fatalf("expected 4 matrix points, got %d", len(run.Queries))
+	// 2 in-flight x 2 caches x 2 fleet widths.
+	if len(run.Queries) != 8 {
+		t.Fatalf("expected 8 matrix points, got %d", len(run.Queries))
 	}
 	if run.Ingest.AllocsPerLine <= 0 {
 		t.Error("ingest allocs not recorded")
 	}
 	if _, ok := run.Point(2, "warm"); !ok {
 		t.Error("warm @2 point missing")
+	}
+	if _, ok := run.PointAt(2, "warm", 4); !ok {
+		t.Error("sharded warm @2 point missing")
 	}
 }

@@ -89,6 +89,20 @@ type QueryPoint struct {
 	QPS     float64 `json:"qps"`
 	P50Us   float64 `json:"p50_us"`
 	P99Us   float64 `json:"p99_us"`
+	// Shards is the fleet width the point was measured against; 0 (from
+	// reports recorded before the axis existed) means 1. Points with
+	// Shards > 1 run the same full-scan mix through the scatter-gather
+	// router, so their delta against the Shards = 1 points at the same
+	// (in_flight, cache) is the router overhead.
+	Shards int `json:"shards,omitempty"`
+}
+
+// ShardsOrOne normalizes the pre-axis encoding (0 = single engine).
+func (q QueryPoint) ShardsOrOne() int {
+	if q.Shards <= 0 {
+		return 1
+	}
+	return q.Shards
 }
 
 // MicroResults are single-goroutine microbenchmarks of the three scan-path
@@ -160,7 +174,10 @@ func (run *Run) validate() error {
 		if q.InFlight <= 0 || q.QPS <= 0 || q.Queries <= 0 {
 			return fmt.Errorf("query point %d/%s non-positive", q.InFlight, q.Cache)
 		}
-		key := fmt.Sprintf("%d/%s", q.InFlight, q.Cache)
+		if q.Shards < 0 {
+			return fmt.Errorf("query point %d/%s negative shards", q.InFlight, q.Cache)
+		}
+		key := fmt.Sprintf("%d/%s/%d", q.InFlight, q.Cache, q.ShardsOrOne())
 		if seen[key] {
 			return fmt.Errorf("duplicate query point %s", key)
 		}
@@ -172,10 +189,16 @@ func (run *Run) validate() error {
 	return nil
 }
 
-// Point returns the query point at (inFlight, cache), or false.
+// Point returns the single-engine query point at (inFlight, cache), or
+// false. Sharded points are addressed with PointAt.
 func (run *Run) Point(inFlight int, cache string) (QueryPoint, bool) {
+	return run.PointAt(inFlight, cache, 1)
+}
+
+// PointAt returns the query point at (inFlight, cache, shards), or false.
+func (run *Run) PointAt(inFlight int, cache string, shards int) (QueryPoint, bool) {
 	for _, q := range run.Queries {
-		if q.InFlight == inFlight && q.Cache == cache {
+		if q.InFlight == inFlight && q.Cache == cache && q.ShardsOrOne() == shards {
 			return q, true
 		}
 	}
@@ -190,11 +213,15 @@ func (r *Report) Last() (Run, bool) {
 	return r.Runs[len(r.Runs)-1], true
 }
 
-// SortQueries orders a run's query matrix canonically (cold before warm,
-// then ascending in-flight), so reports diff cleanly.
+// SortQueries orders a run's query matrix canonically (ascending shard
+// count, cold before warm, then ascending in-flight), so reports diff
+// cleanly.
 func (run *Run) SortQueries() {
 	sort.Slice(run.Queries, func(i, j int) bool {
 		a, b := run.Queries[i], run.Queries[j]
+		if a.ShardsOrOne() != b.ShardsOrOne() {
+			return a.ShardsOrOne() < b.ShardsOrOne()
+		}
 		if a.Cache != b.Cache {
 			return a.Cache == "cold"
 		}

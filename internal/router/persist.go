@@ -1,0 +1,103 @@
+package router
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mithrilog/internal/core"
+	"mithrilog/internal/storage"
+)
+
+// Fleet persistence: WriteSegments serializes every shard's sealed
+// segment store in shard order; Reopen rebuilds the whole fleet from
+// that stream. Each shard's payload is the engine-level segment stream
+// (checksummed segments + index.meta), so the fleet file inherits the
+// same corruption guarantees — any damaged shard fails the reopen, and
+// no shard serves a line that fails its checksum.
+
+// FleetMagic prefixes every fleet stream. The facade peeks it to decide
+// whether a WriteSegments stream reopens as a fleet or a single engine.
+const FleetMagic = fleetMagic
+
+const (
+	fleetMagic   = "MLFLEET\x00"
+	fleetVersion = 1
+	// maxShardBlob bounds a per-shard stream read from untrusted input
+	// (1 GiB — far above anything the simulator produces).
+	maxShardBlob = 1 << 30
+)
+
+// WriteSegments flushes and seals every shard, then streams the fleet:
+// header (magic, version, shard count), then each shard's segment stream
+// length-prefixed, in shard order.
+func (r *Router) WriteSegments(w io.Writer) error {
+	if err := r.begin(); err != nil {
+		return err
+	}
+	defer r.active.Done()
+	var hdr []byte
+	hdr = append(hdr, fleetMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, fleetVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(r.shards)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	for i, sh := range r.shards {
+		buf.Reset()
+		if err := sh.eng.WriteSegments(&buf); err != nil {
+			return fmt.Errorf("router: shard %d: %w", i, err)
+		}
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(buf.Len()))
+		if _, err := w.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reopen rebuilds a fleet from a stream produced by WriteSegments. The
+// shard count comes from the stream (overriding cfg.Shards): placement
+// is consistent only with the same shard count, so reopening into a
+// different fleet width would silently misroute tenants.
+func Reopen(cfg Config, rd io.Reader) (*Router, error) {
+	hdr := make([]byte, len(fleetMagic)+8)
+	if _, err := io.ReadFull(rd, hdr); err != nil {
+		return nil, fmt.Errorf("%w: fleet header: %v", storage.ErrSegmentCorrupt, err)
+	}
+	if string(hdr[:len(fleetMagic)]) != fleetMagic {
+		return nil, fmt.Errorf("%w: bad fleet magic", storage.ErrSegmentCorrupt)
+	}
+	ver := binary.LittleEndian.Uint32(hdr[len(fleetMagic):])
+	if ver != fleetVersion {
+		return nil, fmt.Errorf("%w: unsupported fleet version %d", storage.ErrSegmentCorrupt, ver)
+	}
+	nShards := int(binary.LittleEndian.Uint32(hdr[len(fleetMagic)+4:]))
+	if nShards < 1 || nShards > 1024 {
+		return nil, fmt.Errorf("%w: implausible shard count %d", storage.ErrSegmentCorrupt, nShards)
+	}
+	next := 0
+	return build(cfg, nShards, func(ecfg core.Config) (*core.Engine, error) {
+		i := next
+		next++
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(rd, lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("%w: shard %d length: %v", storage.ErrSegmentCorrupt, i, err)
+		}
+		n := int64(binary.LittleEndian.Uint32(lenBuf[:]))
+		if n > maxShardBlob {
+			return nil, fmt.Errorf("%w: shard %d: implausible stream length %d", storage.ErrSegmentCorrupt, i, n)
+		}
+		blob := make([]byte, n)
+		if _, err := io.ReadFull(rd, blob); err != nil {
+			return nil, fmt.Errorf("%w: shard %d stream: %v", storage.ErrSegmentCorrupt, i, err)
+		}
+		return core.ReopenEngine(ecfg, bytes.NewReader(blob))
+	})
+}

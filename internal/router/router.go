@@ -1,0 +1,570 @@
+// Package router scales MithriLog out: N shards — each a full engine
+// with its own simulated SSD, accelerator complex, scheduler, and page
+// cache — behind a scatter-gather query router with COPR-style tenant
+// partitioning. Tenant-tagged ingest is placed on the tenant's home
+// shard (a hash of the tenant name); untenanted ingest is striped
+// round-robin across all shards. Queries for a tenant go to its home
+// shard alone; untenanted queries scatter to every shard and gather
+// merged results.
+//
+// Placement never alters data: a line's bytes are identical whether the
+// fleet has one shard or eight, which is what lets the multi-shard
+// differential oracle demand byte-identical merged results between a
+// 1-shard and an N-shard deployment.
+//
+// Failure semantics are partial by design: a shard that times out or is
+// rejected at its local admission queue is reported per shard
+// (Result.Failed) while the other shards' results are still returned,
+// with Result.Partial set. Only when every queried shard fails does
+// Search return an error. Per-tenant admission quotas
+// (sched.TenantLimiter) run at the router, in front of the per-shard
+// schedulers, so one tenant's burst cannot monopolize the fleet.
+//
+// The router spawns goroutines only for the duration of one scatter
+// (joined before Search returns) and holds no locks across shard calls;
+// Close waits for in-flight requests and then no goroutine remains.
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mithrilog/internal/core"
+	"mithrilog/internal/obs"
+	"mithrilog/internal/query"
+	"mithrilog/internal/sched"
+	"mithrilog/internal/storage"
+)
+
+// ErrClosed reports an operation on a closed router.
+var ErrClosed = errors.New("router: closed")
+
+// ErrTenantQuota mirrors sched.ErrTenantQuota for callers that only
+// import the router.
+var ErrTenantQuota = sched.ErrTenantQuota
+
+// Config assembles a router.
+type Config struct {
+	// Shards is the number of independent engine shards (default 1).
+	Shards int
+	// Engine is the per-shard engine configuration template. Metrics and
+	// PageCache must be unset: every shard gets a private registry (see
+	// MetricsHandler) and, when CacheBytes > 0, a private page cache —
+	// page IDs collide across shards, so a shared cache would serve one
+	// shard's pages to another.
+	Engine core.Config
+	// Sched is the per-shard admission-control configuration.
+	Sched sched.Config
+	// CacheBytes sizes each shard's decompressed-page cache (0 disables).
+	CacheBytes int64
+	// TenantInFlight bounds concurrent queries per tenant across the
+	// whole router (default sched.DefaultTenantInFlight).
+	TenantInFlight int
+	// ShardTimeout bounds each shard's portion of a scatter-gather query;
+	// a shard past it reports context.DeadlineExceeded in Result.Failed
+	// while the rest of the fleet still answers. Zero leaves only the
+	// caller's context and the per-shard scheduler timeout.
+	ShardTimeout time.Duration
+}
+
+// shard is one engine plus its admission layer and private metrics.
+type shard struct {
+	eng   *core.Engine
+	sch   *sched.Scheduler
+	cache *sched.PageCache
+	reg   *obs.Registry
+}
+
+// Router fans ingest and queries across shards. All methods are safe for
+// concurrent use.
+type Router struct {
+	cfg     Config
+	shards  []*shard
+	limiter *sched.TenantLimiter
+
+	// rr stripes untenanted ingest lines across shards.
+	rr atomic.Uint64
+
+	// mu guards closed; active tracks in-flight operations so Close can
+	// drain them. The mutex is never held across a shard call.
+	mu     sync.Mutex
+	closed bool
+	active sync.WaitGroup
+
+	reg          *obs.Registry
+	fed          *obs.Federation
+	queries      *obs.Counter
+	partials     *obs.Counter
+	shardErrors  *obs.CounterVec
+	shardQueries *obs.Counter
+}
+
+// New builds a router with cfg.Shards independent shards.
+func New(cfg Config) (*Router, error) {
+	return build(cfg, normShards(cfg.Shards), func(ecfg core.Config) (*core.Engine, error) {
+		return core.NewEngine(ecfg), nil
+	})
+}
+
+func normShards(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return n
+}
+
+// build assembles the router shell and constructs each shard's engine
+// through mk (NewEngine for a fresh router, ReopenEngine for recovery).
+func build(cfg Config, nShards int, mk func(core.Config) (*core.Engine, error)) (*Router, error) {
+	if cfg.Engine.Metrics != nil {
+		return nil, errors.New("router: Config.Engine.Metrics must be unset (each shard gets a private registry)")
+	}
+	if cfg.Engine.PageCache != nil {
+		return nil, errors.New("router: Config.Engine.PageCache must be unset (use Config.CacheBytes)")
+	}
+	r := &Router{
+		cfg:     cfg,
+		limiter: sched.NewTenantLimiter(cfg.TenantInFlight),
+		reg:     obs.NewRegistry(),
+		fed:     obs.NewFederation(),
+	}
+	r.queries = r.reg.Counter("mithrilog_router_queries_total",
+		"Queries accepted by the router (past the tenant quota).")
+	r.partials = r.reg.Counter("mithrilog_router_partial_results_total",
+		"Queries that returned with at least one failed shard.")
+	r.shardErrors = r.reg.CounterVec("mithrilog_router_shard_errors_total",
+		"Per-shard failures observed during scatter-gather queries.",
+		"shard")
+	r.shardQueries = r.reg.Counter("mithrilog_router_shard_queries_total",
+		"Per-shard sub-queries issued by scatter-gather (ratio to queries_total is the mean scatter width).")
+	r.limiter.RegisterMetrics(r.reg)
+	r.reg.GaugeFunc("mithrilog_router_shards",
+		"Shards behind the router.",
+		nil, func() float64 { return float64(len(r.shards)) })
+	r.fed.Add(r.reg, "", "")
+
+	for i := 0; i < nShards; i++ {
+		reg := obs.NewRegistry()
+		ecfg := cfg.Engine
+		ecfg.Metrics = reg
+		var cache *sched.PageCache
+		if cfg.CacheBytes > 0 {
+			cache = sched.NewPageCache(cfg.CacheBytes)
+			ecfg.PageCache = cache
+		}
+		eng, err := mk(ecfg)
+		if err != nil {
+			return nil, fmt.Errorf("router: shard %d: %w", i, err)
+		}
+		if cache != nil {
+			cache.RegisterMetrics(reg)
+		}
+		sh := &shard{
+			eng:   eng,
+			sch:   sched.New(eng, cfg.Sched),
+			cache: cache,
+			reg:   reg,
+		}
+		r.shards = append(r.shards, sh)
+		r.fed.Add(reg, "shard", strconv.Itoa(i))
+	}
+	return r, nil
+}
+
+// NumShards returns the shard count.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// ShardFor returns the home shard index for a tenant (the hash-based
+// placement untenanted traffic bypasses).
+func (r *Router) ShardFor(tenant string) int {
+	return shardIndex(tenant, len(r.shards))
+}
+
+// Shard exposes one shard's engine (stats, tests, benchmarks).
+func (r *Router) Shard(i int) *core.Engine { return r.shards[i].eng }
+
+// Limiter exposes the router's tenant quota layer (tests, admission
+// introspection).
+func (r *Router) Limiter() *sched.TenantLimiter { return r.limiter }
+
+// Obs returns the router's own registry (quota and scatter metrics).
+func (r *Router) Obs() *obs.Registry { return r.reg }
+
+// Federation returns the federated view of the router registry plus
+// every shard's registry, each shard's series labeled shard="<i>".
+func (r *Router) Federation() *obs.Federation { return r.fed }
+
+// shardIndex is FNV-1a placement: stable across runs and shard-local
+// (no coordination), like COPR's tenant partitioning.
+func shardIndex(tenant string, n int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(tenant); i++ {
+		h ^= uint32(tenant[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+// begin admits one operation, failing if the router is closed. The
+// matching r.active.Done() must be deferred by the caller.
+func (r *Router) begin() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	r.active.Add(1)
+	return nil
+}
+
+// Close marks the router closed, waits for in-flight operations to
+// drain, and flushes every shard. After Close no router goroutine
+// remains (scatter goroutines are joined per request).
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.active.Wait()
+	var errs []error
+	for i, sh := range r.shards {
+		if err := sh.eng.Flush(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Ingest places lines on shards. Tenant-tagged lines all land on the
+// tenant's home shard; untenanted lines are striped round-robin so every
+// shard carries an even share. Line bytes are stored untouched — tenancy
+// decides placement, never content.
+func (r *Router) Ingest(tenant string, lines [][]byte) error {
+	if err := r.begin(); err != nil {
+		return err
+	}
+	defer r.active.Done()
+	n := len(r.shards)
+	if tenant != "" || n == 1 {
+		return r.shards[shardIndex(tenant, n)].eng.Ingest(lines)
+	}
+	base := r.rr.Add(uint64(len(lines))) - uint64(len(lines))
+	buckets := make([][][]byte, n)
+	for i, line := range lines {
+		s := int((base + uint64(i)) % uint64(n))
+		buckets[s] = append(buckets[s], line)
+	}
+	for s, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		if err := r.shards[s].eng.Ingest(b); err != nil {
+			return fmt.Errorf("router: shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// Flush flushes every shard (buffered lines become pages, indexes flush).
+func (r *Router) Flush() error {
+	if err := r.begin(); err != nil {
+		return err
+	}
+	defer r.active.Done()
+	for i, sh := range r.shards {
+		if err := sh.eng.Flush(); err != nil {
+			return fmt.Errorf("router: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Snapshot records a time boundary on every shard for range queries.
+func (r *Router) Snapshot(ts time.Time) error {
+	if err := r.begin(); err != nil {
+		return err
+	}
+	defer r.active.Done()
+	for i, sh := range r.shards {
+		if err := sh.eng.TakeSnapshot(ts); err != nil {
+			return fmt.Errorf("router: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ShardError is one shard's failure within an otherwise-served query.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+// Result is a merged scatter-gather search result.
+type Result struct {
+	// Matches and Lines merge the successful shards. Lines are in
+	// canonical (lexicographic) order so the merged bytes are identical
+	// regardless of shard count or gather arrival order.
+	Matches int
+	Lines   [][]byte
+
+	// Partial reports that at least one queried shard failed; Failed
+	// lists them. A query only errors when every shard fails.
+	Partial bool
+	Failed  []ShardError
+
+	// ShardsQueried counts the scatter width (1 for tenant queries);
+	// EmptyShards counts shards with nothing ingested (not failures).
+	ShardsQueried int
+	EmptyShards   int
+
+	// Offloaded / UsedIndex report whether every successful shard ran the
+	// accelerator path / pruned with its index.
+	Offloaded bool
+	UsedIndex bool
+
+	// Page accounting summed over successful shards.
+	TotalPages, CandidatePages, CachedPages int
+
+	// SimElapsed is the simulated fleet time: shards scan in parallel, so
+	// the slowest shard binds. QueueTime is the worst shard's pipeline
+	// queue share. WallElapsed is measured host time for the scatter.
+	SimElapsed  time.Duration
+	QueueTime   time.Duration
+	WallElapsed time.Duration
+}
+
+// shardDeadline layers the per-shard timeout onto the caller's context.
+func (r *Router) shardDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if r.cfg.ShardTimeout > 0 {
+		return context.WithTimeout(ctx, r.cfg.ShardTimeout)
+	}
+	return ctx, func() {}
+}
+
+// targets returns the shard indices a query scatters to.
+func (r *Router) targets(tenant string) []int {
+	if tenant != "" {
+		return []int{shardIndex(tenant, len(r.shards))}
+	}
+	out := make([]int, len(r.shards))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Search scatters q to the tenant's home shard (tenant != "") or every
+// shard (tenant == ""), gathers under per-shard deadlines, and merges.
+// Tenant quota rejections surface as ErrTenantQuota before any shard is
+// touched.
+func (r *Router) Search(ctx context.Context, tenant string, q query.Query, opts core.SearchOptions) (Result, error) {
+	if err := r.begin(); err != nil {
+		return Result{}, err
+	}
+	defer r.active.Done()
+	release, err := r.limiter.Acquire(tenant)
+	if err != nil {
+		return Result{}, err
+	}
+	defer release()
+	r.queries.Inc()
+
+	targets := r.targets(tenant)
+	r.shardQueries.Add(float64(len(targets)))
+	start := time.Now()
+	type shardOut struct {
+		res core.SearchResult
+		err error
+	}
+	outs := make([]shardOut, len(targets))
+	var wg sync.WaitGroup
+	for slot, si := range targets {
+		wg.Add(1)
+		go func(slot, si int) {
+			defer wg.Done()
+			sctx, cancel := r.shardDeadline(ctx)
+			defer cancel()
+			res, err := r.shards[si].sch.Search(sctx, q, opts)
+			outs[slot] = shardOut{res: res, err: err}
+		}(slot, si)
+	}
+	wg.Wait()
+
+	res := Result{ShardsQueried: len(targets), Offloaded: true, UsedIndex: true}
+	nOK := 0
+	var errs []error
+	for slot, o := range outs {
+		si := targets[slot]
+		switch {
+		case o.err == nil:
+			nOK++
+			res.Matches += o.res.Matches
+			res.Lines = append(res.Lines, o.res.Lines...)
+			res.TotalPages += o.res.TotalPages
+			res.CandidatePages += o.res.CandidatePages
+			res.CachedPages += o.res.CachedPages
+			res.Offloaded = res.Offloaded && o.res.Offloaded
+			res.UsedIndex = res.UsedIndex && o.res.UsedIndex
+			if o.res.SimElapsed > res.SimElapsed {
+				res.SimElapsed = o.res.SimElapsed
+			}
+			if o.res.QueueTime > res.QueueTime {
+				res.QueueTime = o.res.QueueTime
+			}
+		case errors.Is(o.err, core.ErrNothingIngested):
+			// An empty shard is a valid fleet state, not a failure.
+			res.EmptyShards++
+		default:
+			res.Failed = append(res.Failed, ShardError{Shard: si, Err: o.err})
+			r.shardErrors.WithLabelValues(strconv.Itoa(si)).Inc()
+			errs = append(errs, fmt.Errorf("shard %d: %w", si, o.err))
+		}
+	}
+	res.WallElapsed = time.Since(start)
+	if nOK == 0 && res.EmptyShards == len(targets) {
+		return Result{}, core.ErrNothingIngested
+	}
+	if nOK == 0 && res.EmptyShards == 0 {
+		return Result{}, errors.Join(errs...)
+	}
+	if len(res.Failed) > 0 {
+		res.Partial = true
+		r.partials.Inc()
+	}
+	if nOK == 0 {
+		res.Offloaded, res.UsedIndex = false, false
+	}
+	sortLines(res.Lines)
+	return res, nil
+}
+
+// RegexResult is a merged scatter-gather regex scan.
+type RegexResult struct {
+	Matches       int
+	Lines         [][]byte
+	Partial       bool
+	Failed        []ShardError
+	ShardsQueried int
+	EmptyShards   int
+	SimElapsed    time.Duration
+	WallElapsed   time.Duration
+}
+
+// SearchRegex scatters a regex scan with the same routing, quota, and
+// partial-failure semantics as Search.
+func (r *Router) SearchRegex(ctx context.Context, tenant, pattern string, collect bool) (RegexResult, error) {
+	if err := r.begin(); err != nil {
+		return RegexResult{}, err
+	}
+	defer r.active.Done()
+	release, err := r.limiter.Acquire(tenant)
+	if err != nil {
+		return RegexResult{}, err
+	}
+	defer release()
+	r.queries.Inc()
+
+	targets := r.targets(tenant)
+	r.shardQueries.Add(float64(len(targets)))
+	start := time.Now()
+	type shardOut struct {
+		res core.RegexResult
+		err error
+	}
+	outs := make([]shardOut, len(targets))
+	var wg sync.WaitGroup
+	for slot, si := range targets {
+		wg.Add(1)
+		go func(slot, si int) {
+			defer wg.Done()
+			sctx, cancel := r.shardDeadline(ctx)
+			defer cancel()
+			res, err := r.shards[si].sch.SearchRegex(sctx, pattern, collect)
+			outs[slot] = shardOut{res: res, err: err}
+		}(slot, si)
+	}
+	wg.Wait()
+
+	res := RegexResult{ShardsQueried: len(targets)}
+	nOK := 0
+	var errs []error
+	for slot, o := range outs {
+		si := targets[slot]
+		switch {
+		case o.err == nil:
+			nOK++
+			res.Matches += o.res.Matches
+			res.Lines = append(res.Lines, o.res.Lines...)
+			if o.res.SimElapsed > res.SimElapsed {
+				res.SimElapsed = o.res.SimElapsed
+			}
+		case errors.Is(o.err, core.ErrNothingIngested):
+			res.EmptyShards++
+		default:
+			res.Failed = append(res.Failed, ShardError{Shard: si, Err: o.err})
+			r.shardErrors.WithLabelValues(strconv.Itoa(si)).Inc()
+			errs = append(errs, fmt.Errorf("shard %d: %w", si, o.err))
+		}
+	}
+	res.WallElapsed = time.Since(start)
+	if nOK == 0 && res.EmptyShards == len(targets) {
+		return RegexResult{}, core.ErrNothingIngested
+	}
+	if nOK == 0 && res.EmptyShards == 0 {
+		return RegexResult{}, errors.Join(errs...)
+	}
+	if len(res.Failed) > 0 {
+		res.Partial = true
+		r.partials.Inc()
+	}
+	sortLines(res.Lines)
+	return res, nil
+}
+
+// sortLines puts merged lines into canonical lexicographic order, making
+// the merged result independent of shard count and gather order.
+func sortLines(lines [][]byte) {
+	sort.Slice(lines, func(i, j int) bool { return string(lines[i]) < string(lines[j]) })
+}
+
+// Stats aggregates fleet-wide content accounting.
+type Stats struct {
+	Shards           int
+	Lines            uint64
+	RawBytes         uint64
+	CompressedBytes  uint64
+	DataPages        int
+	IndexMemoryBytes int
+	Segments         storage.SegmentStats
+}
+
+// Stats sums content accounting over all shards.
+func (r *Router) Stats() Stats {
+	st := Stats{Shards: len(r.shards)}
+	for _, sh := range r.shards {
+		st.Lines += sh.eng.Lines()
+		st.RawBytes += sh.eng.RawBytes()
+		st.CompressedBytes += sh.eng.CompressedBytes()
+		st.DataPages += sh.eng.DataPages()
+		st.IndexMemoryBytes += sh.eng.IndexMemoryFootprint()
+		segs := sh.eng.Segments()
+		st.Segments.Sealed += segs.Sealed
+		st.Segments.Active += segs.Active
+		st.Segments.SealedPages += segs.SealedPages
+		st.Segments.ActivePages += segs.ActivePages
+	}
+	return st
+}

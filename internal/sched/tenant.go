@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+
+	"mithrilog/internal/obs"
+)
+
+// ErrTenantQuota reports a query rejected at admission because its tenant
+// already holds its full in-flight quota. Like ErrQueueFull it is
+// backpressure, not failure: callers surface it as HTTP 429.
+var ErrTenantQuota = errors.New("sched: tenant quota exceeded")
+
+// DefaultTenantInFlight is the per-tenant concurrent-query quota when the
+// config does not override it.
+const DefaultTenantInFlight = 4
+
+// TenantLimiter enforces a per-tenant in-flight quota in front of the
+// scheduler's global admission queue, so one tenant's burst cannot occupy
+// every execution slot and starve the rest. It is deliberately simpler
+// than the slot semaphore: quota rejections fail fast (no per-tenant wait
+// queue), because a tenant at quota already has MaxInFlight queries'
+// worth of latency queued behind its own traffic.
+//
+// The zero value is not usable; create with NewTenantLimiter. All methods
+// are safe for concurrent use; the mutex guards only map bookkeeping and
+// is never held across a shard call or channel operation.
+type TenantLimiter struct {
+	max int
+
+	mu       sync.Mutex
+	inflight map[string]int
+
+	admitted *obs.Counter
+	rejected *obs.CounterVec
+}
+
+// NewTenantLimiter builds a limiter allowing max concurrent queries per
+// tenant (DefaultTenantInFlight when max <= 0). The untenanted tenant ""
+// is a bucket like any other, so anonymous traffic is bounded too.
+func NewTenantLimiter(max int) *TenantLimiter {
+	if max <= 0 {
+		max = DefaultTenantInFlight
+	}
+	return &TenantLimiter{max: max, inflight: make(map[string]int)}
+}
+
+// Max returns the per-tenant quota.
+func (l *TenantLimiter) Max() int { return l.max }
+
+// RegisterMetrics publishes the limiter's counters and occupancy gauges
+// into reg. The rejection counter carries the tenant label so a noisy
+// neighbor is visible by name; totals stay unlabeled.
+func (l *TenantLimiter) RegisterMetrics(reg *obs.Registry) {
+	l.admitted = reg.Counter("mithrilog_sched_tenant_admitted_total",
+		"Queries admitted under their tenant's in-flight quota.")
+	l.rejected = reg.CounterVec("mithrilog_sched_tenant_rejected_total",
+		"Queries rejected because their tenant's in-flight quota was full.",
+		"tenant")
+	reg.GaugeFunc("mithrilog_sched_tenants_active",
+		"Tenants currently holding at least one execution slot.",
+		nil, func() float64 { return float64(l.ActiveTenants()) })
+}
+
+// ActiveTenants counts tenants with at least one in-flight query.
+func (l *TenantLimiter) ActiveTenants() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.inflight)
+}
+
+// InFlight returns one tenant's current in-flight count.
+func (l *TenantLimiter) InFlight(tenant string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight[tenant]
+}
+
+// Acquire claims one slot of the tenant's quota, returning the release
+// function, or ErrTenantQuota if the tenant is at its limit. Release is
+// idempotent-unsafe by design (call exactly once, typically deferred).
+func (l *TenantLimiter) Acquire(tenant string) (release func(), err error) {
+	l.mu.Lock()
+	if l.inflight[tenant] >= l.max {
+		l.mu.Unlock()
+		if l.rejected != nil {
+			l.rejected.WithLabelValues(tenant).Inc()
+		}
+		return nil, ErrTenantQuota
+	}
+	l.inflight[tenant]++
+	l.mu.Unlock()
+	if l.admitted != nil {
+		l.admitted.Inc()
+	}
+	return func() {
+		l.mu.Lock()
+		l.inflight[tenant]--
+		if l.inflight[tenant] <= 0 {
+			delete(l.inflight, tenant)
+		}
+		l.mu.Unlock()
+	}, nil
+}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"mithrilog/internal/obs"
+)
+
+func TestTenantLimiterQuota(t *testing.T) {
+	l := NewTenantLimiter(2)
+	l.RegisterMetrics(obs.NewRegistry())
+
+	rel1, err := l.Acquire("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := l.Acquire("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Acquire("acme"); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("third acquire: err = %v, want ErrTenantQuota", err)
+	}
+	// Other tenants (and the anonymous bucket) have their own quotas.
+	relB, err := l.Acquire("globex")
+	if err != nil {
+		t.Fatalf("other tenant blocked: %v", err)
+	}
+	relAnon, err := l.Acquire("")
+	if err != nil {
+		t.Fatalf("anonymous bucket blocked: %v", err)
+	}
+	if n := l.ActiveTenants(); n != 3 {
+		t.Fatalf("active tenants = %d, want 3", n)
+	}
+	rel1()
+	if _, err := l.Acquire("acme"); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	rel2()
+	relB()
+	relAnon()
+}
+
+func TestTenantLimiterDefaultsAndDrain(t *testing.T) {
+	l := NewTenantLimiter(0)
+	if l.Max() != DefaultTenantInFlight {
+		t.Fatalf("Max() = %d, want %d", l.Max(), DefaultTenantInFlight)
+	}
+	rel, err := l.Acquire("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.InFlight("t") != 1 {
+		t.Fatalf("InFlight = %d", l.InFlight("t"))
+	}
+	rel()
+	if l.InFlight("t") != 0 || l.ActiveTenants() != 0 {
+		t.Fatalf("limiter not drained: %d in flight, %d active", l.InFlight("t"), l.ActiveTenants())
+	}
+}
+
+// TestTenantLimiterConcurrent hammers one tenant from many goroutines and
+// checks the quota is never exceeded (run under -race in CI).
+func TestTenantLimiterConcurrent(t *testing.T) {
+	const quota = 3
+	l := NewTenantLimiter(quota)
+	var mu sync.Mutex
+	cur, peak := 0, 0
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rel, err := l.Acquire("hot")
+				if err != nil {
+					continue
+				}
+				mu.Lock()
+				cur++
+				if cur > peak {
+					peak = cur
+				}
+				mu.Unlock()
+				mu.Lock()
+				cur--
+				mu.Unlock()
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > quota {
+		t.Fatalf("observed %d concurrent holders, quota %d", peak, quota)
+	}
+	if l.ActiveTenants() != 0 {
+		t.Fatal("limiter not drained after stress")
+	}
+}

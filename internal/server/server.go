@@ -5,11 +5,11 @@
 //
 // Endpoints:
 //
-//	POST /ingest    newline-separated log text in the body
+//	POST /ingest    newline-separated log text in the body [?tenant=name]
 //	POST /flush     force buffered lines into storage pages
 //	POST /snapshot  record a time boundary (RFC 3339 "time" form value)
-//	GET  /search    q=<expr> [limit=N] [noindex=1] [from=RFC3339] [to=RFC3339]
-//	GET  /grep      e=<regex> [limit=N]
+//	GET  /search    q=<expr> [limit=N] [noindex=1] [from=RFC3339] [to=RFC3339] [tenant=name]
+//	GET  /grep      e=<regex> [limit=N] [tenant=name]
 //	GET  /trace     q=<expr> [same params as /search] — search + span tree
 //	GET  /stats     engine statistics
 //	GET  /metrics   Prometheus text exposition (see OBSERVABILITY.md)
@@ -22,9 +22,19 @@
 // series.
 //
 // Search-shaped endpoints (/search, /trace, /grep) run through the
-// engine's admission-controlled scheduler: a full admission queue maps to
-// 429 Too Many Requests, an expired per-query deadline to 504 Gateway
-// Timeout, and a client hang-up cancels the scan between pages.
+// engine's admission-controlled scheduler: a full admission queue or an
+// exhausted per-tenant quota maps to 429 Too Many Requests, an expired
+// per-query deadline to 504 Gateway Timeout, and a client hang-up cancels
+// the scan between pages.
+//
+// On a sharded engine (Config.Shards > 1) the tenant parameter routes:
+// tenant-tagged ingest lands on the tenant's home shard, a tenant query
+// touches only that shard, and untenanted queries scatter-gather across
+// the fleet. A scatter in which some — not all — shards fail still
+// returns 200, with partial=true and the failed shards listed, so
+// callers can distinguish a complete answer from a degraded one. The
+// /metrics exposition federates the router and every shard (series
+// labeled shard="<i>").
 package server
 
 import (
@@ -78,7 +88,9 @@ func New(eng *mithrilog.Engine) *Server {
 	s.handle("/grep", s.handleGrep)
 	s.handle("/trace", s.handleTrace)
 	s.handle("/stats", s.handleStats)
-	s.handle("/metrics", reg.ServeHTTP)
+	// MetricsHandler, not reg: on a sharded engine the exposition is the
+	// federated view (router + every shard), of which reg is one member.
+	s.handle("/metrics", eng.MetricsHandler().ServeHTTP)
 	s.handle("/healthz", s.handleHealth)
 	return s
 }
@@ -139,6 +151,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	// The tenant must come from the URL: FormValue would try to parse the
+	// body, which here is raw log text, not a form.
+	tenant := r.URL.Query().Get("tenant")
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	var batch [][]byte
@@ -147,7 +162,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if len(batch) == 0 {
 			return nil
 		}
-		if err := s.eng.IngestBytes(batch); err != nil {
+		if err := s.eng.IngestTenant(tenant, batch); err != nil {
 			return err
 		}
 		batch = batch[:0]
@@ -210,27 +225,34 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"time": ts.Format(time.RFC3339)})
 }
 
-// searchResponse reports a query.
+// searchResponse reports a query. The shard fields appear only from a
+// sharded engine: partial=true flags a scatter that lost some (not all)
+// shards, with the failures enumerated.
 type searchResponse struct {
-	Matches        int      `json:"matches"`
-	Lines          []string `json:"lines,omitempty"`
-	Offloaded      bool     `json:"offloaded"`
-	UsedIndex      bool     `json:"usedIndex"`
-	CandidatePages int      `json:"candidatePages"`
-	TotalPages     int      `json:"totalPages"`
-	CachedPages    int      `json:"cachedPages"`
-	SimElapsedNs   int64    `json:"simElapsedNs"`
-	QueueNs        int64    `json:"queueNs"`
-	WallElapsedNs  int64    `json:"wallElapsedNs"`
-	EffectiveGBps  float64  `json:"effectiveGBps"`
+	Matches        int                      `json:"matches"`
+	Lines          []string                 `json:"lines,omitempty"`
+	Offloaded      bool                     `json:"offloaded"`
+	UsedIndex      bool                     `json:"usedIndex"`
+	CandidatePages int                      `json:"candidatePages"`
+	TotalPages     int                      `json:"totalPages"`
+	CachedPages    int                      `json:"cachedPages"`
+	SimElapsedNs   int64                    `json:"simElapsedNs"`
+	QueueNs        int64                    `json:"queueNs"`
+	WallElapsedNs  int64                    `json:"wallElapsedNs"`
+	EffectiveGBps  float64                  `json:"effectiveGBps"`
+	Partial        bool                     `json:"partial,omitempty"`
+	FailedShards   []mithrilog.ShardFailure `json:"failedShards,omitempty"`
+	ShardsQueried  int                      `json:"shardsQueried,omitempty"`
+	EmptyShards    int                      `json:"emptyShards,omitempty"`
 }
 
 // searchStatus maps a search error to its HTTP status: admission
-// rejections are backpressure (429), deadline expiries are timeouts
-// (504), everything else is a caller error.
+// rejections — a full queue or an exhausted tenant quota — are
+// backpressure (429), deadline expiries are timeouts (504), everything
+// else is a caller error.
 func searchStatus(err error) int {
 	switch {
-	case errors.Is(err, mithrilog.ErrQueueFull):
+	case errors.Is(err, mithrilog.ErrQueueFull), errors.Is(err, mithrilog.ErrTenantQuota):
 		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
@@ -258,6 +280,7 @@ func searchParams(w http.ResponseWriter, r *http.Request) (expr string, limit in
 	}
 	opts.CollectLines = limit > 0
 	opts.NoIndex = r.FormValue("noindex") == "1"
+	opts.Tenant = r.FormValue("tenant")
 	// A hung-up client cancels the scan between pages.
 	opts.Context = r.Context()
 	for name, dst := range map[string]*time.Time{"from": &opts.From, "to": &opts.To} {
@@ -290,6 +313,10 @@ func toSearchResponse(res mithrilog.Result, limit int) searchResponse {
 		QueueNs:        res.Breakdown.Queue.Nanoseconds(),
 		WallElapsedNs:  res.WallElapsed.Nanoseconds(),
 		EffectiveGBps:  res.EffectiveGBps,
+		Partial:        res.Partial,
+		FailedShards:   res.FailedShards,
+		ShardsQueried:  res.ShardsQueried,
+		EmptyShards:    res.EmptyShards,
 	}
 }
 
@@ -346,7 +373,7 @@ func (s *Server) handleGrep(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	res, err := s.eng.SearchRegexContext(r.Context(), pattern, limit > 0)
+	res, err := s.eng.SearchRegexTenant(r.Context(), r.FormValue("tenant"), pattern, limit > 0)
 	if err != nil {
 		writeErr(w, searchStatus(err), "grep: %v", err)
 		return
@@ -361,10 +388,14 @@ func (s *Server) handleGrep(w http.ResponseWriter, r *http.Request) {
 		Lines:         lines,
 		SimElapsedNs:  res.SimElapsed.Nanoseconds(),
 		WallElapsedNs: res.WallElapsed.Nanoseconds(),
+		Partial:       res.Partial,
+		FailedShards:  res.FailedShards,
+		ShardsQueried: res.ShardsQueried,
+		EmptyShards:   res.EmptyShards,
 	})
 }
 
-// statsResponse reports engine state.
+// statsResponse reports engine state (summed across shards when sharded).
 type statsResponse struct {
 	Lines            uint64  `json:"lines"`
 	RawBytes         uint64  `json:"rawBytes"`
@@ -373,6 +404,9 @@ type statsResponse struct {
 	DataPages        int     `json:"dataPages"`
 	IndexMemoryBytes int     `json:"indexMemoryBytes"`
 	QueriesServed    uint64  `json:"queriesServed"`
+	Shards           int     `json:"shards"`
+	SealedSegments   int     `json:"sealedSegments"`
+	ActiveSegments   int     `json:"activeSegments"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -385,6 +419,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		DataPages:        st.DataPages,
 		IndexMemoryBytes: st.IndexMemoryBytes,
 		QueriesServed:    s.queries.Load(),
+		Shards:           st.Shards,
+		SealedSegments:   st.SealedSegments,
+		ActiveSegments:   st.ActiveSegments,
 	})
 }
 

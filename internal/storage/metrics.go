@@ -40,6 +40,46 @@ func RegisterDeviceMetrics(reg *obs.Registry, d *Device) {
 	}
 }
 
+// RegisterSegmentMetrics publishes a segment store's seal-state gauges.
+//
+//	mithrilog_storage_segments{state=}       gauge, segments by seal state
+//	mithrilog_storage_segment_pages{state=}  gauge, data pages by seal state
+//
+// Sealed segments are the durability/compaction unit of the scale-out
+// design; the active gauge (0 or 1 segments) shows how much ingested data
+// is still mutable.
+func RegisterSegmentMetrics(reg *obs.Registry, s *SegmentStore) {
+	for _, sealed := range []bool{true, false} {
+		sealed := sealed
+		state := "active"
+		if sealed {
+			state = "sealed"
+		}
+		// One registration site per metric name; the state label is the
+		// loop variable, written as a literal label set (metricname).
+		reg.GaugeFunc("mithrilog_storage_segments",
+			"Segments on the store, by seal state.",
+			obs.Labels{"state": state},
+			func() float64 {
+				st := s.Stats()
+				if sealed {
+					return float64(st.Sealed)
+				}
+				return float64(st.Active)
+			})
+		reg.GaugeFunc("mithrilog_storage_segment_pages",
+			"Data pages tracked by the segment store, by seal state.",
+			obs.Labels{"state": state},
+			func() float64 {
+				st := s.Stats()
+				if sealed {
+					return float64(st.SealedPages)
+				}
+				return float64(st.ActivePages)
+			})
+	}
+}
+
 // linkStats snapshots one link's counters.
 func (d *Device) linkStats(link Link) LinkStats {
 	d.statsMu.Lock()

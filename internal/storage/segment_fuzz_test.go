@@ -1,0 +1,76 @@
+package storage
+
+import (
+	"bytes"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzSegmentReopen feeds arbitrary bytes to OpenSegmentStore and asserts
+// the two safety properties of the reopen path: it never panics, and when
+// it accepts a stream, every record it would serve passes its checksum.
+// The seed corpus covers the interesting neighborhood: a valid stream,
+// bit-flipped variants (header, manifest, payload, checksum positions),
+// and truncations at structural boundaries.
+func FuzzSegmentReopen(f *testing.F) {
+	valid := buildValidStream(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("MLSEGMET"))
+	// Bit flips across the stream: magic, version, counts, payload, CRCs.
+	for _, pos := range []int{0, 4, 11, 12, 16, 20, 40, len(valid) / 2, len(valid) - 5, len(valid) - 1} {
+		if pos < 0 || pos >= len(valid) {
+			continue
+		}
+		mut := append([]byte(nil), valid...)
+		mut[pos] ^= 0x01
+		f.Add(mut)
+	}
+	// Truncations: mid-length-prefix, mid-meta, mid-segment, mid-payload.
+	for _, cut := range []int{1, 3, 4, 10, 30, len(valid) / 3, len(valid) / 2, len(valid) - 4, len(valid) - 1} {
+		if cut > 0 && cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	// An absurd length prefix must be bounded, not allocated.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dev := New(Config{MaxPages: 4096})
+		s, err := OpenSegmentStore(dev, bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly: the property we want
+		}
+		for i, r := range s.Records() {
+			page, verr := dev.View(Internal, r.Page)
+			if verr != nil {
+				t.Fatalf("accepted store serves unreadable record %d: %v", i, verr)
+			}
+			if int(r.Len) > len(page) {
+				t.Fatalf("accepted store record %d overruns its page", i)
+			}
+			if crc32.ChecksumIEEE(page[:r.Len]) != r.CRC {
+				t.Fatalf("accepted store serves record %d with failing checksum", i)
+			}
+		}
+	})
+}
+
+// buildValidStream serializes a small multi-segment store.
+func buildValidStream(f *testing.F) []byte {
+	f.Helper()
+	dev := New(Config{})
+	s := NewSegmentStore(dev, 3)
+	for i := 0; i < 7; i++ {
+		line := bytes.Repeat([]byte{byte('a' + i)}, 80+i*13)
+		if _, err := s.Append(line); err != nil {
+			f.Fatal(err)
+		}
+	}
+	s.Seal()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}

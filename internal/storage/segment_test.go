@@ -1,0 +1,177 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"testing"
+)
+
+// fillStore appends n distinct payloads and returns them.
+func fillStore(t *testing.T, s *SegmentStore, n int) [][]byte {
+	t.Helper()
+	var payloads [][]byte
+	for i := 0; i < n; i++ {
+		p := []byte(fmt.Sprintf("payload-%04d ", i))
+		for len(p) < 100+i%300 {
+			p = append(p, byte('a'+i%26))
+		}
+		if _, err := s.Append(p); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		payloads = append(payloads, p)
+	}
+	return payloads
+}
+
+func TestSegmentStoreSealBoundaries(t *testing.T) {
+	dev := New(Config{})
+	s := NewSegmentStore(dev, 4)
+	fillStore(t, s, 10) // 2 sealed segments of 4, active of 2
+
+	st := s.Stats()
+	if st.Sealed != 2 || st.SealedPages != 8 || st.Active != 1 || st.ActivePages != 2 {
+		t.Fatalf("stats = %+v, want 2 sealed/8 pages, 1 active/2 pages", st)
+	}
+	s.Seal()
+	st = s.Stats()
+	if st.Sealed != 3 || st.Active != 0 || st.SealedPages != 10 {
+		t.Fatalf("after Seal: stats = %+v", st)
+	}
+	// Sealing again is a no-op.
+	s.Seal()
+	if got := s.Stats(); got != st {
+		t.Fatalf("double Seal changed stats: %+v -> %+v", st, got)
+	}
+	if recs := s.Records(); len(recs) != 10 {
+		t.Fatalf("Records() = %d, want 10", len(recs))
+	}
+}
+
+func TestSegmentStoreReopenRoundTrip(t *testing.T) {
+	dev := New(Config{})
+	s := NewSegmentStore(dev, 3)
+	payloads := fillStore(t, s, 8)
+	s.Seal()
+
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dev2 := New(Config{})
+	s2, err := OpenSegmentStore(dev2, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := s2.Records()
+	if len(recs) != len(payloads) {
+		t.Fatalf("reopened %d records, want %d", len(recs), len(payloads))
+	}
+	for i, r := range recs {
+		page, err := dev2.View(Internal, r.Page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(page[:r.Len], payloads[i]) {
+			t.Fatalf("record %d payload differs after reopen", i)
+		}
+		if crc32.ChecksumIEEE(page[:r.Len]) != r.CRC {
+			t.Fatalf("record %d checksum mismatch after reopen", i)
+		}
+	}
+	if got, want := s2.Stats(), (SegmentStats{Sealed: 3, SealedPages: 8}); got != want {
+		t.Fatalf("reopened stats = %+v, want %+v", got, want)
+	}
+}
+
+func TestSegmentStoreWriteRequiresSeal(t *testing.T) {
+	dev := New(Config{})
+	s := NewSegmentStore(dev, 4)
+	fillStore(t, s, 2) // active, unsealed
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err == nil {
+		t.Fatal("WriteTo with an unsealed active segment should fail")
+	}
+}
+
+func TestSegmentStoreDetectsCorruption(t *testing.T) {
+	dev := New(Config{})
+	s := NewSegmentStore(dev, 3)
+	fillStore(t, s, 7)
+	s.Seal()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	// Every single-bit flip anywhere in the stream must be rejected (or, if
+	// it lands in padding we do not have, still produce a verified store).
+	// Checking all bits is too slow; probe a spread of positions.
+	for pos := 0; pos < len(valid); pos += 97 {
+		mut := append([]byte(nil), valid...)
+		mut[pos] ^= 0x40
+		if bytes.Equal(mut, valid) {
+			continue
+		}
+		s2, err := OpenSegmentStore(New(Config{}), bytes.NewReader(mut))
+		if err == nil {
+			// The flip must have been caught by a checksum unless it kept
+			// every invariant — verify everything it serves.
+			verifyStore(t, s2)
+		} else if !errors.Is(err, ErrSegmentCorrupt) && !errors.Is(err, ErrPageOverflow) {
+			// Structured parse errors are fine; panics are the real failure
+			// mode and would have crashed the test.
+			t.Logf("flip at %d: %v", pos, err)
+		}
+	}
+
+	// Truncations at every boundary must be rejected cleanly.
+	for cut := 0; cut < len(valid); cut += 61 {
+		if _, err := OpenSegmentStore(New(Config{}), bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// verifyStore asserts that everything a store serves passes its checksum.
+func verifyStore(t *testing.T, s *SegmentStore) {
+	t.Helper()
+	for i, r := range s.Records() {
+		page, err := s.dev.View(Internal, r.Page)
+		if err != nil {
+			t.Fatalf("record %d unreadable: %v", i, err)
+		}
+		if crc32.ChecksumIEEE(page[:r.Len]) != r.CRC {
+			t.Fatalf("record %d served with failing checksum", i)
+		}
+	}
+}
+
+func TestSegmentStoreSaveLoadBridge(t *testing.T) {
+	dev := New(Config{})
+	s := NewSegmentStore(dev, 4)
+	fillStore(t, s, 6)
+
+	sv := s.Save()
+	s2, err := LoadSegmentStore(dev, sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s2.Stats(), s.Stats(); got != want {
+		t.Fatalf("loaded stats = %+v, want %+v", got, want)
+	}
+
+	// A corrupted device page must be caught at load.
+	recs := s.Records()
+	bad := make([]byte, PageSize)
+	copy(bad, "corrupted")
+	if err := dev.Write(recs[2].Page, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSegmentStore(dev, sv); !errors.Is(err, ErrSegmentCorrupt) {
+		t.Fatalf("load over corrupted page: err = %v, want ErrSegmentCorrupt", err)
+	}
+}

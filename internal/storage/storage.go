@@ -52,6 +52,10 @@ type Config struct {
 	ReadLatency time.Duration
 	// MaxPages caps device capacity; zero means unbounded.
 	MaxPages int
+	// SegmentPages is the capacity, in data pages, of each append-only
+	// segment the engine's SegmentStore seals (default
+	// DefaultSegmentPages). The device itself ignores it.
+	SegmentPages int
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +67,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReadLatency <= 0 {
 		c.ReadLatency = 100 * time.Microsecond
+	}
+	if c.SegmentPages <= 0 {
+		c.SegmentPages = DefaultSegmentPages
 	}
 	return c
 }
@@ -224,6 +231,18 @@ func (d *Device) View(link Link, id PageID) ([]byte, error) {
 		return nil, ErrOutOfRange
 	}
 	d.account(link, 1, PageSize)
+	return d.pages[id], nil
+}
+
+// pageView returns the page contents without link accounting. It serves
+// the persistence paths (segment encode, saved-state verification), which
+// are host-side maintenance operations, not simulated device traffic.
+func (d *Device) pageView(id PageID) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(id) >= len(d.pages) {
+		return nil, ErrOutOfRange
+	}
 	return d.pages[id], nil
 }
 

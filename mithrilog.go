@@ -35,6 +35,7 @@ import (
 	"mithrilog/internal/lzah"
 	"mithrilog/internal/obs"
 	"mithrilog/internal/query"
+	"mithrilog/internal/router"
 	"mithrilog/internal/sched"
 	"mithrilog/internal/storage"
 )
@@ -43,6 +44,14 @@ import (
 // limit was reached and the wait queue was already full. It signals
 // backpressure (retry later), not a bad query.
 var ErrQueueFull = sched.ErrQueueFull
+
+// ErrTenantQuota reports a query rejected because its tenant already
+// holds its full in-flight quota (sharded mode). Like ErrQueueFull it is
+// backpressure, not failure.
+var ErrTenantQuota = sched.ErrTenantQuota
+
+// ErrClosed reports an operation on a closed sharded engine.
+var ErrClosed = router.ErrClosed
 
 // Config selects the engine's hardware model and index geometry. The zero
 // value reproduces the paper's prototype: four 16-byte pipelines at
@@ -83,6 +92,24 @@ type Config struct {
 	// for 64 MiB; the token stream's ~3-4x amplification over raw text
 	// counts against the bound). Zero disables caching.
 	CacheBytes int64
+
+	// Shards > 1 runs that many independent engines — each with its own
+	// simulated SSD, accelerator complex, scheduler, and page cache —
+	// behind a scatter-gather router. Tenant-tagged ingest (IngestTenant)
+	// lands on the tenant's home shard; untenanted ingest is striped
+	// round-robin. Queries for a tenant go to one shard; untenanted
+	// queries scatter to all shards and merge in canonical order. 0 or 1
+	// keeps the classic single-engine layout.
+	Shards int
+	// TenantInFlight bounds concurrent queries per tenant in sharded mode,
+	// in front of the per-shard schedulers; excess arrivals fail fast with
+	// ErrTenantQuota (default 4). Ignored when Shards <= 1.
+	TenantInFlight int
+	// ShardTimeout bounds each shard's portion of a scatter-gather query;
+	// a late shard is reported in Result.FailedShards while the rest of
+	// the fleet still answers. Zero leaves only QueryTimeout and the
+	// caller's context. Ignored when Shards <= 1.
+	ShardTimeout time.Duration
 }
 
 func (c Config) toCore() core.Config {
@@ -104,21 +131,80 @@ func (c Config) toCore() core.Config {
 	}
 }
 
+func (c Config) toRouter() router.Config {
+	return router.Config{
+		Shards: c.Shards,
+		Engine: c.toCore(),
+		Sched: sched.Config{
+			MaxInFlight: c.MaxInFlight,
+			QueueDepth:  c.QueueDepth,
+			Timeout:     c.QueryTimeout,
+		},
+		CacheBytes:     c.CacheBytes,
+		TenantInFlight: c.TenantInFlight,
+		ShardTimeout:   c.ShardTimeout,
+	}
+}
+
 // Engine is a MithriLog instance: simulated near-storage device, index,
 // and accelerator pipelines, fronted by a concurrent query scheduler with
-// a shared decompressed-page cache.
+// a shared decompressed-page cache. With Config.Shards > 1 it is instead
+// a fleet of such instances behind a scatter-gather router; the same
+// methods apply, plus tenant-aware ingest and partial-result reporting.
 type Engine struct {
 	inner *core.Engine
 	sched *sched.Scheduler
 	cache *sched.PageCache
+
+	// router is non-nil iff the engine was opened with Config.Shards > 1;
+	// inner/sched/cache are nil then and every method dispatches here.
+	router *router.Router
 }
 
-// Open creates an empty engine.
+// Open creates an empty engine (or, with cfg.Shards > 1, a sharded fleet).
 func Open(cfg Config) *Engine {
+	if cfg.Shards > 1 {
+		r, err := router.New(cfg.toRouter())
+		if err != nil {
+			// toRouter never sets the fields router.New validates; an error
+			// here is a facade bug, not a user input.
+			panic(err)
+		}
+		return &Engine{router: r}
+	}
 	e, _ := wrap(cfg, func(c core.Config) (*core.Engine, error) {
 		return core.NewEngine(c), nil
 	})
 	return e
+}
+
+// Close shuts a sharded engine down: it waits for in-flight operations,
+// flushes every shard, and makes further calls fail with ErrClosed. On a
+// single-engine instance it just flushes. Close is idempotent.
+func (e *Engine) Close() error {
+	if e.router != nil {
+		return e.router.Close()
+	}
+	return e.inner.Flush()
+}
+
+// Shards reports the fleet width: 1 for a classic single-engine instance.
+func (e *Engine) Shards() int {
+	if e.router != nil {
+		return e.router.NumShards()
+	}
+	return 1
+}
+
+// TenantLimiter exposes a sharded engine's per-tenant admission layer
+// for operational introspection (and for tests that pin quota behavior
+// deterministically). Nil on a single engine, which has no tenant
+// quotas.
+func (e *Engine) TenantLimiter() *sched.TenantLimiter {
+	if e.router != nil {
+		return e.router.Limiter()
+	}
+	return nil
 }
 
 // wrap assembles the facade around a core engine built by mk: the
@@ -156,11 +242,27 @@ func (e *Engine) IngestLines(lines []string) error {
 	for i, l := range lines {
 		bs[i] = []byte(l)
 	}
-	return e.inner.Ingest(bs)
+	return e.ingest("", bs)
 }
 
 // IngestBytes appends log lines given as byte slices.
 func (e *Engine) IngestBytes(lines [][]byte) error {
+	return e.ingest("", lines)
+}
+
+// IngestTenant appends lines owned by a tenant. On a sharded engine the
+// tenant name decides placement — all of a tenant's lines land on its
+// home shard, so the tenant's queries touch one shard — but never alters
+// the line bytes. On a single engine tenancy is a no-op (there is one
+// shard) and the call is identical to IngestBytes.
+func (e *Engine) IngestTenant(tenant string, lines [][]byte) error {
+	return e.ingest(tenant, lines)
+}
+
+func (e *Engine) ingest(tenant string, lines [][]byte) error {
+	if e.router != nil {
+		return e.router.Ingest(tenant, lines)
+	}
 	return e.inner.Ingest(lines)
 }
 
@@ -174,7 +276,7 @@ func (e *Engine) IngestReader(r io.Reader) error {
 		copy(line, sc.Bytes())
 		batch = append(batch, line)
 		if len(batch) == 4096 {
-			if err := e.inner.Ingest(batch); err != nil {
+			if err := e.ingest("", batch); err != nil {
 				return err
 			}
 			batch = batch[:0]
@@ -183,14 +285,25 @@ func (e *Engine) IngestReader(r io.Reader) error {
 	if err := sc.Err(); err != nil {
 		return err
 	}
-	return e.inner.Ingest(batch)
+	return e.ingest("", batch)
 }
 
-// Flush forces buffered lines into storage pages and flushes the index.
-func (e *Engine) Flush() error { return e.inner.Flush() }
+// Flush forces buffered lines into storage pages and flushes the index
+// (on every shard, when sharded).
+func (e *Engine) Flush() error {
+	if e.router != nil {
+		return e.router.Flush()
+	}
+	return e.inner.Flush()
+}
 
 // Snapshot records a time boundary for Range queries (§6.3).
-func (e *Engine) Snapshot(ts time.Time) error { return e.inner.TakeSnapshot(ts) }
+func (e *Engine) Snapshot(ts time.Time) error {
+	if e.router != nil {
+		return e.router.Snapshot(ts)
+	}
+	return e.inner.TakeSnapshot(ts)
+}
 
 // SearchOptions tune a search; see the fields for the paper experiment
 // each maps to.
@@ -206,6 +319,10 @@ type SearchOptions struct {
 	// an HTTP client hanging up). The scheduler layers the configured
 	// QueryTimeout on top. Nil means no caller-side cancellation.
 	Context context.Context
+	// Tenant routes the query, on a sharded engine, to the tenant's home
+	// shard only; empty scatters to every shard. A single engine ignores
+	// it (all data lives together).
+	Tenant string
 }
 
 // Result reports a search: functional output plus simulated timing.
@@ -234,6 +351,24 @@ type Result struct {
 	WallElapsed time.Duration
 	// EffectiveGBps is the §7.4.2 metric: dataset size / simulated time.
 	EffectiveGBps float64
+
+	// Partial reports a sharded query in which at least one shard failed
+	// (timeout, local queue full, device error) while others answered;
+	// FailedShards lists the failures. A query only errors when every
+	// queried shard fails. Always false on a single engine.
+	Partial      bool
+	FailedShards []ShardFailure
+	// ShardsQueried is the scatter width (1 on a single engine or a
+	// tenant-routed query); EmptyShards counts shards with nothing
+	// ingested, which are not failures.
+	ShardsQueried int
+	EmptyShards   int
+}
+
+// ShardFailure identifies one failed shard inside a partial Result.
+type ShardFailure struct {
+	Shard int    `json:"shard"`
+	Error string `json:"error"`
 }
 
 // TimingBreakdown decomposes a simulated query time: index traversal,
@@ -253,11 +388,22 @@ type TimingBreakdown struct {
 func (e *Engine) Search(expr string, opts SearchOptions) (Result, error) {
 	parseStart := time.Now()
 	q, err := query.Parse(expr)
-	e.inner.ObserveParseTime(time.Since(parseStart))
+	e.observeParse(time.Since(parseStart))
 	if err != nil {
 		return Result{}, err
 	}
 	return e.run(q, opts, nil)
+}
+
+// observeParse records parse latency on the engine that will run the
+// query: the single engine's registry, or the query's home shard (parse
+// happens once however wide the scatter is).
+func (e *Engine) observeParse(d time.Duration) {
+	if e.router != nil {
+		e.router.Shard(e.router.ShardFor("")).ObserveParseTime(d)
+		return
+	}
+	e.inner.ObserveParseTime(d)
 }
 
 // TraceSearch runs Search while recording a span tree of the query's
@@ -271,7 +417,7 @@ func (e *Engine) TraceSearch(expr string, opts SearchOptions) (Result, obs.SpanD
 	parseSpan := root.StartChild("parse")
 	q, err := query.Parse(expr)
 	parseSpan.End()
-	e.inner.ObserveParseTime(time.Since(parseStart))
+	e.observeParse(time.Since(parseStart))
 	if err != nil {
 		parseSpan.SetAttr("error", err.Error())
 		root.End()
@@ -294,6 +440,9 @@ func (e *Engine) run(q query.Query, opts SearchOptions, trace *obs.Span) (Result
 	ctx := opts.Context
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if e.router != nil {
+		return e.runRouted(ctx, q, opts, trace)
 	}
 	res, err := e.sched.Search(ctx, q, core.SearchOptions{
 		NoIndex:      opts.NoIndex,
@@ -322,11 +471,64 @@ func (e *Engine) run(q query.Query, opts SearchOptions, trace *obs.Span) (Result
 		},
 		WallElapsed:   res.WallElapsed,
 		EffectiveGBps: res.EffectiveThroughput(e.inner.RawBytes()) / 1e9,
+		ShardsQueried: 1,
 	}
 	if opts.CollectLines {
 		out.Lines = make([]string, len(res.Lines))
 		for i, l := range res.Lines {
 			out.Lines[i] = string(l)
+		}
+	}
+	return out, nil
+}
+
+// runRouted executes a query on the sharded fleet. The scatter-gather
+// happens inside the router (per-shard deadlines, tenant quota, merge in
+// canonical order); this wrapper translates to the facade Result and, on
+// a trace, annotates the root span with the fleet shape — per-shard span
+// trees would interleave, so routed traces stay at fleet granularity.
+func (e *Engine) runRouted(ctx context.Context, q query.Query, opts SearchOptions, trace *obs.Span) (Result, error) {
+	res, err := e.router.Search(ctx, opts.Tenant, q, core.SearchOptions{
+		NoIndex:      opts.NoIndex,
+		CollectLines: opts.CollectLines,
+		From:         opts.From,
+		To:           opts.To,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{
+		Matches:        res.Matches,
+		Offloaded:      res.Offloaded,
+		UsedIndex:      res.UsedIndex,
+		CandidatePages: res.CandidatePages,
+		TotalPages:     res.TotalPages,
+		CachedPages:    res.CachedPages,
+		SimElapsed:     res.SimElapsed,
+		Breakdown:      TimingBreakdown{Queue: res.QueueTime},
+		WallElapsed:    res.WallElapsed,
+		Partial:        res.Partial,
+		ShardsQueried:  res.ShardsQueried,
+		EmptyShards:    res.EmptyShards,
+	}
+	for _, f := range res.Failed {
+		out.FailedShards = append(out.FailedShards, ShardFailure{Shard: f.Shard, Error: f.Err.Error()})
+	}
+	if raw := e.router.Stats().RawBytes; res.SimElapsed > 0 {
+		out.EffectiveGBps = float64(raw) / res.SimElapsed.Seconds() / 1e9
+	}
+	if opts.CollectLines {
+		out.Lines = make([]string, len(res.Lines))
+		for i, l := range res.Lines {
+			out.Lines[i] = string(l)
+		}
+	}
+	if trace != nil {
+		trace.SetAttrInt("shards_queried", int64(out.ShardsQueried))
+		trace.SetAttrInt("empty_shards", int64(out.EmptyShards))
+		trace.SetAttrBool("partial", out.Partial)
+		if opts.Tenant != "" {
+			trace.SetAttr("tenant", opts.Tenant)
 		}
 	}
 	return out, nil
@@ -344,22 +546,59 @@ type Stats struct {
 	DataPages int
 	// IndexMemoryBytes is the inverted index's resident footprint.
 	IndexMemoryBytes int
+	// Shards is the fleet width (1 for a single engine).
+	Shards int
+	// SealedSegments / ActiveSegments count append-only segments across
+	// the fleet, by seal state (sealed segments are immutable).
+	SealedSegments, ActiveSegments int
 }
 
 // Obs returns the engine's metrics registry. Every engine carries one:
 // ingest, search-stage, storage-link, and accelerator-model series are
 // maintained permanently at one atomic op per event. In-module consumers
 // (the HTTP server) register additional metrics into it; external callers
-// serve it via MetricsHandler.
-func (e *Engine) Obs() *obs.Registry { return e.inner.Obs() }
+// serve it via MetricsHandler. On a sharded engine this is the router's
+// own registry (quota and scatter metrics); per-shard series appear only
+// in the federated MetricsHandler view.
+func (e *Engine) Obs() *obs.Registry {
+	if e.router != nil {
+		return e.router.Obs()
+	}
+	return e.inner.Obs()
+}
 
 // MetricsHandler returns an http.Handler serving the engine's metrics in
 // Prometheus text exposition format (see OBSERVABILITY.md for the metric
-// reference).
-func (e *Engine) MetricsHandler() http.Handler { return e.inner.Obs() }
+// reference). On a sharded engine the exposition federates the router's
+// registry with every shard's, each shard's series labeled shard="<i>".
+func (e *Engine) MetricsHandler() http.Handler {
+	if e.router != nil {
+		return e.router.Federation()
+	}
+	return e.inner.Obs()
+}
 
-// Stats reports the engine's current contents.
+// Stats reports the engine's current contents (summed across shards on a
+// sharded engine).
 func (e *Engine) Stats() Stats {
+	if e.router != nil {
+		st := e.router.Stats()
+		out := Stats{
+			Lines:            st.Lines,
+			RawBytes:         st.RawBytes,
+			CompressedBytes:  st.CompressedBytes,
+			DataPages:        st.DataPages,
+			IndexMemoryBytes: st.IndexMemoryBytes,
+			Shards:           st.Shards,
+			SealedSegments:   st.Segments.Sealed,
+			ActiveSegments:   st.Segments.Active,
+		}
+		if st.CompressedBytes > 0 {
+			out.CompressionRatio = float64(st.RawBytes) / float64(st.CompressedBytes)
+		}
+		return out
+	}
+	segs := e.inner.Segments()
 	return Stats{
 		Lines:            e.inner.Lines(),
 		RawBytes:         e.inner.RawBytes(),
@@ -367,6 +606,9 @@ func (e *Engine) Stats() Stats {
 		CompressionRatio: e.inner.CompressionRatio(),
 		DataPages:        e.inner.DataPages(),
 		IndexMemoryBytes: e.inner.IndexMemoryFootprint(),
+		Shards:           1,
+		SealedSegments:   segs.Sealed,
+		ActiveSegments:   segs.Active,
 	}
 }
 
@@ -382,6 +624,12 @@ type RegexResult struct {
 	SimElapsed time.Duration
 	// WallElapsed is the host wall-clock time of the simulation.
 	WallElapsed time.Duration
+	// Partial / FailedShards / ShardsQueried / EmptyShards mirror the
+	// sharded-search fields on Result; always zero on a single engine.
+	Partial       bool
+	FailedShards  []ShardFailure
+	ShardsQueried int
+	EmptyShards   int
 }
 
 // SearchRegex scans every line against a regular expression (see
@@ -396,17 +644,50 @@ func (e *Engine) SearchRegex(pattern string, collectLines bool) (RegexResult, er
 // runs through the scheduler's admission control, and ctx (plus the
 // configured QueryTimeout) bounds the time spent waiting for a slot.
 func (e *Engine) SearchRegexContext(ctx context.Context, pattern string, collectLines bool) (RegexResult, error) {
+	return e.SearchRegexTenant(ctx, "", pattern, collectLines)
+}
+
+// SearchRegexTenant is SearchRegexContext with tenant routing: on a
+// sharded engine a named tenant's scan goes to its home shard only, and
+// the empty tenant scatters everywhere with the same partial-failure
+// semantics as Search.
+func (e *Engine) SearchRegexTenant(ctx context.Context, tenant, pattern string, collectLines bool) (RegexResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if e.router != nil {
+		res, err := e.router.SearchRegex(ctx, tenant, pattern, collectLines)
+		if err != nil {
+			return RegexResult{}, err
+		}
+		out := RegexResult{
+			Matches:       res.Matches,
+			SimElapsed:    res.SimElapsed,
+			WallElapsed:   res.WallElapsed,
+			Partial:       res.Partial,
+			ShardsQueried: res.ShardsQueried,
+			EmptyShards:   res.EmptyShards,
+		}
+		for _, f := range res.Failed {
+			out.FailedShards = append(out.FailedShards, ShardFailure{Shard: f.Shard, Error: f.Err.Error()})
+		}
+		if collectLines {
+			out.Lines = make([]string, len(res.Lines))
+			for i, l := range res.Lines {
+				out.Lines[i] = string(l)
+			}
+		}
+		return out, nil
 	}
 	res, err := e.sched.SearchRegex(ctx, pattern, collectLines)
 	if err != nil {
 		return RegexResult{}, err
 	}
 	out := RegexResult{
-		Matches:     res.Matches,
-		SimElapsed:  res.SimElapsed,
-		WallElapsed: res.WallElapsed,
+		Matches:       res.Matches,
+		SimElapsed:    res.SimElapsed,
+		WallElapsed:   res.WallElapsed,
+		ShardsQueried: 1,
 	}
 	if collectLines {
 		out.Lines = make([]string, len(res.Lines))

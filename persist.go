@@ -1,23 +1,79 @@
 package mithrilog
 
 import (
+	"bufio"
+	"errors"
 	"io"
 
 	"mithrilog/internal/core"
+	"mithrilog/internal/router"
 )
+
+// ErrSharded reports a gob Save/Load/Export on a sharded engine; fleets
+// persist through WriteSegments/Reopen instead, whose stream carries the
+// shard count so placement stays consistent across restarts.
+var ErrSharded = errors.New("mithrilog: operation not supported on a sharded engine; use WriteSegments/Reopen")
 
 // Save serializes the engine's persistent state — storage pages (data +
 // in-storage index nodes), the in-memory index tables, and metadata — so
 // an ingested log can be queried later without re-ingesting. Buffered
-// lines are flushed first.
-func (e *Engine) Save(w io.Writer) error { return e.inner.Save(w) }
+// lines are flushed first. Sharded engines persist through WriteSegments.
+func (e *Engine) Save(w io.Writer) error {
+	if e.router != nil {
+		return ErrSharded
+	}
+	return e.inner.Save(w)
+}
 
 // Load reconstructs an engine previously written with Save. cfg supplies
 // the hardware model (pipelines, bandwidths) and the scheduler/cache
-// settings; the index geometry comes from the file.
+// settings; the index geometry comes from the file. cfg.Shards must be
+// unset: Save streams are single-engine (see Reopen for fleets).
 func Load(cfg Config, r io.Reader) (*Engine, error) {
+	if cfg.Shards > 1 {
+		return nil, ErrSharded
+	}
 	return wrap(cfg, func(c core.Config) (*core.Engine, error) {
 		return core.LoadEngine(c, r)
+	})
+}
+
+// WriteSegments writes the engine's sealed-segment stream: buffered lines
+// are flushed, the active segment is sealed, and every segment's pages
+// plus the checksummed index.meta manifest go to w. A sharded engine
+// writes a fleet stream (shard count + one segment stream per shard).
+// Reopen rebuilds a byte-identical engine from the stream; unlike Save
+// it carries no index tables — Reopen re-derives them from the data, so
+// the stream survives index-geometry changes and is the crash-recovery
+// format the reopen oracle exercises.
+func (e *Engine) WriteSegments(w io.Writer) error {
+	if e.router != nil {
+		return e.router.WriteSegments(w)
+	}
+	return e.inner.WriteSegments(w)
+}
+
+// Reopen rebuilds an engine from a WriteSegments stream, verifying every
+// segment checksum and re-deriving the index from the stored pages. The
+// stream's own shape decides the fleet: a fleet stream reopens as a
+// sharded engine with the shard count recorded at write time (overriding
+// cfg.Shards, so tenant placement stays consistent); a single-engine
+// stream reopens as a single engine.
+func Reopen(cfg Config, r io.Reader) (*Engine, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(len(router.FleetMagic))
+	if err == nil && string(magic) == router.FleetMagic {
+		rt, err := router.Reopen(cfg.toRouter(), br)
+		if err != nil {
+			return nil, err
+		}
+		return &Engine{router: rt}, nil
+	}
+	if cfg.Shards > 1 {
+		return nil, errors.New("mithrilog: cfg.Shards > 1 but the stream is not a fleet stream")
+	}
+	return wrap(cfg, func(c core.Config) (*core.Engine, error) {
+		return core.ReopenEngine(c, br)
 	})
 }
 
@@ -25,6 +81,9 @@ func Load(cfg Config, r io.Reader) (*Engine, error) {
 // §3 decompress-and-forward device mode. Returns the number of bytes
 // written.
 func (e *Engine) Export(w io.Writer) (uint64, error) {
+	if e.router != nil {
+		return 0, ErrSharded
+	}
 	res, err := e.inner.Export(w)
 	return res.RawBytes, err
 }

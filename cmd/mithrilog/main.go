@@ -125,8 +125,13 @@ func runGrep(args []string) {
 		}
 		fmt.Println(l)
 	}
-	fmt.Printf("-- %d matches | regex (software path) | simulated %v | wall %v\n",
-		res.Matches, res.SimElapsed, res.WallElapsed)
+	path := fmt.Sprintf("regex full scan (%d pages)", res.CandidatePages)
+	if res.Prefiltered {
+		path = fmt.Sprintf("regex prefiltered (%d/%d pages skipped)",
+			res.TotalPages-res.CandidatePages, res.TotalPages)
+	}
+	fmt.Printf("-- %d matches | %s | simulated %v | wall %v\n",
+		res.Matches, path, res.SimElapsed, res.WallElapsed)
 }
 
 func runExport(args []string) {

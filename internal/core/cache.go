@@ -11,9 +11,10 @@ import (
 // hit skips the internal-link flash read, the LZAH decompression, and the
 // tokenization for that page, re-entering the pipeline directly at the
 // hash filters — which is where repeated scans of hot pages spend their
-// time. Only the near-storage (offloaded) scan path consults it; the
-// host-side fallback and regex paths stream compressed pages over the
-// external link and never see device DRAM.
+// time. The near-storage (offloaded) scan path and both regex paths
+// (prefiltered and full-scan) consult and populate it; the host-side
+// token-query fallback streams compressed pages over the external link
+// and never sees device DRAM.
 //
 // Contract:
 //

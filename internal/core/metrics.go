@@ -38,6 +38,14 @@ type engineMetrics struct {
 	searchWallSec     *obs.Histogram
 	searchSimSec      *obs.CounterVec // component: index | stream | filter | return
 
+	// regex path
+	regexQueries       *obs.CounterVec // path: prefiltered | fullscan
+	regexPagesSkipped  *obs.Counter
+	regexPagesScanned  *obs.Counter
+	regexCachedPages   *obs.Counter
+	regexVerifiedLines *obs.Counter
+	regexMatches       *obs.Counter
+
 	// accelerator model
 	pipelineCycles      *obs.CounterVec // pipeline: 0..N-1
 	pipelineUtilization *obs.GaugeVec   // pipeline: 0..N-1
@@ -87,6 +95,19 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		searchSimSec: reg.CounterVec("mithrilog_search_sim_seconds_total",
 			"Simulated platform time per query component (index, stream, filter, return).",
 			"component"),
+		regexQueries: reg.CounterVec("mithrilog_regex_queries_total",
+			"Regex queries executed, by evaluation path (prefiltered = literal factors probed through the index, fullscan = no usable factors).",
+			"path"),
+		regexPagesSkipped: reg.Counter("mithrilog_regex_pages_skipped_total",
+			"Data pages the literal-factor prefilter proved cannot match and never decompressed."),
+		regexPagesScanned: reg.Counter("mithrilog_regex_pages_scanned_total",
+			"Data pages decompressed for regex queries (candidates when prefiltered, all pages on fallback)."),
+		regexCachedPages: reg.Counter("mithrilog_regex_cached_pages_total",
+			"Regex-scanned pages served from the decompressed-page cache."),
+		regexVerifiedLines: reg.Counter("mithrilog_regex_verified_lines_total",
+			"Lines evaluated by the rex NFA (token-filter survivors when prefiltered)."),
+		regexMatches: reg.Counter("mithrilog_regex_matches_total",
+			"Lines matched across all regex queries."),
 		pipelineCycles: reg.CounterVec("mithrilog_hwsim_pipeline_cycles_total",
 			"Busy cycles per filter pipeline across offloaded queries.",
 			"pipeline"),
@@ -101,6 +122,20 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 // stage records one search-stage wall duration.
 func (m *engineMetrics) stage(name string, d time.Duration) {
 	m.searchStageSec.WithLabelValues(name).Observe(d.Seconds())
+}
+
+// recordRegex publishes one finished regex query's prefilter counters.
+func (m *engineMetrics) recordRegex(res *RegexResult) {
+	path := "fullscan"
+	if res.Prefiltered {
+		path = "prefiltered"
+	}
+	m.regexQueries.WithLabelValues(path).Inc()
+	m.regexPagesSkipped.Add(float64(res.TotalPages - res.CandidatePages))
+	m.regexPagesScanned.Add(float64(res.CandidatePages))
+	m.regexCachedPages.Add(float64(res.CachedPages))
+	m.regexVerifiedLines.Add(float64(res.VerifiedLines))
+	m.regexMatches.Add(float64(res.Matches))
 }
 
 // recordSearch publishes one finished query's counters, simulated timing

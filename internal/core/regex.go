@@ -2,9 +2,12 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"time"
 
+	"mithrilog/internal/filter"
 	"mithrilog/internal/hwsim"
+	"mithrilog/internal/query"
 	"mithrilog/internal/rex"
 	"mithrilog/internal/storage"
 )
@@ -14,34 +17,110 @@ import (
 // token-containment scanning (HARE's motivation, §7.4.3).
 const softwareRegexBytesPerSecond = 0.3e9
 
+// RegexOptions tune a regex query execution.
+type RegexOptions struct {
+	// CollectLines materializes matching lines in the result.
+	CollectLines bool
+	// NoPrefilter forces the full decompress-and-scan path even when the
+	// pattern has usable literal factors — the differential oracle's
+	// reference configuration, and an escape hatch.
+	NoPrefilter bool
+	// Ctx, when non-nil, cancels the query between page scans.
+	Ctx context.Context
+}
+
 // RegexResult reports a regex scan.
 type RegexResult struct {
 	// Matches is the number of matching lines.
 	Matches int
-	// Lines holds the matching lines when collect was set.
+	// Lines holds the matching lines when CollectLines was set.
 	Lines [][]byte
+
+	// Prefiltered reports whether the literal-factor prefilter ran: the
+	// pattern's required tokens were probed through the inverted index
+	// and only candidate pages were scanned. False means extraction
+	// yielded no usable factors and every page was scanned.
+	Prefiltered bool
+	// TotalPages and CandidatePages describe prefilter effectiveness;
+	// without a prefilter CandidatePages == TotalPages.
+	TotalPages, CandidatePages int
+	// CachedPages is the number of scanned pages served from the
+	// decompressed-page cache.
+	CachedPages int
+	// VerifiedLines is the number of lines the rex NFA evaluated — after
+	// token filtering on the prefiltered path, every line otherwise.
+	VerifiedLines int
+
 	// ScannedRawBytes is the decompressed volume evaluated.
 	ScannedRawBytes uint64
-	// SimElapsed models the §3 raw-page forwarding configuration: the
-	// accelerator forwards compressed pages over the PCIe link and the
-	// host decompresses and regex-matches in software — regexes are
-	// beyond the token engine, which is exactly the trade-off §7.4.3
-	// quantifies against HARE.
+	// ScannedCompBytes is the compressed volume that crossed a link for
+	// this query (internal when prefiltered, external on the full scan).
+	ScannedCompBytes uint64
+	// ReturnedBytes is the text volume sent to the host. On the
+	// prefiltered path that is every token-filter survivor (the host NFA
+	// must see them); on the full scan the host already holds the pages,
+	// so it is the matching lines only.
+	ReturnedBytes uint64
+
+	// IndexTime is the simulated index traversal time (prefiltered only).
+	IndexTime time.Duration
+	// StreamTime is the simulated time moving compressed pages over the
+	// relevant link (internal when prefiltered, external on full scan).
+	StreamTime time.Duration
+	// FilterTime is the simulated accelerator token-filter time over
+	// candidate pages (prefiltered path with a configured pipeline only).
+	FilterTime time.Duration
+	// VerifyTime is the simulated host NFA time over the verified lines.
+	VerifyTime time.Duration
+	// ReturnTime is the simulated time moving survivors to the host
+	// (prefiltered only; the full scan's stream already is the return).
+	ReturnTime time.Duration
+	// QueueTime is simulated pipeline-contention wait, filled in by the
+	// scheduler exactly as for token queries (prefiltered path only).
+	QueueTime time.Duration
+	// SimElapsed is the simulated end-to-end query time. Prefiltered:
+	// IndexTime + max(StreamTime, FilterTime) + max(ReturnTime,
+	// VerifyTime) (+ QueueTime under the scheduler). Full scan: the §3
+	// raw-page forwarding configuration — compressed pages cross the PCIe
+	// link and the host decompresses and regex-matches in software, so
+	// max(StreamTime, VerifyTime).
 	SimElapsed time.Duration
 	// WallElapsed is the measured host time of the simulation.
 	WallElapsed time.Duration
 }
 
-// SearchRegex scans every line against a rex pattern. The inverted index
-// cannot prune regex queries (no token predicate), so this is always a
-// full scan; the engine still benefits from LZAH having shrunk the PCIe
-// traffic.
+// SearchRegex scans lines against a rex pattern with default options;
+// collect materializes matching lines. See SearchRegexOpts.
 func (e *Engine) SearchRegex(pattern string, collect bool) (RegexResult, error) {
+	return e.SearchRegexOpts(pattern, RegexOptions{CollectLines: collect})
+}
+
+// SearchRegexOpts evaluates a rex pattern over the store. When the
+// pattern contains literal factors that any matching line must carry as
+// whole tokens (rex.LiteralFactors), the factors are planned through the
+// inverted index exactly like a token query: only candidate pages are
+// decompressed, the filter pipelines drop candidate lines missing the
+// required tokens, and the rex NFA runs on the survivors. Patterns with
+// no usable factors (`.*`, pure classes, unbounded literals) fall back to
+// the full decompress-and-scan; both paths return identical results.
+func (e *Engine) SearchRegexOpts(pattern string, opts RegexOptions) (RegexResult, error) {
+	start := time.Now()
 	re, err := rex.Compile(pattern)
 	if err != nil {
 		return RegexResult{}, err
 	}
+	var fq query.Query
+	usable := false
+	if !opts.NoPrefilter {
+		if f := rex.LiteralFactors(pattern); f.Usable() {
+			fq = factorQuery(f)
+			usable = fq.Validate() == nil
+		}
+	}
 	var res RegexResult
+	if err := ctxErr(opts.Ctx); err != nil {
+		return res, err
+	}
 	e.mu.RLock()
 	if len(e.pending) > 0 {
 		e.mu.RUnlock()
@@ -54,45 +133,242 @@ func (e *Engine) SearchRegex(pattern string, collect bool) (RegexResult, error) 
 	if len(e.dataPages) == 0 && len(e.pending) == 0 {
 		return res, ErrNothingIngested
 	}
+	res.TotalPages = len(e.dataPages)
 	st := e.getScanState()
 	defer e.putScanState(st)
-	start := time.Now()
-	buf := make([]byte, storage.PageSize)
+	if usable {
+		err = e.regexPrefiltered(st, re, fq, opts, &res)
+	} else {
+		err = e.regexFullScan(st, re, opts, &res)
+	}
+	if err != nil {
+		return res, err
+	}
+	e.simulateRegexElapsed(&res)
+	res.WallElapsed = time.Since(start)
+	e.met.recordRegex(&res)
+	return res, nil
+}
+
+// factorQuery lowers a required-token set into the engine's query model:
+// one intersection set per conjunct, united — the exact offloadable form.
+func factorQuery(f rex.Factors) query.Query {
+	sets := make([]query.Intersection, 0, len(f.Conjuncts))
+	for _, conj := range f.Conjuncts {
+		terms := make([]query.Term, 0, len(conj))
+		for _, tok := range conj {
+			terms = append(terms, query.NewTerm(tok))
+		}
+		sets = append(sets, query.Intersection{Terms: terms})
+	}
+	return query.New(sets...)
+}
+
+// regexPrefiltered runs the index-accelerated datapath: plan the factor
+// query into candidate pages, stream candidates through the decompress +
+// tokenize + hash-filter pipeline (sharing the decompressed-page cache
+// with token queries, so candidate pages warm the LRU), and NFA-verify
+// only the surviving lines. If the factor query cannot be compiled into
+// the cuckoo tables the token filter is skipped and the NFA verifies
+// every candidate line — page-level pruning still applies.
+func (e *Engine) regexPrefiltered(st *scanState, re *rex.Regexp, fq query.Query, opts RegexOptions, res *RegexResult) error {
+	res.Prefiltered = true
+	candidates, indexTime, _, err := e.plan(fq, SearchOptions{Ctx: opts.Ctx})
+	if err != nil {
+		return err
+	}
+	res.CandidatePages = len(candidates)
+	res.IndexTime = indexTime
+	pipe := st.pipes[0]
+	dec := st.decs[0]
+	pipe.ResetStats()
+	lineFilter := pipe.Configure(fq) == nil
 	var rawBuf []byte
-	for _, pid := range e.dataPages {
-		// Raw (compressed) pages cross the external link.
-		if err := e.dev.Read(storage.External, pid, buf); err != nil {
-			return res, err
+	var lineBuf [][]byte
+	for _, pid := range candidates {
+		if err := ctxErr(opts.Ctx); err != nil {
+			return err
 		}
-		rawBuf, err = st.decs[0].Decompress(rawBuf[:0], buf)
-		if err != nil {
-			return res, err
-		}
-		res.ScannedRawBytes += uint64(len(rawBuf))
-		data := rawBuf
-		for len(data) > 0 {
-			nl := bytes.IndexByte(data, '\n')
-			var line []byte
-			if nl < 0 {
-				line, data = data, nil
-			} else {
-				line, data = data[:nl], data[nl+1:]
+		var tb *filter.TokenizedBlock
+		if e.cache != nil {
+			if cached, ok := e.cache.Get(pid); ok {
+				tb = cached
+				res.CachedPages++
 			}
+		}
+		if tb == nil {
+			page, err := e.dev.View(storage.Internal, pid)
+			if err != nil {
+				return err
+			}
+			if e.cache != nil {
+				// Decode into a fresh buffer the cache will own; a fault
+				// above already returned, so only intact pages enter.
+				fresh, derr := dec.Decompress(nil, page)
+				if derr != nil {
+					return derr
+				}
+				tb = pipe.Tokenize(fresh)
+				e.cache.Put(pid, tb)
+			} else {
+				rawBuf, err = dec.Decompress(rawBuf[:0], page)
+				if err != nil {
+					return err
+				}
+				if lineFilter {
+					tb = pipe.Tokenize(rawBuf)
+				}
+			}
+		}
+		var survivors [][]byte
+		var rawLen int
+		switch {
+		case tb != nil && lineFilter:
+			survivors, err = pipe.FilterTokenized(tb)
+			if err != nil {
+				return err
+			}
+			rawLen = len(tb.Block)
+		case tb != nil:
+			lineBuf = splitLines(tb.Block, lineBuf)
+			survivors = lineBuf
+			rawLen = len(tb.Block)
+		default:
+			lineBuf = splitLines(rawBuf, lineBuf)
+			survivors = lineBuf
+			rawLen = len(rawBuf)
+		}
+		res.ScannedRawBytes += uint64(rawLen)
+		for _, line := range survivors {
+			res.VerifiedLines++
+			res.ReturnedBytes += uint64(len(line) + 1)
 			if re.Match(line) {
 				res.Matches++
-				if collect {
+				if opts.CollectLines {
 					res.Lines = append(res.Lines, append([]byte(nil), line...))
 				}
 			}
 		}
 	}
-	transfer := e.dev.TransferTime(storage.External, e.compBytes)
-	scan := hwsim.DurationForBytes(res.ScannedRawBytes, softwareRegexBytesPerSecond)
-	if scan > transfer {
-		res.SimElapsed = scan
-	} else {
-		res.SimElapsed = transfer
+	// Only cache misses cross the internal link as compressed pages.
+	res.ScannedCompBytes = uint64(len(candidates)-res.CachedPages) * storage.PageSize
+	if lineFilter {
+		pst := pipe.Stats()
+		if pst.Cycles > 0 {
+			res.FilterTime = hwsim.CyclesToDuration(pst.Cycles, e.cfg.System.ClockHz)
+		}
 	}
-	res.WallElapsed = time.Since(start)
-	return res, nil
+	return nil
+}
+
+// regexFullScan is the fallback when the pattern has no usable factors:
+// every page is decompressed and every line NFA-matched. The path is
+// cache-aware — pages resident in the decompressed-page cache skip the
+// device read and the decode, and misses populate the cache (tokenized,
+// after a successful decode only, so faults never poison it) exactly like
+// the accelerated token path.
+func (e *Engine) regexFullScan(st *scanState, re *rex.Regexp, opts RegexOptions, res *RegexResult) error {
+	res.CandidatePages = res.TotalPages
+	pipe := st.pipes[0]
+	dec := st.decs[0]
+	buf := make([]byte, storage.PageSize)
+	var rawBuf []byte
+	var lines [][]byte
+	for _, pid := range e.dataPages {
+		if err := ctxErr(opts.Ctx); err != nil {
+			return err
+		}
+		var text []byte
+		if e.cache != nil {
+			if tb, ok := e.cache.Get(pid); ok {
+				text = tb.Block
+				res.CachedPages++
+			}
+		}
+		if text == nil {
+			// Raw (compressed) pages cross the external link.
+			if err := e.dev.Read(storage.External, pid, buf); err != nil {
+				return err
+			}
+			if e.cache != nil {
+				fresh, err := dec.Decompress(nil, buf)
+				if err != nil {
+					return err
+				}
+				e.cache.Put(pid, pipe.Tokenize(fresh))
+				text = fresh
+			} else {
+				var err error
+				rawBuf, err = dec.Decompress(rawBuf[:0], buf)
+				if err != nil {
+					return err
+				}
+				text = rawBuf
+			}
+		}
+		res.ScannedRawBytes += uint64(len(text))
+		lines = splitLines(text, lines)
+		for _, line := range lines {
+			res.VerifiedLines++
+			if re.Match(line) {
+				res.Matches++
+				res.ReturnedBytes += uint64(len(line) + 1)
+				if opts.CollectLines {
+					res.Lines = append(res.Lines, append([]byte(nil), line...))
+				}
+			}
+		}
+	}
+	res.ScannedCompBytes = uint64(len(e.dataPages)) * storage.PageSize
+	return nil
+}
+
+// splitLines appends text's newline-separated lines to dst[:0] (the lines
+// alias text).
+func splitLines(text []byte, dst [][]byte) [][]byte {
+	dst = dst[:0]
+	for len(text) > 0 {
+		nl := bytes.IndexByte(text, '\n')
+		if nl < 0 {
+			return append(dst, text)
+		}
+		dst = append(dst, text[:nl])
+		text = text[nl+1:]
+	}
+	return dst
+}
+
+// simulateRegexElapsed derives the modeled query time for each path; see
+// RegexResult.SimElapsed.
+func (e *Engine) simulateRegexElapsed(res *RegexResult) {
+	if res.Prefiltered {
+		res.StreamTime = e.dev.TransferTime(storage.Internal, res.ScannedCompBytes)
+		res.ReturnTime = e.dev.TransferTime(storage.External, res.ReturnedBytes)
+		res.VerifyTime = hwsim.DurationForBytes(res.ReturnedBytes, softwareRegexBytesPerSecond)
+		t := res.IndexTime
+		if res.StreamTime > res.FilterTime {
+			t += res.StreamTime
+		} else {
+			t += res.FilterTime
+		}
+		if res.ReturnTime > res.VerifyTime {
+			t += res.ReturnTime
+		} else {
+			t += res.VerifyTime
+		}
+		if t <= 0 {
+			t = time.Nanosecond
+		}
+		res.SimElapsed = t
+		return
+	}
+	// Full scan: the whole compressed store crosses the external link and
+	// the host NFA-scans all decompressed text; the slower binds.
+	res.StreamTime = e.dev.TransferTime(storage.External, e.compBytes)
+	res.VerifyTime = hwsim.DurationForBytes(res.ScannedRawBytes, softwareRegexBytesPerSecond)
+	if res.VerifyTime > res.StreamTime {
+		res.SimElapsed = res.VerifyTime
+	} else {
+		res.SimElapsed = res.StreamTime
+	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"errors"
 	"regexp"
 	"testing"
 
@@ -53,6 +55,170 @@ func TestSearchRegexErrors(t *testing.T) {
 	e2 := buildEngine(t, [][]byte{[]byte("x")})
 	if _, err := e2.SearchRegex(`(unclosed`, false); err == nil {
 		t.Error("bad pattern should fail")
+	}
+}
+
+// TestRegexPrefilterAgainstFullScan pins the tentpole invariant at engine
+// scope: for factorable and unfactorable patterns alike, the default path
+// and the NoPrefilter path return byte-identical results, and only
+// factorable patterns may skip pages.
+func TestRegexPrefilterAgainstFullScan(t *testing.T) {
+	ds := loggen.Generate(loggen.BGL2, 3000, 0)
+	e := buildEngine(t, ds.Lines)
+	for _, pattern := range []string{
+		` FATAL `,              // single bounded factor
+		` KERNEL (INFO|FATAL)`, // factor + alternation
+		` cache parity error `, // bounded phrase
+		`FATAL`,                // unbounded: fallback
+		` absent-token-xyz `,   // factor that hits no page
+	} {
+		pre, err := e.SearchRegexOpts(pattern, RegexOptions{CollectLines: true})
+		if err != nil {
+			t.Fatalf("%s: %v", pattern, err)
+		}
+		full, err := e.SearchRegexOpts(pattern, RegexOptions{CollectLines: true, NoPrefilter: true})
+		if err != nil {
+			t.Fatalf("%s full scan: %v", pattern, err)
+		}
+		if full.Prefiltered {
+			t.Errorf("%s: NoPrefilter claims the prefiltered path", pattern)
+		}
+		if pre.Matches != full.Matches || len(pre.Lines) != len(full.Lines) {
+			t.Errorf("%s: prefiltered %d matches, full scan %d", pattern, pre.Matches, full.Matches)
+			continue
+		}
+		for i := range pre.Lines {
+			if !bytes.Equal(pre.Lines[i], full.Lines[i]) {
+				t.Errorf("%s: line %d diverges: %q vs %q", pattern, i, pre.Lines[i], full.Lines[i])
+				break
+			}
+		}
+		if !pre.Prefiltered && pre.CandidatePages != pre.TotalPages {
+			t.Errorf("%s: fallback skipped pages (%d of %d)",
+				pattern, pre.TotalPages-pre.CandidatePages, pre.TotalPages)
+		}
+	}
+}
+
+// TestRegexCachedVsColdIdentical is the cache property: a regex query
+// answered from cold pages and the same query answered from the page
+// cache must verify identically, on both the prefiltered path and the
+// full-scan fallback.
+func TestRegexCachedVsColdIdentical(t *testing.T) {
+	ds := loggen.Generate(loggen.BGL2, 2500, 0)
+	cache := newTestPageCache()
+	e := NewEngine(Config{PageCache: cache})
+	if err := e.Ingest(ds.Lines); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, pattern := range []string{` FATAL `, `FATAL`} {
+		cache.InvalidateAll()
+		cold, err := e.SearchRegexOpts(pattern, RegexOptions{CollectLines: true})
+		if err != nil {
+			t.Fatalf("%s cold: %v", pattern, err)
+		}
+		if cold.CachedPages != 0 {
+			t.Fatalf("%s: cold scan served %d pages from an empty cache", pattern, cold.CachedPages)
+		}
+		if cold.Matches == 0 {
+			t.Fatalf("%s matches nothing; test would be vacuous", pattern)
+		}
+		warm, err := e.SearchRegexOpts(pattern, RegexOptions{CollectLines: true})
+		if err != nil {
+			t.Fatalf("%s warm: %v", pattern, err)
+		}
+		if warm.CachedPages != warm.CandidatePages {
+			t.Errorf("%s: warm scan cached %d of %d candidate pages",
+				pattern, warm.CachedPages, warm.CandidatePages)
+		}
+		if warm.Matches != cold.Matches || len(warm.Lines) != len(cold.Lines) {
+			t.Fatalf("%s: warm %d matches, cold %d", pattern, warm.Matches, cold.Matches)
+		}
+		for i := range warm.Lines {
+			if !bytes.Equal(warm.Lines[i], cold.Lines[i]) {
+				t.Fatalf("%s: line %d diverges cached vs cold: %q vs %q",
+					pattern, i, warm.Lines[i], cold.Lines[i])
+			}
+		}
+	}
+}
+
+// TestRegexPrefilterFaultIsolation is the fault-isolation regression for
+// the prefiltered datapath: with a cold cache and one armed read fault,
+// two concurrent prefiltered scans surface the fault to exactly one of
+// them, the survivor answers correctly, and the cache never retains data
+// from the faulted read — a follow-up cache-served scan agrees.
+func TestRegexPrefilterFaultIsolation(t *testing.T) {
+	ds := loggen.Generate(loggen.BGL2, 2500, 0)
+	cache := newTestPageCache()
+	e := NewEngine(Config{PageCache: cache})
+	if err := e.Ingest(ds.Lines); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	const pattern = ` FATAL `
+	std := regexp.MustCompile(pattern)
+	want := 0
+	for _, l := range ds.Lines {
+		if std.Match(l) {
+			want++
+		}
+	}
+	if want == 0 {
+		t.Fatal("pattern matches nothing; test would be vacuous")
+	}
+
+	e.Device().FailNextReads(1, errECC)
+	type outcome struct {
+		res RegexResult
+		err error
+	}
+	outcomes := make(chan outcome, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			res, err := e.SearchRegexOpts(pattern, RegexOptions{})
+			outcomes <- outcome{res, err}
+		}()
+	}
+	var failures, successes int
+	for i := 0; i < 2; i++ {
+		o := <-outcomes
+		switch {
+		case o.err == nil:
+			successes++
+			if !o.res.Prefiltered {
+				t.Error("survivor did not take the prefiltered path")
+			}
+			if o.res.Matches != want {
+				t.Errorf("concurrent survivor counted %d matches, want %d", o.res.Matches, want)
+			}
+		case errors.Is(o.err, errECC):
+			failures++
+		default:
+			t.Errorf("unexpected error: %v", o.err)
+		}
+	}
+	if failures != 1 || successes != 1 {
+		t.Fatalf("fault hit %d queries and %d succeeded; want exactly 1 and 1", failures, successes)
+	}
+
+	// The survivor visited every candidate page, so the cache is warm for
+	// them — and must hold only intact pages.
+	res, err := e.SearchRegexOpts(pattern, RegexOptions{})
+	if err != nil {
+		t.Fatalf("post-fault cached regex: %v", err)
+	}
+	if res.Matches != want {
+		t.Fatalf("cached regex counted %d matches, want %d", res.Matches, want)
+	}
+	if res.CachedPages != res.CandidatePages {
+		t.Fatalf("expected a fully cache-served scan, got %d/%d pages cached",
+			res.CachedPages, res.CandidatePages)
 	}
 }
 

@@ -88,6 +88,13 @@ func Diff(old, cur *Run, thresholdPct float64) (deltas []Delta, regressed bool) 
 		add(base+".qps", oq.QPS, cq.QPS, true)
 		add(base+".p99_us", oq.P99Us, cq.P99Us, false)
 	}
+	for i, op := range old.Regex {
+		cp, ok := cur.RegexPointFor(op.Pattern)
+		if !ok {
+			continue
+		}
+		add(fmt.Sprintf("regex.%d.qps", i), op.QPS, cp.QPS, true)
+	}
 	add("micro.tokenize_mb_per_s", old.Micro.TokenizeMBPerS, cur.Micro.TokenizeMBPerS, true)
 	add("micro.cuckoo_lookup_ns", old.Micro.CuckooLookupNs, cur.Micro.CuckooLookupNs, false)
 	add("micro.cuckoo_batch_ns", old.Micro.CuckooBatchNs, cur.Micro.CuckooBatchNs, false)
@@ -128,6 +135,14 @@ func FormatRun(run *Run) string {
 		}
 		fmt.Fprintf(&b, "queries %-4s @%-2d in-flight: %8.1f q/s  p50 %7.0f us  p99 %7.0f us%s\n",
 			q.Cache, q.InFlight, q.QPS, q.P50Us, q.P99Us, shard)
+	}
+	for _, p := range run.Regex {
+		path := "fallback"
+		if p.Prefiltered {
+			path = "prefiltered"
+		}
+		fmt.Fprintf(&b, "regex %-11s %8.1f q/s  fullscan %8.1f q/s  %5.1fx  %4.1f%% pages skipped  %q\n",
+			path, p.QPS, p.FullScanQPS, p.Speedup, p.PagesSkippedPct, p.Pattern)
 	}
 	m := run.Micro
 	fmt.Fprintf(&b, "micro: tokenize %.1f MB/s (%.2f allocs/line)  cuckoo %.1f ns/lookup",

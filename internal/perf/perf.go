@@ -18,6 +18,7 @@
 package perf
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -100,6 +101,19 @@ var queryMix = []string{
 	`kernel: AND error`, `lustre AND NOT recovery`, `daemon OR session`,
 	`connection AND refused`, `NOT kernel:`, `heartbeat`,
 	`client AND session`, `pbs_mom:`, `status`, `failed OR aborted`,
+}
+
+// regexMix is the regex leg's pattern set: selective patterns whose
+// delimiter-bounded literal factors the prefilter can probe through the
+// inverted index, plus one deliberate ∅-factor control that must take the
+// full-scan fallback on both paths.
+var regexMix = []string{
+	` lustre recovery complete for target `,
+	` connection refused from `,
+	` (scheduler restarted after|NFS server not responding) `,
+	` ECC error at address 0x`,
+	` heartbeat missed from `,
+	`exceeded`, // no bounded factor: forced fallback control
 }
 
 // Measure executes the full workload matrix and returns the recorded run.
@@ -212,6 +226,22 @@ func Measure(opts Options) (Run, error) {
 	}
 	run.SortQueries()
 
+	// Regex leg: a cold single-shard engine, so every fallback scan pays
+	// the full flash-read + decode cost the prefilter is meant to avoid.
+	regexRounds := opts.Rounds / 4
+	if regexRounds < 8 {
+		regexRounds = 8
+	}
+	opts.Log("regex: %d patterns x %d rounds", len(regexMix), regexRounds)
+	reng, err := mkEngine(0, 1)
+	if err != nil {
+		return run, err
+	}
+	run.Regex, err = measureRegex(reng, regexRounds, opts.Log)
+	if err != nil {
+		return run, err
+	}
+
 	opts.Log("micro: tokenizer / cuckoo / lzah / filter")
 	micro, err := measureMicro(ds, opts)
 	if err != nil {
@@ -219,6 +249,56 @@ func Measure(opts Options) (Run, error) {
 	}
 	run.Micro = micro
 	return run, nil
+}
+
+// measureRegex times every regexMix pattern twice — default path, then
+// with the prefilter forced off — and cross-checks that both paths agree
+// on the match count (the cheap in-harness slice of the differential
+// oracle).
+func measureRegex(eng *mithrilog.Engine, rounds int, logf func(format string, args ...any)) ([]RegexPoint, error) {
+	ctx := context.Background()
+	pts := make([]RegexPoint, 0, len(regexMix))
+	for _, pattern := range regexMix {
+		pt := RegexPoint{Pattern: pattern, Queries: rounds}
+		var matches [2]int
+		for i, noPre := range []bool{false, true} {
+			opts := mithrilog.RegexOptions{NoPrefilter: noPre}
+			// Warm-up scan absorbs one-time allocator growth.
+			res, err := eng.SearchRegexOpts(ctx, "", pattern, opts)
+			if err != nil {
+				return nil, fmt.Errorf("perf: regex %q: %w", pattern, err)
+			}
+			start := time.Now()
+			for r := 0; r < rounds; r++ {
+				res, err = eng.SearchRegexOpts(ctx, "", pattern, opts)
+				if err != nil {
+					return nil, fmt.Errorf("perf: regex %q: %w", pattern, err)
+				}
+			}
+			qps := float64(rounds) / time.Since(start).Seconds()
+			matches[i] = res.Matches
+			if noPre {
+				pt.FullScanQPS = qps
+			} else {
+				pt.QPS = qps
+				pt.Prefiltered = res.Prefiltered
+				pt.Matches = res.Matches
+				if res.TotalPages > 0 {
+					pt.PagesSkippedPct = float64(res.TotalPages-res.CandidatePages) /
+						float64(res.TotalPages) * 100
+				}
+			}
+		}
+		if matches[0] != matches[1] {
+			return nil, fmt.Errorf("perf: regex %q: prefiltered %d matches, full scan %d",
+				pattern, matches[0], matches[1])
+		}
+		pt.Speedup = pt.QPS / pt.FullScanQPS
+		logf("regex %q: %.1f q/s vs %.1f q/s full scan (%.1fx, %.0f%% pages skipped)",
+			pattern, pt.QPS, pt.FullScanQPS, pt.Speedup, pt.PagesSkippedPct)
+		pts = append(pts, pt)
+	}
+	return pts, nil
 }
 
 // measureIngest times IngestBytes+Flush over the dataset on a fresh

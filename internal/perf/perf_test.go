@@ -203,4 +203,19 @@ func TestMeasureTiny(t *testing.T) {
 	if _, ok := run.PointAt(2, "warm", 4); !ok {
 		t.Error("sharded warm @2 point missing")
 	}
+	if len(run.Regex) != len(regexMix) {
+		t.Fatalf("expected %d regex points, got %d", len(regexMix), len(run.Regex))
+	}
+	for _, p := range run.Regex {
+		if p.Pattern == "exceeded" {
+			if p.Prefiltered {
+				t.Errorf("∅-factor control %q took the prefiltered path", p.Pattern)
+			}
+			if p.PagesSkippedPct != 0 {
+				t.Errorf("fallback %q skipped %.1f%% pages", p.Pattern, p.PagesSkippedPct)
+			}
+		} else if !p.Prefiltered {
+			t.Errorf("regex point %q did not prefilter", p.Pattern)
+		}
+	}
 }

@@ -45,7 +45,10 @@ type Run struct {
 	Workload WorkloadSpec `json:"workload"`
 	Ingest   IngestResult `json:"ingest"`
 	Queries  []QueryPoint `json:"queries"`
-	Micro    MicroResults `json:"micro"`
+	// Regex is the literal-factor prefilter leg; absent from runs
+	// recorded before the axis existed.
+	Regex []RegexPoint `json:"regex,omitempty"`
+	Micro MicroResults `json:"micro"`
 }
 
 // WorkloadSpec pins the workload so runs are comparable.
@@ -103,6 +106,34 @@ func (q QueryPoint) ShardsOrOne() int {
 		return 1
 	}
 	return q.Shards
+}
+
+// RegexPoint is one pattern of the regex leg: the same scan measured with
+// the literal-factor index prefilter on its default path and again with
+// it forced off (full scan), single in-flight, on a cold single-shard
+// engine. The QPS/FullScanQPS ratio is the prefilter's wall-clock win;
+// for the deliberate ∅-factor pattern both numbers take the fallback
+// path and should agree to within noise.
+type RegexPoint struct {
+	// Pattern is the rex expression scanned.
+	Pattern string `json:"pattern"`
+	// Prefiltered reports whether the pattern yielded usable literal
+	// factors (false = the ∅-factor fallback control).
+	Prefiltered bool `json:"prefiltered"`
+	// Queries is the number of scans issued per path.
+	Queries int `json:"queries"`
+	// QPS is default-path throughput; FullScanQPS re-measures the same
+	// pattern with the prefilter disabled.
+	QPS         float64 `json:"qps"`
+	FullScanQPS float64 `json:"full_scan_qps"`
+	// Speedup is QPS/FullScanQPS.
+	Speedup float64 `json:"speedup"`
+	// PagesSkippedPct is the share of data pages the prefilter proved
+	// non-matching without reading (0 on fallback).
+	PagesSkippedPct float64 `json:"pages_skipped_pct"`
+	// Matches is the per-scan matching-line count (identical on both
+	// paths by the differential oracle).
+	Matches int `json:"matches"`
 }
 
 // MicroResults are single-goroutine microbenchmarks of the three scan-path
@@ -183,10 +214,36 @@ func (run *Run) validate() error {
 		}
 		seen[key] = true
 	}
+	seenRe := map[string]bool{}
+	for _, p := range run.Regex {
+		if p.Pattern == "" {
+			return fmt.Errorf("regex point with empty pattern")
+		}
+		if p.Queries <= 0 || p.QPS <= 0 || p.FullScanQPS <= 0 {
+			return fmt.Errorf("regex point %q non-positive", p.Pattern)
+		}
+		if p.PagesSkippedPct < 0 || p.PagesSkippedPct > 100 {
+			return fmt.Errorf("regex point %q pages_skipped_pct out of range", p.Pattern)
+		}
+		if seenRe[p.Pattern] {
+			return fmt.Errorf("duplicate regex point %q", p.Pattern)
+		}
+		seenRe[p.Pattern] = true
+	}
 	if run.Micro.TokenizeMBPerS <= 0 || run.Micro.LZAHDecodeMBPerS <= 0 || run.Micro.CuckooLookupNs <= 0 {
 		return fmt.Errorf("micro leg missing or non-positive")
 	}
 	return nil
+}
+
+// RegexPointFor returns the regex-leg point for a pattern, or false.
+func (run *Run) RegexPointFor(pattern string) (RegexPoint, bool) {
+	for _, p := range run.Regex {
+		if p.Pattern == pattern {
+			return p, true
+		}
+	}
+	return RegexPoint{}, false
 }
 
 // Point returns the single-engine query point at (inFlight, cache), or

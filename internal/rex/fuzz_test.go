@@ -1,6 +1,9 @@
 package rex
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // FuzzCompileAndMatch asserts the regex engine neither panics nor hangs
 // on arbitrary patterns and inputs.
@@ -15,5 +18,47 @@ func FuzzCompileAndMatch(f *testing.F) {
 			return
 		}
 		_ = re.MatchString(input)
+	})
+}
+
+// FuzzLiteralFactors asserts the prefilter contract on arbitrary
+// patterns and inputs: extraction never panics, never emits tokens the
+// engine's tokenizer could not index (empty or delimiter-containing),
+// and never under-approximates — any line rex matches must contain every
+// token of some satisfied conjunct. Over-approximation is fine (the NFA
+// verifies survivors); a violation here would make the index prefilter
+// silently drop matches.
+func FuzzLiteralFactors(f *testing.F) {
+	f.Add(` ERROR (conn|sock) timeout.*`, " ERROR sock timeout now")
+	f.Add(`^ERROR: .*`, "XERROR conn timeout")
+	f.Add(` +[EW]ARN( details)? `, "prefix WARN details suffix")
+	f.Add(`\d+ fault`, "- 42 page fault ")
+	f.Add("\tFATAL\t", "col\tFATAL\tcol")
+	f.Fuzz(func(t *testing.T, pattern, input string) {
+		factors := LiteralFactors(pattern)
+		for _, conj := range factors.Conjuncts {
+			for _, tok := range conj {
+				if tok == "" || strings.ContainsAny(tok, FactorDelimiters) {
+					t.Fatalf("pattern %q: factor token %q is not indexable", pattern, tok)
+				}
+			}
+		}
+		if !factors.Usable() {
+			return
+		}
+		re, err := Compile(pattern)
+		if err != nil {
+			// Extraction of a malformed pattern must be unusable.
+			t.Fatalf("pattern %q: uncompilable yet factors usable: %v", pattern, factors.Conjuncts)
+		}
+		// Factor soundness is a per-line guarantee; the engine evaluates
+		// patterns against newline-split lines, so the fuzz input is
+		// split the same way.
+		for _, line := range strings.Split(input, "\n") {
+			if re.MatchString(line) && !factorsSatisfied(factors, line) {
+				t.Fatalf("pattern %q matches line %q but no conjunct of %v is satisfied",
+					pattern, line, factors.Conjuncts)
+			}
+		}
 	})
 }

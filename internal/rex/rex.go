@@ -10,6 +10,11 @@
 // negation '[^...]', escapes (\d \w \s \. etc.), grouping '(...)',
 // alternation '|', repetition '*', '+', '?', and anchors '^' and '$'.
 // Matching is unanchored substring search unless anchors are used.
+//
+// Patterns are parsed to an AST (ast.go) that is shared by two
+// consumers: the Thompson compiler below, and the literal-factor
+// extraction in factors.go that the engine uses to prefilter pages
+// through the inverted index before running the NFA.
 package rex
 
 import (
@@ -77,22 +82,20 @@ func (r *Regexp) Pattern() string { return r.pattern }
 
 // Compile parses and compiles a pattern.
 func Compile(pattern string) (*Regexp, error) {
-	p := &parser{src: pattern}
-	frag, err := p.parseAlt()
+	tree, err := parsePattern(pattern)
 	if err != nil {
 		return nil, err
 	}
-	if !p.eof() {
-		return nil, fmt.Errorf("%w: unexpected %q at %d", ErrSyntax, p.src[p.pos], p.pos)
-	}
+	c := &compiler{}
+	frag := c.compile(tree)
 	// Append the match state and patch the fragment's dangling arrows.
-	match := p.addState(state{op: opMatch})
-	p.patch(frag.out, match)
+	match := c.add(state{op: opMatch})
+	c.patch(frag.out, match)
 	re := &Regexp{
 		pattern: pattern,
-		states:  p.states,
+		states:  c.states,
 		start:   frag.start,
-		onList:  make([]uint32, len(p.states)),
+		onList:  make([]uint32, len(c.states)),
 	}
 	if len(pattern) > 0 && pattern[0] == '^' {
 		re.anchored = true
@@ -109,10 +112,8 @@ func MustCompile(pattern string) *Regexp {
 	return re
 }
 
-// parser builds the NFA with Thompson construction.
-type parser struct {
-	src    string
-	pos    int
+// compiler lowers the AST to NFA states with Thompson construction.
+type compiler struct {
 	states []state
 }
 
@@ -123,262 +124,72 @@ type frag struct {
 	out   []int32
 }
 
-func (p *parser) eof() bool  { return p.pos >= len(p.src) }
-func (p *parser) peek() byte { return p.src[p.pos] }
-
-func (p *parser) addState(s state) int32 {
-	p.states = append(p.states, s)
-	return int32(len(p.states) - 1)
+func (c *compiler) add(s state) int32 {
+	c.states = append(c.states, s)
+	return int32(len(c.states) - 1)
 }
 
-func (p *parser) patch(arrows []int32, target int32) {
+func (c *compiler) patch(arrows []int32, target int32) {
 	for _, a := range arrows {
 		if a&1 == 0 {
-			p.states[a>>1].out = target
+			c.states[a>>1].out = target
 		} else {
-			p.states[a>>1].out1 = target
+			c.states[a>>1].out1 = target
 		}
 	}
 }
 
-// parseAlt := parseConcat ('|' parseConcat)*
-func (p *parser) parseAlt() (frag, error) {
-	left, err := p.parseConcat()
-	if err != nil {
-		return frag{}, err
-	}
-	for !p.eof() && p.peek() == '|' {
-		p.pos++
-		right, err := p.parseConcat()
-		if err != nil {
-			return frag{}, err
-		}
-		split := p.addState(state{op: opSplit, out: left.start, out1: right.start})
-		left = frag{start: split, out: append(left.out, right.out...)}
-	}
-	return left, nil
+func (c *compiler) single(s state) frag {
+	si := c.add(s)
+	return frag{start: si, out: []int32{si * 2}}
 }
 
-// parseConcat := parseRepeat*
-func (p *parser) parseConcat() (frag, error) {
-	var cur *frag
-	for !p.eof() && p.peek() != '|' && p.peek() != ')' {
-		next, err := p.parseRepeat()
-		if err != nil {
-			return frag{}, err
-		}
-		if cur == nil {
-			cur = &next
-			continue
-		}
-		p.patch(cur.out, next.start)
-		cur = &frag{start: cur.start, out: next.out}
-	}
-	if cur == nil {
+func (c *compiler) compile(n *astNode) frag {
+	switch n.op {
+	case astEmpty:
 		// Empty alternative: a split with both arrows dangling acts as an
-		// epsilon fragment.
-		s := p.addState(state{op: opSplit, out: -1, out1: -1})
-		return frag{start: s, out: []int32{s * 2}}, nil
-	}
-	return *cur, nil
-}
-
-// parseRepeat := parseAtom ('*' | '+' | '?')?
-func (p *parser) parseRepeat() (frag, error) {
-	atom, err := p.parseAtom()
-	if err != nil {
-		return frag{}, err
-	}
-	if p.eof() {
-		return atom, nil
-	}
-	switch p.peek() {
-	case '*':
-		p.pos++
-		split := p.addState(state{op: opSplit, out: atom.start, out1: -1})
-		p.patch(atom.out, split)
-		return frag{start: split, out: []int32{split*2 + 1}}, nil
-	case '+':
-		p.pos++
-		split := p.addState(state{op: opSplit, out: atom.start, out1: -1})
-		p.patch(atom.out, split)
-		return frag{start: atom.start, out: []int32{split*2 + 1}}, nil
-	case '?':
-		p.pos++
-		split := p.addState(state{op: opSplit, out: atom.start, out1: -1})
-		return frag{start: split, out: append(atom.out, split*2+1)}, nil
-	}
-	return atom, nil
-}
-
-// parseAtom := '(' alt ')' | '[' class ']' | '.' | '^' | '$' | escaped | literal
-func (p *parser) parseAtom() (frag, error) {
-	if p.eof() {
-		return frag{}, fmt.Errorf("%w: unexpected end of pattern", ErrSyntax)
-	}
-	switch c := p.peek(); c {
-	case '(':
-		p.pos++
-		inner, err := p.parseAlt()
-		if err != nil {
-			return frag{}, err
+		// epsilon fragment (only the out arrow is ever patched; out1 stays
+		// -1 and is ignored by the simulation).
+		return c.single(state{op: opSplit, out: -1, out1: -1})
+	case astChar:
+		return c.single(state{op: opChar, c: n.c, out: -1})
+	case astClass:
+		return c.single(state{op: opClass, class: n.class, out: -1})
+	case astAny:
+		return c.single(state{op: opAny, out: -1})
+	case astBOL:
+		return c.single(state{op: opBOL, out: -1})
+	case astEOL:
+		return c.single(state{op: opEOL, out: -1})
+	case astCat:
+		cur := c.compile(n.subs[0])
+		for _, sub := range n.subs[1:] {
+			next := c.compile(sub)
+			c.patch(cur.out, next.start)
+			cur = frag{start: cur.start, out: next.out}
 		}
-		if p.eof() || p.peek() != ')' {
-			return frag{}, fmt.Errorf("%w: missing ')'", ErrSyntax)
-		}
-		p.pos++
-		return inner, nil
-	case '[':
-		return p.parseClass()
-	case '.':
-		p.pos++
-		s := p.addState(state{op: opAny, out: -1})
-		return frag{start: s, out: []int32{s * 2}}, nil
-	case '^':
-		p.pos++
-		s := p.addState(state{op: opBOL, out: -1})
-		return frag{start: s, out: []int32{s * 2}}, nil
-	case '$':
-		p.pos++
-		s := p.addState(state{op: opEOL, out: -1})
-		return frag{start: s, out: []int32{s * 2}}, nil
-	case '*', '+', '?':
-		return frag{}, fmt.Errorf("%w: dangling quantifier at %d", ErrSyntax, p.pos)
-	case ')':
-		return frag{}, fmt.Errorf("%w: unmatched ')'", ErrSyntax)
-	case '\\':
-		p.pos++
-		if p.eof() {
-			return frag{}, fmt.Errorf("%w: trailing backslash", ErrSyntax)
-		}
-		return p.parseEscape()
-	default:
-		p.pos++
-		s := p.addState(state{op: opChar, c: c, out: -1})
-		return frag{start: s, out: []int32{s * 2}}, nil
+		return cur
+	case astAlt:
+		left := c.compile(n.subs[0])
+		right := c.compile(n.subs[1])
+		split := c.add(state{op: opSplit, out: left.start, out1: right.start})
+		return frag{start: split, out: append(left.out, right.out...)}
+	case astStar:
+		sub := c.compile(n.subs[0])
+		split := c.add(state{op: opSplit, out: sub.start, out1: -1})
+		c.patch(sub.out, split)
+		return frag{start: split, out: []int32{split*2 + 1}}
+	case astPlus:
+		sub := c.compile(n.subs[0])
+		split := c.add(state{op: opSplit, out: sub.start, out1: -1})
+		c.patch(sub.out, split)
+		return frag{start: sub.start, out: []int32{split*2 + 1}}
+	case astQuest:
+		sub := c.compile(n.subs[0])
+		split := c.add(state{op: opSplit, out: sub.start, out1: -1})
+		return frag{start: split, out: append(sub.out, split*2+1)}
 	}
-}
-
-func (p *parser) parseEscape() (frag, error) {
-	c := p.src[p.pos]
-	p.pos++
-	if cls := metaClass(c); cls != nil {
-		s := p.addState(state{op: opClass, class: cls, out: -1})
-		return frag{start: s, out: []int32{s * 2}}, nil
-	}
-	lit := unescape(c)
-	s := p.addState(state{op: opChar, c: lit, out: -1})
-	return frag{start: s, out: []int32{s * 2}}, nil
-}
-
-// metaClass returns the class for \d \D \w \W \s \S, or nil for literal
-// escapes.
-func metaClass(c byte) *byteClass {
-	mk := func(neg bool, fill func(*byteClass)) *byteClass {
-		bc := &byteClass{neg: neg}
-		fill(bc)
-		return bc
-	}
-	digits := func(bc *byteClass) { bc.addRange('0', '9') }
-	words := func(bc *byteClass) {
-		bc.addRange('a', 'z')
-		bc.addRange('A', 'Z')
-		bc.addRange('0', '9')
-		bc.add('_')
-	}
-	spaces := func(bc *byteClass) {
-		for _, b := range []byte{' ', '\t', '\n', '\r', '\f', '\v'} {
-			bc.add(b)
-		}
-	}
-	switch c {
-	case 'd':
-		return mk(false, digits)
-	case 'D':
-		return mk(true, digits)
-	case 'w':
-		return mk(false, words)
-	case 'W':
-		return mk(true, words)
-	case 's':
-		return mk(false, spaces)
-	case 'S':
-		return mk(true, spaces)
-	}
-	return nil
-}
-
-func unescape(c byte) byte {
-	switch c {
-	case 'n':
-		return '\n'
-	case 't':
-		return '\t'
-	case 'r':
-		return '\r'
-	}
-	return c
-}
-
-func (p *parser) parseClass() (frag, error) {
-	p.pos++ // consume '['
-	bc := &byteClass{}
-	if !p.eof() && p.peek() == '^' {
-		bc.neg = true
-		p.pos++
-	}
-	first := true
-	for {
-		if p.eof() {
-			return frag{}, fmt.Errorf("%w: missing ']'", ErrSyntax)
-		}
-		c := p.peek()
-		if c == ']' && !first {
-			p.pos++
-			break
-		}
-		first = false
-		p.pos++
-		if c == '\\' {
-			if p.eof() {
-				return frag{}, fmt.Errorf("%w: trailing backslash in class", ErrSyntax)
-			}
-			e := p.src[p.pos]
-			p.pos++
-			if mc := metaClass(e); mc != nil {
-				// Merge the meta class bits (negated metas inside classes
-				// are expanded).
-				for b := 0; b < 256; b++ {
-					if mc.contains(byte(b)) {
-						bc.add(byte(b))
-					}
-				}
-				continue
-			}
-			c = unescape(e)
-		}
-		// Range?
-		if !p.eof() && p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
-			p.pos++
-			hi := p.src[p.pos]
-			p.pos++
-			if hi == '\\' {
-				if p.eof() {
-					return frag{}, fmt.Errorf("%w: trailing backslash in class", ErrSyntax)
-				}
-				hi = unescape(p.src[p.pos])
-				p.pos++
-			}
-			if hi < c {
-				return frag{}, fmt.Errorf("%w: inverted range %c-%c", ErrSyntax, c, hi)
-			}
-			bc.addRange(c, hi)
-			continue
-		}
-		bc.add(c)
-	}
-	s := p.addState(state{op: opClass, class: bc, out: -1})
-	return frag{start: s, out: []int32{s * 2}}, nil
+	panic(fmt.Sprintf("rex: unknown ast op %d", n.op))
 }
 
 // Match reports whether the pattern matches anywhere in b (or at the

@@ -453,19 +453,27 @@ func (r *Router) Search(ctx context.Context, tenant string, q query.Query, opts 
 
 // RegexResult is a merged scatter-gather regex scan.
 type RegexResult struct {
-	Matches       int
-	Lines         [][]byte
-	Partial       bool
-	Failed        []ShardError
-	ShardsQueried int
-	EmptyShards   int
-	SimElapsed    time.Duration
-	WallElapsed   time.Duration
+	Matches int
+	Lines   [][]byte
+	// Prefiltered reports whether every answering shard ran the
+	// literal-factor prefilter (shards share the pattern, so they agree
+	// unless a shard answered nothing).
+	Prefiltered bool
+	// TotalPages/CandidatePages/CachedPages sum prefilter effectiveness
+	// over the answering shards.
+	TotalPages, CandidatePages, CachedPages int
+	Partial                                 bool
+	Failed                                  []ShardError
+	ShardsQueried                           int
+	EmptyShards                             int
+	QueueTime                               time.Duration
+	SimElapsed                              time.Duration
+	WallElapsed                             time.Duration
 }
 
 // SearchRegex scatters a regex scan with the same routing, quota, and
 // partial-failure semantics as Search.
-func (r *Router) SearchRegex(ctx context.Context, tenant, pattern string, collect bool) (RegexResult, error) {
+func (r *Router) SearchRegex(ctx context.Context, tenant, pattern string, opts core.RegexOptions) (RegexResult, error) {
 	if err := r.begin(); err != nil {
 		return RegexResult{}, err
 	}
@@ -492,13 +500,13 @@ func (r *Router) SearchRegex(ctx context.Context, tenant, pattern string, collec
 			defer wg.Done()
 			sctx, cancel := r.shardDeadline(ctx)
 			defer cancel()
-			res, err := r.shards[si].sch.SearchRegex(sctx, pattern, collect)
+			res, err := r.shards[si].sch.SearchRegex(sctx, pattern, opts)
 			outs[slot] = shardOut{res: res, err: err}
 		}(slot, si)
 	}
 	wg.Wait()
 
-	res := RegexResult{ShardsQueried: len(targets)}
+	res := RegexResult{ShardsQueried: len(targets), Prefiltered: true}
 	nOK := 0
 	var errs []error
 	for slot, o := range outs {
@@ -508,8 +516,15 @@ func (r *Router) SearchRegex(ctx context.Context, tenant, pattern string, collec
 			nOK++
 			res.Matches += o.res.Matches
 			res.Lines = append(res.Lines, o.res.Lines...)
+			res.Prefiltered = res.Prefiltered && o.res.Prefiltered
+			res.TotalPages += o.res.TotalPages
+			res.CandidatePages += o.res.CandidatePages
+			res.CachedPages += o.res.CachedPages
 			if o.res.SimElapsed > res.SimElapsed {
 				res.SimElapsed = o.res.SimElapsed
+			}
+			if o.res.QueueTime > res.QueueTime {
+				res.QueueTime = o.res.QueueTime
 			}
 		case errors.Is(o.err, core.ErrNothingIngested):
 			res.EmptyShards++
@@ -529,6 +544,9 @@ func (r *Router) SearchRegex(ctx context.Context, tenant, pattern string, collec
 	if len(res.Failed) > 0 {
 		res.Partial = true
 		r.partials.Inc()
+	}
+	if nOK == 0 {
+		res.Prefiltered = false
 	}
 	sortLines(res.Lines)
 	return res, nil

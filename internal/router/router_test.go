@@ -284,7 +284,8 @@ func TestRegexScatter(t *testing.T) {
 	if err := r.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := r.SearchRegex(context.Background(), "", `id=[0-9]+ status=ok`, true)
+	res, err := r.SearchRegex(context.Background(), "", `id=[0-9]+ status=ok`,
+		core.RegexOptions{CollectLines: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -193,10 +193,13 @@ func (s *Scheduler) Search(ctx context.Context, q query.Query, opts core.SearchO
 	return res, nil
 }
 
-// SearchRegex runs a regex scan under admission control. Regex scans
-// bypass the accelerator's token engine (pages are forwarded to the host),
-// so they occupy an execution slot but not the pipeline arbiter.
-func (s *Scheduler) SearchRegex(ctx context.Context, pattern string, collect bool) (core.RegexResult, error) {
+// SearchRegex runs a regex scan under admission control with the
+// scheduler's deadline threaded into the page loop. A prefiltered scan
+// runs candidate pages through the filter-pipeline complex just like a
+// token query, so it holds the arbiter and pays contention QueueTime; a
+// full-scan fallback bypasses the token engine (pages are forwarded to
+// the host) and reports no queueing.
+func (s *Scheduler) SearchRegex(ctx context.Context, pattern string, opts core.RegexOptions) (core.RegexResult, error) {
 	ctx, cancel := s.deadline(ctx)
 	defer cancel()
 	release, err := s.acquire(ctx)
@@ -204,6 +207,21 @@ func (s *Scheduler) SearchRegex(ctx context.Context, pattern string, collect boo
 		return core.RegexResult{}, s.note(err)
 	}
 	defer release()
-	res, err := s.eng.SearchRegex(pattern, collect)
-	return res, s.note(err)
+	opts.Ctx = ctx
+	sharers := s.arb.Enter()
+	defer s.arb.Exit()
+	res, err := s.eng.SearchRegexOpts(pattern, opts)
+	if err != nil {
+		return res, s.note(err)
+	}
+	if res.Prefiltered {
+		busy := res.StreamTime
+		if res.FilterTime > busy {
+			busy = res.FilterTime
+		}
+		res.QueueTime = hwsim.QueueTime(busy, sharers)
+		res.SimElapsed += res.QueueTime
+		s.queueSim.Add(res.QueueTime.Seconds())
+	}
+	return res, nil
 }

@@ -318,7 +318,7 @@ func TestCacheInvalidationOnFlush(t *testing.T) {
 // scheduler (slot accounting must balance).
 func TestSearchRegexAdmission(t *testing.T) {
 	s, _ := buildSched(t, 200, Config{MaxInFlight: 2})
-	res, err := s.SearchRegex(context.Background(), `needle`, false)
+	res, err := s.SearchRegex(context.Background(), `needle`, core.RegexOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -358,6 +358,15 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// grepResponse is a searchResponse plus the regex prefilter outcome:
+// whether the literal-factor index prefilter applied, and how many data
+// pages it proved non-matching without reading.
+type grepResponse struct {
+	searchResponse
+	Prefilter    bool `json:"prefilter"`
+	PagesSkipped int  `json:"pagesSkipped"`
+}
+
 func (s *Server) handleGrep(w http.ResponseWriter, r *http.Request) {
 	pattern := r.FormValue("e")
 	if pattern == "" {
@@ -373,7 +382,11 @@ func (s *Server) handleGrep(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	res, err := s.eng.SearchRegexTenant(r.Context(), r.FormValue("tenant"), pattern, limit > 0)
+	opts := mithrilog.RegexOptions{
+		CollectLines: limit > 0,
+		NoPrefilter:  r.FormValue("noprefilter") != "",
+	}
+	res, err := s.eng.SearchRegexOpts(r.Context(), r.FormValue("tenant"), pattern, opts)
 	if err != nil {
 		writeErr(w, searchStatus(err), "grep: %v", err)
 		return
@@ -383,15 +396,23 @@ func (s *Server) handleGrep(w http.ResponseWriter, r *http.Request) {
 	if len(lines) > limit {
 		lines = lines[:limit]
 	}
-	writeJSON(w, http.StatusOK, searchResponse{
-		Matches:       res.Matches,
-		Lines:         lines,
-		SimElapsedNs:  res.SimElapsed.Nanoseconds(),
-		WallElapsedNs: res.WallElapsed.Nanoseconds(),
-		Partial:       res.Partial,
-		FailedShards:  res.FailedShards,
-		ShardsQueried: res.ShardsQueried,
-		EmptyShards:   res.EmptyShards,
+	writeJSON(w, http.StatusOK, grepResponse{
+		searchResponse: searchResponse{
+			Matches:        res.Matches,
+			Lines:          lines,
+			UsedIndex:      res.Prefiltered,
+			CandidatePages: res.CandidatePages,
+			TotalPages:     res.TotalPages,
+			CachedPages:    res.CachedPages,
+			SimElapsedNs:   res.SimElapsed.Nanoseconds(),
+			WallElapsedNs:  res.WallElapsed.Nanoseconds(),
+			Partial:        res.Partial,
+			FailedShards:   res.FailedShards,
+			ShardsQueried:  res.ShardsQueried,
+			EmptyShards:    res.EmptyShards,
+		},
+		Prefilter:    res.Prefiltered,
+		PagesSkipped: res.TotalPages - res.CandidatePages,
 	})
 }
 

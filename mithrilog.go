@@ -614,12 +614,28 @@ func (e *Engine) Stats() Stats {
 
 // RegexResult reports a regular-expression scan (a §8 extension: regexes
 // are beyond the token engine, so the accelerator forwards pages and the
-// host matches in software — the trade-off §7.4.3 quantifies).
+// host matches in software — the trade-off §7.4.3 quantifies). When the
+// pattern has required literal factors, the engine probes them through
+// the inverted index first and only verifies the candidate pages
+// (Prefiltered true); otherwise it falls back to the full scan.
 type RegexResult struct {
 	// Matches is the number of matching lines.
 	Matches int
 	// Lines holds the matching lines when CollectLines was requested.
 	Lines []string
+	// Prefiltered reports whether every shard answered via the
+	// literal-factor index prefilter; false means at least one shard
+	// (or the whole query) fell back to a full scan.
+	Prefiltered bool
+	// TotalPages is the number of data pages the query could have
+	// scanned; CandidatePages is how many survived the index prefilter
+	// (equal to TotalPages on fallback). TotalPages−CandidatePages pages
+	// were proven non-matching without being read.
+	TotalPages     int
+	CandidatePages int
+	// CachedPages counts scanned pages served from the decompressed-page
+	// cache instead of flash.
+	CachedPages int
 	// SimElapsed is the simulated scan time on the modeled platform.
 	SimElapsed time.Duration
 	// WallElapsed is the host wall-clock time of the simulation.
@@ -632,10 +648,20 @@ type RegexResult struct {
 	EmptyShards   int
 }
 
-// SearchRegex scans every line against a regular expression (see
-// internal/rex for the supported syntax: literals, '.', classes,
-// escapes, grouping, alternation, *, +, ?, and ^/$ anchors). Regex
-// queries cannot use the inverted index, so this is always a full scan.
+// RegexOptions tunes a facade regex scan.
+type RegexOptions struct {
+	// CollectLines returns the matching lines, not just the count.
+	CollectLines bool
+	// NoPrefilter disables the literal-factor index prefilter and forces
+	// the full scan, mainly for differential testing and measurement.
+	NoPrefilter bool
+}
+
+// SearchRegex scans lines against a regular expression (see internal/rex
+// for the supported syntax: literals, '.', classes, escapes, grouping,
+// alternation, *, +, ?, and ^/$ anchors). When the pattern has required
+// literal factors the scan is prefiltered through the inverted index;
+// otherwise it degrades to a full scan.
 func (e *Engine) SearchRegex(pattern string, collectLines bool) (RegexResult, error) {
 	return e.SearchRegexContext(context.Background(), pattern, collectLines)
 }
@@ -652,26 +678,37 @@ func (e *Engine) SearchRegexContext(ctx context.Context, pattern string, collect
 // the empty tenant scatters everywhere with the same partial-failure
 // semantics as Search.
 func (e *Engine) SearchRegexTenant(ctx context.Context, tenant, pattern string, collectLines bool) (RegexResult, error) {
+	return e.SearchRegexOpts(ctx, tenant, pattern, RegexOptions{CollectLines: collectLines})
+}
+
+// SearchRegexOpts is SearchRegexTenant with the full option set, including
+// the NoPrefilter escape hatch used by differential tests.
+func (e *Engine) SearchRegexOpts(ctx context.Context, tenant, pattern string, opts RegexOptions) (RegexResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	copts := core.RegexOptions{CollectLines: opts.CollectLines, NoPrefilter: opts.NoPrefilter}
 	if e.router != nil {
-		res, err := e.router.SearchRegex(ctx, tenant, pattern, collectLines)
+		res, err := e.router.SearchRegex(ctx, tenant, pattern, copts)
 		if err != nil {
 			return RegexResult{}, err
 		}
 		out := RegexResult{
-			Matches:       res.Matches,
-			SimElapsed:    res.SimElapsed,
-			WallElapsed:   res.WallElapsed,
-			Partial:       res.Partial,
-			ShardsQueried: res.ShardsQueried,
-			EmptyShards:   res.EmptyShards,
+			Matches:        res.Matches,
+			Prefiltered:    res.Prefiltered,
+			TotalPages:     res.TotalPages,
+			CandidatePages: res.CandidatePages,
+			CachedPages:    res.CachedPages,
+			SimElapsed:     res.SimElapsed,
+			WallElapsed:    res.WallElapsed,
+			Partial:        res.Partial,
+			ShardsQueried:  res.ShardsQueried,
+			EmptyShards:    res.EmptyShards,
 		}
 		for _, f := range res.Failed {
 			out.FailedShards = append(out.FailedShards, ShardFailure{Shard: f.Shard, Error: f.Err.Error()})
 		}
-		if collectLines {
+		if opts.CollectLines {
 			out.Lines = make([]string, len(res.Lines))
 			for i, l := range res.Lines {
 				out.Lines[i] = string(l)
@@ -679,17 +716,21 @@ func (e *Engine) SearchRegexTenant(ctx context.Context, tenant, pattern string, 
 		}
 		return out, nil
 	}
-	res, err := e.sched.SearchRegex(ctx, pattern, collectLines)
+	res, err := e.sched.SearchRegex(ctx, pattern, copts)
 	if err != nil {
 		return RegexResult{}, err
 	}
 	out := RegexResult{
-		Matches:       res.Matches,
-		SimElapsed:    res.SimElapsed,
-		WallElapsed:   res.WallElapsed,
-		ShardsQueried: 1,
+		Matches:        res.Matches,
+		Prefiltered:    res.Prefiltered,
+		TotalPages:     res.TotalPages,
+		CandidatePages: res.CandidatePages,
+		CachedPages:    res.CachedPages,
+		SimElapsed:     res.SimElapsed,
+		WallElapsed:    res.WallElapsed,
+		ShardsQueried:  1,
 	}
-	if collectLines {
+	if opts.CollectLines {
 		out.Lines = make([]string, len(res.Lines))
 		for i, l := range res.Lines {
 			out.Lines[i] = string(l)

@@ -1,0 +1,246 @@
+package mithrilog
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mithrilog/internal/loggen"
+)
+
+// This file is the regex differential oracle: the literal-factor index
+// prefilter is an optimization, so for every pattern the prefiltered path
+// must return a byte-identical RegexResult (matches, lines, counts) to
+// the full-scan path and to Go's regexp over the raw dataset — across
+// indexed, cached, 1-shard, and 4-shard configurations. The pattern
+// generator deliberately mixes shapes the factor extractor can exploit
+// (bounded tokens, phrases, alternations, gaps) with shapes it must
+// refuse (unbounded fragments, class-torn tokens), so both the
+// prefiltered path and the ∅-factor fallback stay pinned.
+
+// rexEscape escapes every non-alphanumeric byte of a sampled token so it
+// reads as a literal in both rex and Go regexp syntax. Letters and digits
+// are never escaped (escaped letters are meta-classes in both grammars).
+func rexEscape(tok string) string {
+	var b strings.Builder
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			b.WriteByte(c)
+			continue
+		}
+		b.WriteByte('\\')
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// lineTokens splits one dataset line on the index delimiters.
+func lineTokens(line []byte) []string {
+	return strings.FieldsFunc(string(line), func(r rune) bool {
+		return r == ' ' || r == '\t'
+	})
+}
+
+// regexPatterns derives n seeded patterns from the dataset. Tokens are
+// sampled from real lines (adjacent runs stay adjacent), so most shapes
+// have matches; a few shapes are deliberately unsatisfiable or
+// unfactorable.
+func regexPatterns(rng *rand.Rand, lines [][]byte, n int) []string {
+	var pats []string
+	sample := func(minToks int) []string {
+		for {
+			toks := lineTokens(lines[rng.Intn(len(lines))])
+			if len(toks) >= minToks {
+				return toks
+			}
+		}
+	}
+	for len(pats) < n {
+		switch len(pats) % 13 {
+		case 0: // single bounded token
+			t := sample(1)
+			pats = append(pats, " "+rexEscape(t[rng.Intn(len(t))])+" ")
+		case 1: // adjacent bounded pair
+			t := sample(3)
+			i := rng.Intn(len(t) - 2)
+			pats = append(pats, " "+rexEscape(t[i])+" "+rexEscape(t[i+1])+" ")
+		case 2: // alternation of two tokens from different lines
+			a := sample(1)
+			b := sample(1)
+			pats = append(pats, " ("+rexEscape(a[rng.Intn(len(a))])+"|"+rexEscape(b[rng.Intn(len(b))])+") ")
+		case 3: // two same-line tokens bridged by a gap
+			t := sample(4)
+			i := rng.Intn(len(t) - 3)
+			j := i + 2 + rng.Intn(len(t)-i-2)
+			pats = append(pats, " "+rexEscape(t[i])+" .* "+rexEscape(t[j])+" ")
+		case 4: // raw unbounded token: no factor, full-scan fallback
+			t := sample(1)
+			pats = append(pats, rexEscape(t[rng.Intn(len(t))]))
+		case 5: // trailing class star unbounds the token: fallback
+			t := sample(1)
+			pats = append(pats, " "+rexEscape(t[rng.Intn(len(t))])+"[0-9]*")
+		case 6: // token followed by an alternation
+			t := sample(3)
+			i := rng.Intn(len(t) - 2)
+			pats = append(pats, " "+rexEscape(t[i])+" ("+rexEscape(t[i+1])+"|no-such-tok) ")
+		case 7: // anchored prefix with a digit gap
+			t := sample(3)
+			pats = append(pats, `^- \d+ .* `+rexEscape(t[len(t)-1])+" ")
+		case 8: // adjacent bounded triple
+			t := sample(4)
+			i := rng.Intn(len(t) - 3)
+			pats = append(pats, " "+rexEscape(t[i])+" "+rexEscape(t[i+1])+" "+rexEscape(t[i+2])+" ")
+		case 9: // optional space: conjuncts for both the split and fused forms
+			t := sample(3)
+			i := rng.Intn(len(t) - 2)
+			pats = append(pats, " "+rexEscape(t[i])+" ?"+rexEscape(t[i+1])+" ")
+		case 10: // mid-token wildcard tears the token into fragments
+			for {
+				t := sample(1)
+				tok := t[rng.Intn(len(t))]
+				if len(tok) < 5 {
+					continue
+				}
+				mid := 2 + rng.Intn(len(tok)-4)
+				pats = append(pats, " "+rexEscape(tok[:mid])+"."+rexEscape(tok[mid+1:])+" ")
+				break
+			}
+		case 11: // nonexistent token: prefilter yields zero candidates
+			pats = append(pats, fmt.Sprintf(" absent-token-%d ", rng.Intn(1000)))
+		case 12: // plus on the boundary space keeps the factors bounded
+			t := sample(3)
+			i := rng.Intn(len(t) - 2)
+			pats = append(pats, " +"+rexEscape(t[i])+" +"+rexEscape(t[i+1])+" ")
+		}
+	}
+	return pats
+}
+
+// stdlibScan is the ground truth: Go's regexp over the raw lines, in
+// ingest order.
+func stdlibScan(t *testing.T, pattern string, lines [][]byte) []string {
+	t.Helper()
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		t.Fatalf("stdlib rejects generated pattern %q: %v", pattern, err)
+	}
+	var out []string
+	for _, l := range lines {
+		if re.Match(l) {
+			out = append(out, string(l))
+		}
+	}
+	return out
+}
+
+// assertRegexIdentical demands byte-identical results including order
+// (single-engine paths preserve ingest order on every path).
+func assertRegexIdentical(t *testing.T, pattern, path string, got RegexResult, want []string) {
+	t.Helper()
+	if got.Matches != len(want) {
+		t.Errorf("%q %s: %d matches, want %d", pattern, path, got.Matches, len(want))
+		return
+	}
+	if !equalLines(got.Lines, want) {
+		t.Errorf("%q %s: line sets diverge (first diff: %s)",
+			pattern, path, firstDiff(got.Lines, want))
+	}
+	if got.CandidatePages > got.TotalPages {
+		t.Errorf("%q %s: %d candidate pages > %d total", pattern, path, got.CandidatePages, got.TotalPages)
+	}
+}
+
+// TestRegexDifferentialOracle sweeps seeded patterns over every dataset
+// profile and pins four configurations against Go's regexp and against
+// each other: full scan, prefiltered, prefiltered with a warm page
+// cache, and a 4-shard scatter. ~52 patterns x 4 profiles ≈ 200.
+func TestRegexDifferentialOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is not short")
+	}
+	lines := map[string]int{
+		"BGL2": 2000, "Liberty2": 2500, "Spirit2": 2500, "Thunderbird": 2500,
+	}
+	const patternsPerProfile = 52
+	for _, p := range loggen.Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			ds := loggen.Generate(p, lines[p.Name], 0)
+			plain := Open(Config{})
+			cached := Open(Config{CacheBytes: 64 << 20})
+			sharded := Open(Config{Shards: 4, CacheBytes: 64 << 20})
+			for _, e := range []*Engine{plain, cached, sharded} {
+				if err := e.IngestBytes(ds.Lines); err != nil {
+					t.Fatal(err)
+				}
+				if err := e.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			rng := rand.New(rand.NewSource(0x8E6E ^ p.Seed))
+			prefiltered := 0
+			for _, pattern := range regexPatterns(rng, ds.Lines, patternsPerProfile) {
+				want := stdlibScan(t, pattern, ds.Lines)
+
+				full, err := plain.SearchRegexOpts(nil, "", pattern,
+					RegexOptions{CollectLines: true, NoPrefilter: true})
+				if err != nil {
+					t.Fatalf("%q full scan: %v", pattern, err)
+				}
+				if full.Prefiltered {
+					t.Fatalf("%q: NoPrefilter result claims the prefiltered path", pattern)
+				}
+				assertRegexIdentical(t, pattern, "fullscan", full, want)
+
+				pre, err := plain.SearchRegex(pattern, true)
+				if err != nil {
+					t.Fatalf("%q prefiltered: %v", pattern, err)
+				}
+				assertRegexIdentical(t, pattern, "prefiltered", pre, want)
+				if pre.Prefiltered {
+					prefiltered++
+				} else if pre.CandidatePages != pre.TotalPages {
+					t.Errorf("%q: fallback skipped pages (%d of %d)",
+						pattern, pre.TotalPages-pre.CandidatePages, pre.TotalPages)
+				}
+
+				// Cold pass populates the page cache; the warm pass must
+				// answer identically from cached tokenized pages.
+				coldRes, err := cached.SearchRegex(pattern, true)
+				if err != nil {
+					t.Fatalf("%q cached cold: %v", pattern, err)
+				}
+				assertRegexIdentical(t, pattern, "cached-cold", coldRes, want)
+				warmRes, err := cached.SearchRegex(pattern, true)
+				if err != nil {
+					t.Fatalf("%q cached warm: %v", pattern, err)
+				}
+				assertRegexIdentical(t, pattern, "cached-warm", warmRes, want)
+
+				// 4-shard scatter: canonical merge order, no partial results.
+				sh, err := sharded.SearchRegex(pattern, true)
+				if err != nil {
+					t.Fatalf("%q sharded: %v", pattern, err)
+				}
+				if sh.Partial || len(sh.FailedShards) > 0 {
+					t.Fatalf("%q sharded: unexpected partial result: %+v", pattern, sh.FailedShards)
+				}
+				if sh.Matches != len(want) {
+					t.Errorf("%q sharded: %d matches, want %d", pattern, sh.Matches, len(want))
+				} else if !equalLines(sortedStrings(sh.Lines), sortedStrings(want)) {
+					t.Errorf("%q sharded: line sets diverge (first diff: %s)",
+						pattern, firstDiff(sortedStrings(sh.Lines), sortedStrings(want)))
+				}
+			}
+			// The sweep must exercise the prefiltered path, not silently
+			// degrade to fallback everywhere.
+			if prefiltered < patternsPerProfile/3 {
+				t.Errorf("only %d of %d patterns took the prefiltered path", prefiltered, patternsPerProfile)
+			}
+		})
+	}
+}

@@ -4,6 +4,8 @@
 //	go run ./cmd/mithrilint ./...          # whole module (CI does this)
 //	go run ./cmd/mithrilint -only lockorder ./internal/storage/...
 //	go run ./cmd/mithrilint -json ./...    # machine-readable findings
+//	go run ./cmd/mithrilint -strict-ignores ./...  # also flag stale ignores (CI)
+//	go run ./cmd/mithrilint -hotpaths ./...        # list hotpath-marked functions
 //	go run ./cmd/mithrilint -list
 //
 // Plain output is one finding per line in the usual file:line:col form;
@@ -48,8 +50,12 @@ func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	dir := flag.String("C", ".", "module directory to analyze")
 	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	strictIgnores := flag.Bool("strict-ignores", false,
+		"also report mithrilint:ignore directives that suppress no findings (CI uses this)")
+	hotpaths := flag.Bool("hotpaths", false,
+		"print the //mithrilint:hotpath-marked functions, one per line, and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mithrilint [-list] [-only a,b] [-json] [-C dir] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: mithrilint [-list] [-only a,b] [-json] [-strict-ignores] [-hotpaths] [-C dir] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -81,7 +87,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mithrilint: %v\n", err)
 		os.Exit(exitError)
 	}
-	diags := lint.Run(prog, pkgs, analyzers)
+
+	if *hotpaths {
+		// The machine-readable hot-path inventory: CI diffs this against
+		// the list committed in PERFORMANCE.md so code and doc can't drift.
+		for _, fn := range lint.HotpathFunctions(prog) {
+			fmt.Println(fn)
+		}
+		return
+	}
+
+	diags := lint.RunWithOptions(prog, pkgs, analyzers, lint.RunOptions{StrictIgnores: *strictIgnores})
 
 	if *asJSON {
 		out := make([]jsonFinding, 0, len(diags))

@@ -98,25 +98,25 @@ type Engine struct {
 	// cache is the optional decompressed-page cache (nil disables).
 	cache PageCache
 
-	dataPages []storage.PageID
-	rawBytes  uint64
-	compBytes uint64
-	lineCount uint64
+	dataPages []storage.PageID // guarded by mu
+	rawBytes  uint64           // guarded by mu
+	compBytes uint64           // guarded by mu
+	lineCount uint64           // guarded by mu
 
 	// ingest batching state
-	pending      [][]byte
-	pendingBytes int
-	ratioGuess   float64
+	pending      [][]byte // guarded by mu
+	pendingBytes int      // guarded by mu
+	ratioGuess   float64  // guarded by mu
 
 	// ingest scratch, reused across pages so the steady-state ingest path
 	// allocates only for first-seen token keys: the concatenated raw group,
 	// the compressed page image, and the per-page distinct-token set.
-	groupBuf []byte
-	compBuf  []byte
-	seenToks map[string]struct{}
+	groupBuf []byte              // guarded by mu
+	compBuf  []byte              // guarded by mu
+	seenToks map[string]struct{} // guarded by mu
 
 	// ingest profiling (wall time per stage)
-	profile IngestProfile
+	profile IngestProfile // guarded by mu
 
 	// met publishes hot-path instrumentation (never nil).
 	met *engineMetrics
@@ -411,6 +411,8 @@ func (e *Engine) resetSeenToks() {
 // materialize a string (the map key); the index hashes the byte view
 // directly. ReopenEngine re-runs this exact scan over recovered pages, so
 // a reopened index is bit-for-bit equivalent to the original.
+//
+//mithrilint:hotpath
 func (e *Engine) indexLineTokens(line []byte, id storage.PageID) (int, error) {
 	tokens := 0
 	i := 0
@@ -441,6 +443,8 @@ func (e *Engine) indexLineTokens(line []byte, id storage.PageID) (int, error) {
 // compressGroup LZAH-compresses a line group (newline separated) into the
 // engine's reused scratch buffers; the returned slice is valid until the
 // next call (the device copies pages on write).
+//
+//mithrilint:hotpath
 func (e *Engine) compressGroup(lines [][]byte) []byte {
 	raw := e.groupBuf[:0]
 	for _, l := range lines {

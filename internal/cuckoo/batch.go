@@ -14,6 +14,8 @@ const BatchSize = 8
 // calls — same hash functions, same probes — only the evaluation order
 // differs: all of a group's hashes are computed before any probe, so the
 // chains and the table loads overlap. The batch path allocates nothing.
+//
+//mithrilint:hotpath
 func (t *Table) LookupBatch(toks [][]byte, rows []int32, pairs [][]FlagPair) {
 	for len(toks) > BatchSize {
 		t.lookupGroup(toks[:BatchSize], rows[:BatchSize], pairs[:BatchSize])

@@ -336,6 +336,8 @@ func (t *Table) Lookup(tok string) (row int, pairs []FlagPair, ok bool) {
 
 // LookupBytes is Lookup over a byte slice without forcing the caller to
 // allocate a string (the common case in the word-stream filter).
+//
+//mithrilint:hotpath
 func (t *Table) LookupBytes(tok []byte) (row int, pairs []FlagPair, ok bool) {
 	if t.lenMask&lenBit(len(tok)) == 0 {
 		return 0, nil, false

@@ -41,6 +41,8 @@ func (h *HashFilter) decideMask() SetMask {
 
 // FeedTagged consumes one datapath word like Feed; when the word completes
 // a line it returns lineDone=true and the per-set match mask.
+//
+//mithrilint:hotpath
 func (h *HashFilter) FeedTagged(w tokenizer.Word) (lineDone bool, mask SetMask) {
 	h.words++
 	if w.LastOfToken {
@@ -76,6 +78,8 @@ func (h *HashFilter) FeedTagged(w tokenizer.Word) (lineDone bool, mask SetMask) 
 // within a line — but walks the words by pointer (no per-word struct
 // copy) and resolves single-word tokens through the batched cuckoo
 // lookup; only multi-word tokens pay the reassembly path.
+//
+//mithrilint:hotpath
 func (h *HashFilter) FeedLineTagged(words []tokenizer.Word) (SetMask, error) {
 	n := len(words)
 	if n == 0 {

@@ -1,0 +1,723 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// GuardedByAnalyzer proves that struct fields annotated
+//
+//	data []byte // guarded by mu
+//
+// are only touched while the named sibling mutex is held. The proof is
+// interprocedural: for every declared function the analysis computes the
+// set of locks provably held at entry — the intersection of the held
+// sets at all of its static call sites, iterated to fixpoint over the
+// call graph — so a helper only ever invoked under the lock checks
+// clean without its own annotation, and a helper reachable from an
+// unlocked path is flagged at the access inside it.
+//
+// Semantics, deliberately conservative in the same places lockorder is:
+//
+//   - Lock()/RLock() add the lock to the held set (write/read); a
+//     statement-level Unlock releases it; defer X.Unlock() pins it to
+//     function end. Branches see a copy of the held set.
+//   - Reads of a guarded field need the lock held (read or write);
+//     writes (assignment, ++/--, taking the address) need it
+//     write-held. RLock-only writes are flagged.
+//   - Exported functions, functions used as values (closures, method
+//     values, sync.Pool.New), and function literals are entry points:
+//     no locks are assumed at their entry.
+//   - Construction is exempt: accesses through a local freshly obtained
+//     from a composite literal, new(T), or a same-package New*
+//     constructor cannot race (the object is unpublished), and call
+//     sites on such a local do not constrain the callee's entry set —
+//     this is how reopen/load paths that replay ingest helpers on an
+//     under-construction engine stay clean.
+var GuardedByAnalyzer = &Analyzer{
+	Name: "guardedby",
+	Doc: "fields annotated `// guarded by <mu>` are accessed only where the " +
+		"mutex is provably held, interprocedurally through helpers",
+	Run: runGuardedBy,
+}
+
+func runGuardedBy(pass *Pass) {
+	facts := pass.Prog.Memo("guardedby", func() interface{} {
+		return buildGuardedFacts(pass.Prog)
+	}).(*guardedFacts)
+	for _, v := range facts.viol {
+		if v.pkg == pass.Pkg.Path {
+			pass.Reportf(v.pos, "%s", v.msg)
+		}
+	}
+}
+
+// guardSpec is one annotated field's contract.
+type guardSpec struct {
+	lockID string // lock identity in lockIdent form: "pkg.Type.mu"
+	rw     bool   // the guard is an RWMutex (reads may hold RLock)
+	// display is the human name of the field ("core.Engine.pending").
+	display string
+}
+
+// gbViolation is one finding, attributed to its package.
+type gbViolation struct {
+	pkg string
+	pos token.Pos
+	msg string
+}
+
+// guardedFacts is the program-wide analysis result.
+type guardedFacts struct {
+	guards map[*types.Var]guardSpec
+	// entry maps funcKey to the locks provably held at entry.
+	entry map[string]*heldSet
+	viol  []gbViolation
+}
+
+// heldSet is the lock set state of the walk: either TOP (everything
+// held — the fixpoint's optimistic start for functions whose call sites
+// are not yet known) or an explicit id→write-held map.
+type heldSet struct {
+	top   bool
+	locks map[string]bool
+}
+
+func topHeld() *heldSet   { return &heldSet{top: true} }
+func emptyHeld() *heldSet { return &heldSet{locks: map[string]bool{}} }
+
+func (h *heldSet) clone() *heldSet {
+	if h.top {
+		return topHeld()
+	}
+	c := &heldSet{locks: make(map[string]bool, len(h.locks))}
+	for k, v := range h.locks {
+		c.locks[k] = v
+	}
+	return c
+}
+
+func (h *heldSet) acquire(id string, write bool) {
+	if h.top {
+		return
+	}
+	if w, ok := h.locks[id]; !ok || (write && !w) {
+		h.locks[id] = write
+	}
+}
+
+func (h *heldSet) release(id string) {
+	if h.top {
+		return
+	}
+	delete(h.locks, id)
+}
+
+func (h *heldSet) holds(id string) bool {
+	if h.top {
+		return true
+	}
+	_, ok := h.locks[id]
+	return ok
+}
+
+func (h *heldSet) holdsWrite(id string) bool {
+	if h.top {
+		return true
+	}
+	return h.locks[id]
+}
+
+// intersect narrows h to the facts shared with other, reporting whether
+// h changed. TOP is the identity.
+func (h *heldSet) intersect(other *heldSet) bool {
+	if other.top {
+		return false
+	}
+	if h.top {
+		h.top = false
+		h.locks = make(map[string]bool, len(other.locks))
+		for k, v := range other.locks {
+			h.locks[k] = v
+		}
+		return true
+	}
+	changed := false
+	for k, w := range h.locks {
+		ow, ok := other.locks[k]
+		if !ok {
+			delete(h.locks, k)
+			changed = true
+		} else if w && !ow {
+			h.locks[k] = false
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (h *heldSet) equal(other *heldSet) bool {
+	if h.top != other.top {
+		return false
+	}
+	if h.top {
+		return true
+	}
+	if len(h.locks) != len(other.locks) {
+		return false
+	}
+	for k, v := range h.locks {
+		if ov, ok := other.locks[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// guardedByRE extracts the mutex name from a field comment.
+var guardedByRE = regexp.MustCompile(`\bguarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// collectGuards parses every `// guarded by <mu>` field annotation in the
+// program, returning the field contracts and a violation for each
+// annotation whose named guard is not a mutex sibling.
+func collectGuards(prog *Program) (map[*types.Var]guardSpec, []gbViolation) {
+	guards := make(map[*types.Var]guardSpec)
+	var bad []gbViolation
+	for _, pkg := range prog.Pkgs {
+		if pkg.Standard {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				collectStructGuards(pkg, ts.Name.Name, st, guards, &bad)
+				return true
+			})
+		}
+	}
+	return guards, bad
+}
+
+func collectStructGuards(pkg *Package, typeName string, st *ast.StructType, guards map[*types.Var]guardSpec, bad *[]gbViolation) {
+	// First pass: the struct's mutex fields, by name.
+	type muInfo struct{ rw bool }
+	mus := make(map[string]muInfo)
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			v, ok := pkg.Info.Defs[name].(*types.Var)
+			if !ok || !isMutexType(v.Type()) {
+				continue
+			}
+			named := v.Type().(*types.Named)
+			mus[name.Name] = muInfo{rw: named.Obj().Name() == "RWMutex"}
+		}
+	}
+	// Second pass: annotated fields.
+	for _, field := range st.Fields.List {
+		var text string
+		if field.Doc != nil {
+			text += field.Doc.Text() + "\n"
+		}
+		if field.Comment != nil {
+			text += field.Comment.Text()
+		}
+		m := guardedByRE.FindStringSubmatch(text)
+		if m == nil {
+			continue
+		}
+		muName := m[1]
+		mu, ok := mus[muName]
+		if !ok {
+			*bad = append(*bad, gbViolation{
+				pkg: pkg.Path,
+				pos: field.Pos(),
+				msg: fmt.Sprintf("guarded-by annotation names %q, which is not a sync.Mutex/RWMutex field of %s", muName, typeName),
+			})
+			continue
+		}
+		for _, name := range field.Names {
+			v, ok := pkg.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			guards[v] = guardSpec{
+				lockID:  pkg.Types.Path() + "." + typeName + "." + muName,
+				rw:      mu.rw,
+				display: pkg.Types.Name() + "." + typeName + "." + name.Name,
+			}
+		}
+	}
+}
+
+// buildGuardedFacts runs the whole-program analysis: annotation
+// collection, the entry-lock fixpoint, then the reporting pass.
+func buildGuardedFacts(prog *Program) *guardedFacts {
+	cg := moduleCallGraph(prog)
+	guards, annBad := collectGuards(prog)
+	facts := &guardedFacts{guards: guards, viol: annBad}
+
+	if len(guards) > 0 {
+		facts.entry = guardedEntryFixpoint(prog, cg, guards)
+		for _, key := range cg.keys {
+			w := newGBWalker(cg.declPkg[key], guards, facts.entry, nil)
+			w.report = func(pos token.Pos, format string, args ...interface{}) {
+				facts.viol = append(facts.viol, gbViolation{
+					pkg: w.pkg.Path,
+					pos: pos,
+					msg: fmt.Sprintf(format, args...),
+				})
+			}
+			w.walkFunc(cg.decls[key], facts.entry[key].clone())
+		}
+	}
+	sort.Slice(facts.viol, func(i, j int) bool { return facts.viol[i].pos < facts.viol[j].pos })
+	return facts
+}
+
+// guardedEntryFixpoint computes, for every declared function, the locks
+// provably held at its entry: TOP initially, narrowed each round by
+// intersecting the held sets observed at its static call sites, with
+// entry points pinned to the empty set. The sets only shrink, so the
+// iteration terminates (and in practice converges in a handful of
+// rounds even through recursion).
+func guardedEntryFixpoint(prog *Program, cg *callGraph, guards map[*types.Var]guardSpec) map[string]*heldSet {
+	isRoot := func(key string) bool {
+		fd := cg.decls[key]
+		name := fd.Name.Name
+		return ast.IsExported(name) || name == "main" || name == "init" || cg.valueUsed[key]
+	}
+	entry := make(map[string]*heldSet, len(cg.keys))
+	for _, key := range cg.keys {
+		if isRoot(key) {
+			entry[key] = emptyHeld()
+		} else {
+			entry[key] = topHeld()
+		}
+	}
+	for round := 0; round < 64; round++ {
+		next := make(map[string]*heldSet, len(cg.keys))
+		for _, key := range cg.keys {
+			if isRoot(key) {
+				next[key] = emptyHeld()
+			} else {
+				next[key] = topHeld()
+			}
+		}
+		for _, key := range cg.keys {
+			w := newGBWalker(cg.declPkg[key], guards, entry, func(callee string, held *heldSet) {
+				if target, ok := next[callee]; ok {
+					target.intersect(held)
+				}
+			})
+			w.walkFunc(cg.decls[key], entry[key].clone())
+		}
+		changed := false
+		for _, key := range cg.keys {
+			if !entry[key].equal(next[key]) {
+				changed = true
+			}
+		}
+		entry = next
+		if !changed {
+			break
+		}
+	}
+	return entry
+}
+
+// gbWalker performs the ordered intra-function walk with a held set.
+type gbWalker struct {
+	pkg    *Package
+	info   *types.Info
+	guards map[*types.Var]guardSpec
+	entry  map[string]*heldSet
+	// constrain receives (callee, heldAtSite) during fixpoint rounds;
+	// report receives findings during the final round. Either may be nil.
+	constrain func(string, *heldSet)
+	report    func(token.Pos, string, ...interface{})
+	// cons are this function's under-construction locals.
+	cons map[*types.Var]bool
+}
+
+func newGBWalker(pkg *Package, guards map[*types.Var]guardSpec, entry map[string]*heldSet, constrain func(string, *heldSet)) *gbWalker {
+	return &gbWalker{pkg: pkg, info: pkg.Info, guards: guards, entry: entry, constrain: constrain}
+}
+
+func (w *gbWalker) walkFunc(fd *ast.FuncDecl, held *heldSet) {
+	w.cons = constructionLocals(w.info, fd.Body, w.pkg.Types)
+	w.walkBody(fd.Body, held)
+}
+
+// constructionLocals collects locals assigned from a composite literal,
+// new(T), or a same-package New* constructor anywhere in the body.
+func constructionLocals(info *types.Info, body *ast.BlockStmt, pkg *types.Package) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := info.Defs[id].(*types.Var)
+			if !ok {
+				v, ok = info.Uses[id].(*types.Var)
+			}
+			if !ok || v == nil || !isConstructionExpr(info, as.Rhs[i], pkg) {
+				continue
+			}
+			out[v] = true
+		}
+		return true
+	})
+	return out
+}
+
+func isConstructionExpr(info *types.Info, e ast.Expr, pkg *types.Package) bool {
+	switch x := unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, isLit := unparen(x.X).(*ast.CompositeLit)
+			return isLit
+		}
+	case *ast.CallExpr:
+		if id, ok := unparen(x.Fun).(*ast.Ident); ok && id.Name == "new" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+		if fn := calleeFunc(info, x); fn != nil && fn.Pkg() == pkg && strings.HasPrefix(fn.Name(), "New") {
+			return true
+		}
+	}
+	return false
+}
+
+// rootedAtConstruction reports whether e is a chain of selectors,
+// indexes, slices, and derefs rooted at an under-construction local.
+func (w *gbWalker) rootedAtConstruction(e ast.Expr) bool {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := w.info.Uses[x].(*types.Var); ok {
+				return w.cons[v]
+			}
+			return false
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func (w *gbWalker) walkBody(body *ast.BlockStmt, held *heldSet) *heldSet {
+	if body == nil {
+		return held
+	}
+	for _, stmt := range body.List {
+		held = w.walkStmt(stmt, held)
+	}
+	return held
+}
+
+func (w *gbWalker) walkStmt(stmt ast.Stmt, held *heldSet) *heldSet {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		return w.walkRvalue(s.X, held)
+	case *ast.DeferStmt:
+		// defer X.Unlock() pins X as held to function end. Other
+		// deferred calls run at exit; approximating their context with
+		// the current held set matches lockorder's treatment.
+		if _, _, isLockOp := lockCall(w.info, s.Call); isLockOp {
+			return held
+		}
+		return w.walkRvalue(s.Call, held)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			held = w.walkRvalue(rhs, held)
+		}
+		for _, lhs := range s.Lhs {
+			w.walkLvalue(lhs, held)
+		}
+		return held
+	case *ast.IncDecStmt:
+		w.walkLvalue(s.X, held)
+		return held
+	case *ast.SendStmt:
+		held = w.walkRvalue(s.Chan, held)
+		return w.walkRvalue(s.Value, held)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			held = w.walkRvalue(r, held)
+		}
+		return held
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		held = w.walkRvalue(s.Cond, held)
+		w.walkBody(s.Body, held.clone())
+		if s.Else != nil {
+			w.walkStmt(s.Else, held.clone())
+		}
+		return held
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		inner := held.clone()
+		if s.Cond != nil {
+			inner = w.walkRvalue(s.Cond, inner)
+		}
+		if s.Post != nil {
+			w.walkStmt(s.Post, inner.clone())
+		}
+		w.walkBody(s.Body, inner)
+		return held
+	case *ast.RangeStmt:
+		held = w.walkRvalue(s.X, held)
+		w.walkBody(s.Body, held.clone())
+		return held
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			held = w.walkRvalue(s.Tag, held)
+		}
+		w.walkCaseBodies(s.Body, held)
+		return held
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		w.walkCaseBodies(s.Body, held)
+		return held
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				h := held.clone()
+				if cc.Comm != nil {
+					h = w.walkStmt(cc.Comm, h)
+				}
+				for _, st := range cc.Body {
+					h = w.walkStmt(st, h)
+				}
+			}
+		}
+		return held
+	case *ast.BlockStmt:
+		w.walkBody(s, held.clone())
+		return held
+	case *ast.GoStmt:
+		// The goroutine body runs with no locks from this frame.
+		if fl, ok := unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.walkBody(fl.Body, emptyHeld())
+		}
+		for _, arg := range s.Call.Args {
+			held = w.walkRvalue(arg, held)
+		}
+		return held
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						held = w.walkRvalue(v, held)
+					}
+				}
+			}
+		}
+		return held
+	default:
+		return held
+	}
+}
+
+func (w *gbWalker) walkCaseBodies(body *ast.BlockStmt, held *heldSet) {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			h := held.clone()
+			for _, e := range cc.List {
+				h = w.walkRvalue(e, h)
+			}
+			for _, st := range cc.Body {
+				h = w.walkStmt(st, h)
+			}
+		}
+	}
+}
+
+// walkLvalue checks a write target. The guarded field may sit under
+// index/slice/deref wrappers (map insert, element write); inner
+// expressions (index keys) are reads.
+func (w *gbWalker) walkLvalue(lhs ast.Expr, held *heldSet) {
+	switch x := unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if w.checkAccess(x, held, true) {
+			return
+		}
+		w.walkRvalue(x.X, held)
+	case *ast.IndexExpr:
+		w.walkRvalue(x.Index, held)
+		w.walkLvalue(x.X, held)
+	case *ast.SliceExpr:
+		w.walkLvalue(x.X, held)
+	case *ast.StarExpr:
+		w.walkRvalue(x.X, held)
+	default:
+		w.walkRvalue(lhs, held)
+	}
+}
+
+// walkRvalue scans an expression tree in evaluation-ish order, tracking
+// lock operations, recording call-site constraints, and checking
+// guarded reads.
+func (w *gbWalker) walkRvalue(e ast.Expr, held *heldSet) *heldSet {
+	if e == nil {
+		return held
+	}
+	switch x := unparen(e).(type) {
+	case *ast.CallExpr:
+		// Receiver chain and arguments evaluate before the call.
+		if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok {
+			held = w.walkRvalue(sel.X, held)
+		}
+		for _, arg := range x.Args {
+			held = w.walkRvalue(arg, held)
+		}
+		if id, method, ok := lockCall(w.info, x); ok {
+			switch method {
+			case "Lock", "TryLock":
+				held.acquire(id, true)
+			case "RLock", "TryRLock":
+				held.acquire(id, false)
+			case "Unlock", "RUnlock":
+				held.release(id)
+			}
+			return held
+		}
+		if fn := calleeFunc(w.info, x); fn != nil && w.constrain != nil {
+			skip := false
+			if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok && w.rootedAtConstruction(sel.X) {
+				// A method call on an under-construction object does
+				// not publish it; the callee keeps its other sites'
+				// entry facts.
+				skip = true
+			}
+			if !skip {
+				w.constrain(funcKey(fn), held)
+			}
+		}
+		return held
+	case *ast.SelectorExpr:
+		if w.checkAccess(x, held, false) {
+			return held
+		}
+		return w.walkRvalue(x.X, held)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			// Taking a guarded field's address hands out a reference the
+			// lock can no longer mediate; require the write lock.
+			if sel, ok := unparen(x.X).(*ast.SelectorExpr); ok {
+				if w.checkAccess(sel, held, true) {
+					return held
+				}
+			}
+		}
+		return w.walkRvalue(x.X, held)
+	case *ast.BinaryExpr:
+		held = w.walkRvalue(x.X, held)
+		return w.walkRvalue(x.Y, held)
+	case *ast.IndexExpr:
+		held = w.walkRvalue(x.X, held)
+		return w.walkRvalue(x.Index, held)
+	case *ast.SliceExpr:
+		held = w.walkRvalue(x.X, held)
+		held = w.walkRvalue(x.Low, held)
+		held = w.walkRvalue(x.High, held)
+		return w.walkRvalue(x.Max, held)
+	case *ast.StarExpr:
+		return w.walkRvalue(x.X, held)
+	case *ast.TypeAssertExpr:
+		return w.walkRvalue(x.X, held)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				held = w.walkRvalue(kv.Value, held)
+			} else {
+				held = w.walkRvalue(elt, held)
+			}
+		}
+		return held
+	case *ast.FuncLit:
+		// A literal may run on any goroutine at any time; its body is an
+		// entry point with no lock assumptions. Locks it acquires itself
+		// are tracked normally.
+		w.walkBody(x.Body, emptyHeld())
+		return held
+	case *ast.KeyValueExpr:
+		return w.walkRvalue(x.Value, held)
+	default:
+		return held
+	}
+}
+
+// checkAccess validates one selector against the guard table, returning
+// true when the selector named a guarded field (whether or not it was
+// reported).
+func (w *gbWalker) checkAccess(sel *ast.SelectorExpr, held *heldSet, write bool) bool {
+	field := fieldOf(w.info, sel)
+	if field == nil {
+		return false
+	}
+	spec, ok := w.guards[field]
+	if !ok {
+		return false
+	}
+	if w.rootedAtConstruction(sel.X) {
+		return true
+	}
+	if w.report == nil {
+		return true
+	}
+	verb := "read of"
+	if write {
+		verb = "write to"
+	}
+	switch {
+	case !held.holds(spec.lockID):
+		w.report(sel.Sel.Pos(), "%s %s without holding %s (field is annotated `guarded by`)",
+			verb, spec.display, spec.lockID)
+	case write && !held.holdsWrite(spec.lockID):
+		w.report(sel.Sel.Pos(), "write to %s while holding only the read lock of %s",
+			spec.display, spec.lockID)
+	}
+	return true
+}

@@ -14,10 +14,16 @@
 //	paperconst    the paper's magic numbers have one definition, in hwsim
 //	goleak        goroutines in sched/core/server have a reachable exit
 //	hwpure        hwsim and the cycle-accounting paths stay deterministic
+//	poollife      sync.Pool objects released on every path; no alias outlives release
+//	guardedby     `// guarded by <mu>` fields touched only with the mutex provably held
+//	hotalloc      //mithrilint:hotpath functions are statically allocation-free
 //
-// The last four are built on a statement-level control-flow graph
-// (cfg.go) and a forward-dataflow fixpoint solver (dataflow.go), both
-// stdlib-only like the rest of the suite.
+// Several are built on a statement-level control-flow graph (cfg.go) and
+// a forward-dataflow fixpoint solver (dataflow.go); the v3 analyzers
+// (the last three) add a whole-module static call graph (callgraph.go)
+// with bottom-up per-function summaries — locks held at entry, escaping
+// parameters, same-package reachability — all stdlib-only like the rest
+// of the suite.
 //
 // See LINT.md at the repository root for the rationale behind each
 // invariant and the suppression syntax. The cmd/mithrilint driver runs the
@@ -59,6 +65,9 @@ func Analyzers() []*Analyzer {
 		PaperConstAnalyzer,
 		GoLeakAnalyzer,
 		HwPureAnalyzer,
+		PoolLifeAnalyzer,
+		GuardedByAnalyzer,
+		HotAllocAnalyzer,
 	}
 }
 
@@ -128,19 +137,38 @@ type Package struct {
 
 // Memo builds a program-wide value once and caches it under key, so an
 // analyzer visited once per package can construct its global state (call
-// graphs, registries) a single time.
+// graphs, registries) a single time. The build runs outside the lock:
+// builders may themselves call Memo (the v3 analyzers all build on the
+// memoized call graph), and a rare duplicate build of the same
+// deterministic value is cheaper than a reentrancy deadlock.
 func (prog *Program) Memo(key string, build func() interface{}) interface{} {
 	prog.memoMu.Lock()
-	defer prog.memoMu.Unlock()
 	if prog.memo == nil {
 		prog.memo = make(map[string]interface{})
 	}
 	if v, ok := prog.memo[key]; ok {
+		prog.memoMu.Unlock()
 		return v
 	}
+	prog.memoMu.Unlock()
 	v := build()
+	prog.memoMu.Lock()
+	defer prog.memoMu.Unlock()
+	if prior, ok := prog.memo[key]; ok {
+		return prior
+	}
 	prog.memo[key] = v
 	return v
+}
+
+// RunOptions tunes a Run.
+type RunOptions struct {
+	// StrictIgnores additionally reports every well-formed
+	// mithrilint:ignore directive that suppressed nothing in this run
+	// (for an analyzer that actually ran, or "all"). Stale suppressions
+	// are review debt: the finding they silenced is gone, but they would
+	// silently swallow the next one. CI runs with this on.
+	StrictIgnores bool
 }
 
 // Run applies the analyzers to the given packages (skipping GOROOT
@@ -149,6 +177,11 @@ func (prog *Program) Memo(key string, build func() interface{}) interface{} {
 // analyzer) are themselves findings, reported under the pseudo-analyzer
 // "ignore".
 func Run(prog *Program, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunWithOptions(prog, pkgs, analyzers, RunOptions{})
+}
+
+// RunWithOptions is Run with explicit options.
+func RunWithOptions(prog *Program, pkgs []*Package, analyzers []*Analyzer, opts RunOptions) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		for _, pkg := range pkgs {
@@ -159,7 +192,7 @@ func Run(prog *Program, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			a.Run(pass)
 		}
 	}
-	diags = filterSuppressed(prog, pkgs, diags)
+	diags = filterSuppressed(prog, pkgs, diags, analyzers, opts)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -193,10 +226,25 @@ var ignoreAnalyzer = &Analyzer{
 	Doc:  "mithrilint:ignore comments name a real analyzer (or \"all\") and carry a reason",
 }
 
-// suppressionsFor maps file -> line -> suppressed analyzer names, and
-// returns a diagnostic for every malformed suppression comment.
-func suppressionsFor(prog *Program, pkgs []*Package) (map[string]map[int]map[string]bool, []Diagnostic) {
-	out := make(map[string]map[int]map[string]bool)
+// ignoreDirective is one well-formed suppression comment. It covers its
+// own line and the next (so it works both trailing a statement and on
+// its own line above one) but is a single record: suppressing a finding
+// on either line makes it used.
+type ignoreDirective struct {
+	file string
+	line int // the directive's own line; it also covers line+1
+	name string
+	pos  token.Position
+}
+
+func (d *ignoreDirective) covers(file string, line int) bool {
+	return d.file == file && (d.line == line || d.line+1 == line)
+}
+
+// ignoreDirectives collects every suppression comment, and returns a
+// diagnostic for each malformed one.
+func ignoreDirectives(prog *Program, pkgs []*Package) ([]*ignoreDirective, []Diagnostic) {
+	var dirs []*ignoreDirective
 	var bad []Diagnostic
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
@@ -228,36 +276,57 @@ func suppressionsFor(prog *Program, pkgs []*Package) (map[string]map[int]map[str
 						})
 						continue
 					}
-					file := out[pos.Filename]
-					if file == nil {
-						file = make(map[int]map[string]bool)
-						out[pos.Filename] = file
-					}
-					// The suppression covers its own line and the next, so
-					// it works both trailing a statement and on its own line
-					// above one.
-					for _, line := range []int{pos.Line, pos.Line + 1} {
-						if file[line] == nil {
-							file[line] = make(map[string]bool)
-						}
-						file[line][fields[0]] = true
-					}
+					dirs = append(dirs, &ignoreDirective{
+						file: pos.Filename,
+						line: pos.Line,
+						name: fields[0],
+						pos:  pos,
+					})
 				}
 			}
 		}
 	}
-	return out, bad
+	return dirs, bad
 }
 
-func filterSuppressed(prog *Program, pkgs []*Package, diags []Diagnostic) []Diagnostic {
-	sup, bad := suppressionsFor(prog, pkgs)
+func filterSuppressed(prog *Program, pkgs []*Package, diags []Diagnostic, analyzers []*Analyzer, opts RunOptions) []Diagnostic {
+	dirs, bad := ignoreDirectives(prog, pkgs)
+	used := make(map[*ignoreDirective]bool, len(dirs))
 	out := diags[:0]
 	for _, d := range diags {
-		names := sup[d.Pos.Filename][d.Pos.Line]
-		if names[d.Analyzer.Name] || names["all"] {
-			continue
+		suppressed := false
+		for _, dir := range dirs {
+			if !dir.covers(d.Pos.Filename, d.Pos.Line) {
+				continue
+			}
+			if dir.name == d.Analyzer.Name || dir.name == "all" {
+				suppressed = true
+				used[dir] = true
+			}
 		}
-		out = append(out, d)
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	if opts.StrictIgnores {
+		ran := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			ran[a.Name] = true
+		}
+		for _, dir := range dirs {
+			// Only directives this run could have exercised can be called
+			// stale: a named analyzer must have actually run ("all" always
+			// qualifies, since CI strict runs use the full suite).
+			if used[dir] || (dir.name != "all" && !ran[dir.name]) {
+				continue
+			}
+			bad = append(bad, Diagnostic{
+				Analyzer: ignoreAnalyzer,
+				Pos:      dir.pos,
+				Message: fmt.Sprintf("mithrilint:ignore for %s suppresses no findings; remove the stale directive",
+					dir.name),
+			})
+		}
 	}
 	return append(out, bad...)
 }

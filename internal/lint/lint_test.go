@@ -61,6 +61,53 @@ func TestHwPureFixture(t *testing.T) {
 	RunFixture(t, fixtures(t), HwPureAnalyzer, "hwpure/internal/hwsim")
 }
 
+func TestPoolLifeFixture(t *testing.T) {
+	RunFixture(t, fixtures(t), PoolLifeAnalyzer, "poollife/a")
+}
+
+func TestGuardedByFixture(t *testing.T) {
+	RunFixture(t, fixtures(t), GuardedByAnalyzer, "guardedby/a")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	RunFixture(t, fixtures(t), HotAllocAnalyzer, "hotalloc/a")
+}
+
+// TestStrictIgnores checks the stale-suppression report over the
+// ignorestale/a fixture: the directive silencing a live finding is
+// used, the one silencing nothing is reported stale, and a directive
+// for an analyzer that did not run in this invocation is left alone.
+func TestStrictIgnores(t *testing.T) {
+	pkg, prog, err := fixtures(t).LoadFixture("ignorestale/a")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	analyzers := []*Analyzer{CycleAccountAnalyzer}
+
+	if diags := Run(prog, []*Package{pkg}, analyzers); len(diags) != 0 {
+		t.Errorf("default run: got %d diagnostics, want 0 (all findings suppressed):", len(diags))
+		for _, d := range diags {
+			t.Errorf("  %s", d)
+		}
+	}
+
+	diags := RunWithOptions(prog, []*Package{pkg}, analyzers, RunOptions{StrictIgnores: true})
+	if len(diags) != 1 {
+		t.Fatalf("strict run: got %d diagnostics, want exactly the stale report:\n%v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer.Name != "ignore" {
+		t.Errorf("stale report attributed to %s, want ignore", d.Analyzer.Name)
+	}
+	if !strings.Contains(d.Message, "suppresses no findings") ||
+		!strings.Contains(d.Message, "cycleaccount") {
+		t.Errorf("unexpected stale message: %s", d.Message)
+	}
+	if strings.Contains(d.Message, "hotalloc") {
+		t.Errorf("directive for an analyzer that did not run reported stale: %s", d.Message)
+	}
+}
+
 // TestIgnoreDirective checks the suppression contract over the ignore/a
 // fixture: a reasoned directive (analyzer or "all") suppresses, while a
 // reasonless or unknown-analyzer directive suppresses nothing and is
@@ -119,6 +166,9 @@ func TestFixtureExclusivity(t *testing.T) {
 		{"paperconst/internal/filter", "paperconst"},
 		{"goleak/internal/sched", "goleak"},
 		{"hwpure/internal/hwsim", "hwpure"},
+		{"poollife/a", "poollife"},
+		{"guardedby/a", "guardedby"},
+		{"hotalloc/a", "hotalloc"},
 	}
 	l := fixtures(t)
 	for _, tc := range cases {

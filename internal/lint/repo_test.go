@@ -7,8 +7,10 @@ import (
 
 // TestRepoInvariantsClean runs the whole suite over the real module, so
 // `go test ./...` fails on an invariant violation even where CI's
-// dedicated mithrilint stage is not wired up. It type-checks the entire
-// dependency graph (a few seconds), hence the -short skip.
+// dedicated mithrilint stage is not wired up. It runs strict (stale
+// suppressions are findings), matching CI's -strict-ignores invocation.
+// It type-checks the entire dependency graph (a few seconds), hence the
+// -short skip.
 func TestRepoInvariantsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped with -short")
@@ -22,7 +24,7 @@ func TestRepoInvariantsClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loading module: %v", err)
 	}
-	diags := Run(prog, pkgs, Analyzers())
+	diags := RunWithOptions(prog, pkgs, Analyzers(), RunOptions{StrictIgnores: true})
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}

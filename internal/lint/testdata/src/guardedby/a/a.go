@@ -1,0 +1,83 @@
+// Package a exercises guardedby: fields carrying a `guarded by <mu>`
+// annotation are touched only where the named mutex is provably held.
+// The proof is interprocedural — bump and addHit have no locking of
+// their own; the entry-lock fixpoint clears the former (all call sites
+// hold the lock) and flags the latter (reached from an unlocked path).
+package a
+
+import "sync"
+
+// Counter guards n with a plain Mutex.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Inc holds the lock across the write: clean.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// IncTwice proves the helper interprocedurally: bump is only ever
+// called under c.mu, so its unannotated body checks clean.
+func (c *Counter) IncTwice() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump()
+	c.bump()
+}
+
+func (c *Counter) bump() {
+	c.n++
+}
+
+// NewCounter touches the field on an under-construction object: exempt.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 1
+	return c
+}
+
+func (c *Counter) Bad() {
+	c.n++ // want `write to a.Counter.n without holding guardedby/a.Counter.mu`
+}
+
+func (c *Counter) Peek() int {
+	return c.n // want `read of a.Counter.n without holding guardedby/a.Counter.mu`
+}
+
+// Gauge guards hits with an RWMutex: reads may hold either side, writes
+// need the write lock.
+type Gauge struct {
+	rw   sync.RWMutex
+	hits int // guarded by rw
+}
+
+func (g *Gauge) ReadHit() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.hits
+}
+
+func (g *Gauge) BadWrite() {
+	g.rw.RLock()
+	g.hits++ // want `write to a.Gauge.hits while holding only the read lock of guardedby/a.Gauge.rw`
+	g.rw.RUnlock()
+}
+
+// Touch reaches addHit without the lock; the finding lands inside the
+// helper, at the access.
+func (g *Gauge) Touch() {
+	g.addHit()
+}
+
+func (g *Gauge) addHit() {
+	g.hits++ // want `write to a.Gauge.hits without holding guardedby/a.Gauge.rw`
+}
+
+// Mislabeled names a guard that is not a mutex sibling of the struct.
+type Mislabeled struct {
+	data int // guarded by missing — want `guarded-by annotation names "missing"`
+}

@@ -1,0 +1,99 @@
+// Package a exercises hotalloc: functions marked //mithrilint:hotpath —
+// and their same-package callees — must be statically allocation-free.
+// The sanctioned idioms each get a clean case: cap-guarded make (Grow),
+// reuse-rooted append (Push), map-key conversion (Lookup), cold error
+// exit (Checked), and a call-only closure (CallOnly).
+package a
+
+import "fmt"
+
+// Ring reuses buf across calls; appends rooted in the field are the
+// sanctioned buffer-reuse shape.
+type Ring struct {
+	buf []int
+}
+
+//mithrilint:hotpath
+func (r *Ring) Push(v int) {
+	r.buf = append(r.buf, v)
+}
+
+//mithrilint:hotpath
+func (r *Ring) Grow(n int) {
+	if cap(r.buf) < n {
+		r.buf = make([]int, n)
+	}
+}
+
+//mithrilint:hotpath
+func (r *Ring) Fill(n int) {
+	tmp := make([]int, n) // want `make allocates on a hot path`
+	r.buf = tmp
+}
+
+//mithrilint:hotpath
+func Concat(a, b string) string {
+	return a + b // want `string concatenation allocates on a hot path`
+}
+
+//mithrilint:hotpath
+func Lookup(m map[string]int, key []byte) int {
+	return m[string(key)]
+}
+
+func sinkAny(v interface{}) {}
+
+//mithrilint:hotpath
+func Iface(x int) {
+	sinkAny(x) // want `implicit conversion to interface parameter allocates on a hot path`
+}
+
+//mithrilint:hotpath
+func Spawn(done chan int) {
+	go send(done) // want `spawning a goroutine allocates on a hot path`
+}
+
+func send(done chan int) { done <- 1 }
+
+// Checked's error exit is cold: the fmt.Errorf allocation is exempt,
+// mirroring the AllocsPerRun happy-path guarantee.
+//
+//mithrilint:hotpath
+func Checked(r *Ring, n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad length %d", n)
+	}
+	r.buf = r.buf[:0]
+	return nil
+}
+
+// CallOnly's closure is used only in call position: the compiler keeps
+// it off the heap.
+//
+//mithrilint:hotpath
+func CallOnly(r *Ring, n int) {
+	grow := func(k int) {
+		if cap(r.buf) < k {
+			r.buf = make([]int, k)
+		}
+	}
+	grow(n)
+}
+
+//mithrilint:hotpath
+func Retained(r *Ring) func() {
+	f := func() { r.buf = r.buf[:0] } // want `function literal allocates a closure on a hot path`
+	return f
+}
+
+// HotRoot pulls helper into the checked set through the same-package
+// call edge; the finding is attributed to the root's mark.
+//
+//mithrilint:hotpath
+func HotRoot(r *Ring) {
+	helper(r)
+}
+
+func helper(r *Ring) {
+	r.buf = []int{} // want `slice literal allocates on a hot path \[reached from //mithrilint:hotpath hotalloc/a\.HotRoot\]`
+}

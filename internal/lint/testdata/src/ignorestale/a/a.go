@@ -1,0 +1,18 @@
+// Package a exercises the -strict-ignores stale-suppression report,
+// checked by TestStrictIgnores with explicit assertions (want markers
+// would collide with the directives under test). One directive earns
+// its keep by silencing a live cycleaccount finding; one suppresses
+// nothing (a constant reset is a blessed counter write) and must be
+// reported stale; one names an analyzer that does not run in the test
+// and must not be reported at all.
+package a
+
+type stats struct {
+	busCycles uint64
+}
+
+func mutate(s *stats, k uint64) {
+	s.busCycles = s.busCycles*2 + k //mithrilint:ignore cycleaccount fixture keeps a live suppression
+	s.busCycles = 0                 //mithrilint:ignore cycleaccount stale: a constant reset is blessed
+	s.busCycles = k                 //mithrilint:ignore hotalloc not exercised when only cycleaccount runs
+}

@@ -1,0 +1,87 @@
+// Package a exercises poollife: a pooled object must be released on
+// every control-flow path out of the acquiring function, no alias of it
+// may escape, and no alias may be used after a statement-level release.
+// The pool wrappers mirror the module's scan-state arena: getBuf is a
+// discovered get-wrapper (returns the Get result), putBuf a discovered
+// put-wrapper (forwards its parameter to Put).
+package a
+
+import "sync"
+
+// Buf is the pooled object.
+type Buf struct {
+	b []byte
+}
+
+var bufPool = sync.Pool{New: func() interface{} { return new(Buf) }}
+
+var saved *Buf
+
+func getBuf() *Buf  { return bufPool.Get().(*Buf) }
+func putBuf(b *Buf) { bufPool.Put(b) }
+
+// stash's parameter escapes into a package variable; the escape summary
+// carries that fact to every caller.
+func stash(b *Buf) { saved = b }
+
+// Ok releases on every path via defer: clean.
+func Ok() int {
+	v := bufPool.Get().(*Buf)
+	defer bufPool.Put(v)
+	return len(v.b)
+}
+
+// OkViaHelpers acquires and releases through the wrappers: clean.
+func OkViaHelpers() int {
+	v := getBuf()
+	defer putBuf(v)
+	return len(v.b)
+}
+
+func Leaky() int {
+	v := bufPool.Get().(*Buf) // want `pooled object v is never returned to the pool`
+	return len(v.b)
+}
+
+// LeakyViaHelper shows the wrapper discovery is interprocedural: the
+// acquire is a plain module call, not a sync.Pool method.
+func LeakyViaHelper() int {
+	v := getBuf() // want `pooled object v is never returned to the pool`
+	return len(v.b)
+}
+
+func EarlyReturn(n int) int {
+	v := bufPool.Get().(*Buf) // want `pooled object v is not returned to the pool on every path`
+	if n < 0 {
+		return -1
+	}
+	bufPool.Put(v)
+	return n
+}
+
+func Escapes() []byte {
+	v := bufPool.Get().(*Buf)
+	defer bufPool.Put(v)
+	return v.b // want `alias of pooled object v escapes: returned from the function`
+}
+
+func Stores() {
+	v := bufPool.Get().(*Buf)
+	defer bufPool.Put(v)
+	saved = v // want `alias of pooled object v escapes: stored in package-level variable saved`
+}
+
+// EscapesViaHelper leans on the parameter-escape summary: stash contains
+// no pool call at all, yet passing an alias to it is an escape.
+func EscapesViaHelper() {
+	v := getBuf()
+	defer putBuf(v)
+	stash(v) // want `alias of pooled object v escapes: passed to stash, whose parameter escapes`
+}
+
+func UseAfter() {
+	v := bufPool.Get().(*Buf)
+	v.b = append(v.b[:0], 1)
+	bufPool.Put(v)
+	v.b[0] = 2 // want `pooled object v used after being returned to the pool`
+}

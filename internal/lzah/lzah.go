@@ -245,6 +245,8 @@ func (c *Codec) windowTail(src []byte, pos int) (lo, hi uint64, consumed int) {
 // table index; a literal payload is the windowed bytes (1..16 bytes; its
 // length is implied by newline position or end of block). Chunk payloads
 // are padded to a word boundary.
+//
+//mithrilint:hotpath
 func (c *Codec) Compress(dst, src []byte) []byte {
 	c.newBlock()
 	base := len(dst)
@@ -329,6 +331,8 @@ func UncompressedLen(block []byte) (int, error) {
 // reallocation at most), so decoding into a reused arena is allocation
 // free; a match emits straight from the table's register halves at the
 // stored word length, never rescanning for the newline.
+//
+//mithrilint:hotpath
 func (c *Codec) Decompress(dst, block []byte) ([]byte, error) {
 	c.newBlock()
 	if len(block) < headerBytes {

@@ -94,7 +94,7 @@ type Router struct {
 	// mu guards closed; active tracks in-flight operations so Close can
 	// drain them. The mutex is never held across a shard call.
 	mu     sync.Mutex
-	closed bool
+	closed bool // guarded by mu
 	active sync.WaitGroup
 
 	reg          *obs.Registry

@@ -26,10 +26,11 @@ import (
 // treat as read-only (the engine's scan path only reads).
 type PageCache struct {
 	mu       sync.Mutex
-	maxBytes int64
-	curBytes int64
-	ll       *list.List // front = most recently used
-	items    map[storage.PageID]*list.Element
+	maxBytes int64 // immutable after New (read before the lock in Put)
+	curBytes int64 // guarded by mu
+	// ll is the recency list (front = most recently used). guarded by mu
+	ll    *list.List
+	items map[storage.PageID]*list.Element // guarded by mu
 
 	hits, misses, evictions, invalidations atomic.Uint64
 }

@@ -89,7 +89,7 @@ type SegmentStore struct {
 	perSeg int
 
 	mu   sync.Mutex
-	segs []*segment
+	segs []*segment // guarded by mu
 }
 
 // NewSegmentStore creates an empty store appending into dev. Pages per

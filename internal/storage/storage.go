@@ -105,16 +105,16 @@ type Device struct {
 	cfg Config
 
 	mu    sync.RWMutex
-	pages [][]byte
+	pages [][]byte // guarded by mu
 
 	statsMu  sync.Mutex
-	internal LinkStats
-	external LinkStats
-	writes   uint64
+	internal LinkStats // guarded by statsMu
+	external LinkStats // guarded by statsMu
+	writes   uint64    // guarded by statsMu
 
 	faultMu   sync.Mutex
-	failReads int
-	failErr   error
+	failReads int   // guarded by faultMu
+	failErr   error // guarded by faultMu
 }
 
 // New creates an empty device.

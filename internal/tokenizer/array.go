@@ -42,6 +42,8 @@ func (a *Array) Size() int { return len(a.units) }
 // entry point used by the filter hot path: it is equivalent to a
 // single-line TokenizeLines call without forcing the caller to build a
 // one-element batch slice, and it allocates nothing beyond dst growth.
+//
+//mithrilint:hotpath
 func (a *Array) TokenizeLine(dst []Word, line []byte) []Word {
 	unit := a.units[a.turnFill%len(a.units)]
 	before := unit.stats.Cycles

@@ -141,6 +141,8 @@ func (t *Tokenizer) ResetStats() { t.stats = Stats{} }
 // Stats struct once per line, so the steady-state path (dst capacity
 // already grown) performs no heap allocation and no per-word stores
 // outside the word stream itself.
+//
+//mithrilint:hotpath
 func (t *Tokenizer) TokenizeLine(dst []Word, line []byte) []Word {
 	start := len(dst)
 	col := uint16(0)

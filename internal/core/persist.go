@@ -38,6 +38,8 @@ const (
 
 // Save serializes the engine's full persistent state (storage pages,
 // inverted index, metadata) to w. Pending lines are flushed first.
+//
+//mithrilint:persist encode save
 func (e *Engine) Save(w io.Writer) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -63,6 +65,8 @@ func (e *Engine) Save(w io.Writer) error {
 // LoadEngine reconstructs an engine from a stream produced by Save. The
 // configuration supplies the hardware model (pipelines, bandwidths); the
 // index geometry is restored from the file and overrides cfg.Index.
+//
+//mithrilint:persist decode save
 func LoadEngine(cfg Config, r io.Reader) (*Engine, error) {
 	var s savedEngine
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {

@@ -1,0 +1,404 @@
+package lint
+
+// atomicmix: a field accessed through sync/atomic anywhere in the module
+// must be accessed atomically everywhere. Mixing atomic and plain
+// accesses to the same word is how torn counters and missed updates slip
+// past the race detector (a plain read racing an atomic write is a data
+// race whether or not the schedule ever exposes it). The check is
+// interprocedural over the v3 call graph: a helper that forwards its
+// *uint64 parameter to atomic.AddUint64 makes every `&s.field` passed to
+// it an atomic access, exactly like a direct call — and makes any plain
+// `s.field++` elsewhere in the module a finding.
+//
+// Two field classes are checked:
+//
+//   - plain-typed fields (uint64, int32, ...) whose address reaches a
+//     sync/atomic function: every other access must also be an atomic
+//     call (plain reads, writes, and addresses escaping to non-atomic
+//     callees are findings);
+//   - typed atomic fields (atomic.Uint64, atomic.Bool, ...): access is
+//     method calls or taking the address; copying the value out or
+//     reassigning the field bypasses the atomic API.
+//
+// Accesses rooted at an under-construction local (composite literal,
+// new(T), same-package New*) are exempt, matching guardedby: before the
+// object is published there is nothing to race with.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var AtomicMixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields touched via sync/atomic are touched only atomically, module-wide",
+	Run:  runAtomicMix,
+}
+
+type amViolation struct {
+	pkg string
+	pos token.Pos
+	msg string
+}
+
+type amFacts struct {
+	viols []amViolation
+}
+
+func runAtomicMix(pass *Pass) {
+	facts := pass.Prog.Memo("atomicmix", func() interface{} {
+		return buildAtomicMixFacts(pass.Prog)
+	}).(*amFacts)
+	for _, v := range facts.viols {
+		if v.pkg == pass.Pkg.Path {
+			pass.Reportf(v.pos, "%s", v.msg)
+		}
+	}
+}
+
+// isAtomicFunc reports whether fn is a package-level sync/atomic function
+// (AddUint64, StoreInt32, ...). Methods on the typed atomics also live in
+// sync/atomic but take no field address, so they are excluded.
+func isAtomicFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed values
+// (atomic.Uint64, atomic.Value, ...).
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// atomicPtrParamFixpoint computes which declared-function parameters are
+// atomic pointers: inside the body, an alias of the parameter is passed
+// as the pointer argument of a sync/atomic function, or on to another
+// atomic-pointer parameter. Bottom-up like the escape fixpoint.
+func atomicPtrParamFixpoint(cg *callGraph) map[string][]bool {
+	ap := make(map[string][]bool, len(cg.keys))
+	params := make(map[string][]*types.Var, len(cg.keys))
+	for _, key := range cg.keys {
+		params[key] = declParams(cg.declPkg[key].Info, cg.decls[key])
+		ap[key] = make([]bool, len(params[key]))
+	}
+	for round := 0; round < 16; round++ {
+		changed := false
+		for _, key := range cg.keys {
+			fd, pkg := cg.decls[key], cg.declPkg[key]
+			for i, p := range params[key] {
+				if p == nil || ap[key][i] {
+					continue
+				}
+				set := aliasSetOf(pkg.Info, fd.Body, p)
+				if aliasReachesAtomic(pkg.Info, fd.Body, set, ap) {
+					ap[key][i] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return ap
+}
+
+func aliasReachesAtomic(info *types.Info, body *ast.BlockStmt, set map[*types.Var]bool, ap map[string][]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		if isAtomicFunc(fn) {
+			if len(call.Args) > 0 && aliasRootedShallow(info, set, call.Args[0]) {
+				found = true
+			}
+			return true
+		}
+		flags, inModule := ap[funcKey(fn)]
+		if !inModule {
+			return true
+		}
+		for i, arg := range call.Args {
+			pi := i
+			if pi >= len(flags) {
+				if len(flags) == 0 {
+					break
+				}
+				pi = len(flags) - 1
+			}
+			if flags[pi] && aliasRootedShallow(info, set, arg) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func buildAtomicMixFacts(prog *Program) *amFacts {
+	cg := moduleCallGraph(prog)
+	ap := atomicPtrParamFixpoint(cg)
+
+	// Pass 1: collect every field whose address reaches sync/atomic,
+	// directly or through an atomic-pointer parameter.
+	atomicFields := make(map[*types.Var]bool)
+	recordArg := func(info *types.Info, arg ast.Expr) {
+		u, ok := unparen(arg).(*ast.UnaryExpr)
+		if !ok || u.Op != token.AND {
+			return
+		}
+		sel, ok := unparen(u.X).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if f := fieldOf(info, sel); f != nil {
+			atomicFields[f] = true
+		}
+	}
+	for _, key := range cg.keys {
+		fd, pkg := cg.decls[key], cg.declPkg[key]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg.Info, call)
+			if fn == nil {
+				return true
+			}
+			if isAtomicFunc(fn) {
+				if len(call.Args) > 0 {
+					recordArg(pkg.Info, call.Args[0])
+				}
+				return true
+			}
+			if flags, ok := ap[funcKey(fn)]; ok {
+				for i, arg := range call.Args {
+					pi := i
+					if pi >= len(flags) {
+						if len(flags) == 0 {
+							break
+						}
+						pi = len(flags) - 1
+					}
+					if flags[pi] {
+						recordArg(pkg.Info, arg)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: audit every selector of an atomic field in the module.
+	facts := &amFacts{}
+	for _, pkg := range prog.Pkgs {
+		if pkg.Standard {
+			continue
+		}
+		for _, f := range pkg.Files {
+			auditAtomicFile(pkg, f, atomicFields, ap, facts)
+		}
+	}
+	return facts
+}
+
+// auditAtomicFile checks one file's field selectors against the atomic
+// access rules.
+func auditAtomicFile(pkg *Package, f *ast.File, atomicFields map[*types.Var]bool, ap map[string][]bool, facts *amFacts) {
+	parents := parentMap(f)
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		cons := constructionLocals(pkg.Info, fd.Body, pkg.Types)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fld := fieldOf(pkg.Info, sel)
+			if fld == nil {
+				return true
+			}
+			switch {
+			case atomicFields[fld]:
+				checkFnAtomicUse(pkg, sel, fld, parents, cons, ap, facts)
+			case isTypedAtomic(fld.Type()):
+				checkTypedAtomicUse(pkg, sel, fld, parents, cons, facts)
+			}
+			return true
+		})
+	}
+}
+
+// checkFnAtomicUse validates one selector of a field that the module
+// accesses through sync/atomic functions.
+func checkFnAtomicUse(pkg *Package, sel *ast.SelectorExpr, fld *types.Var, parents map[ast.Node]ast.Node, cons map[*types.Var]bool, ap map[string][]bool, facts *amFacts) {
+	if aliasRootedShallow(pkg.Info, cons, sel.X) {
+		return // under construction: not yet published
+	}
+	p := skipParens(parents, sel)
+	if u, ok := p.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		// &x.f is legal exactly when the address feeds an atomic call (or
+		// an atomic-pointer parameter of a module helper).
+		if call, idx, ok := callArgOf(parents, u); ok {
+			fn := calleeFunc(pkg.Info, call)
+			if isAtomicFunc(fn) && idx == 0 {
+				return
+			}
+			if fn != nil {
+				if flags, ok := ap[funcKey(fn)]; ok && len(flags) > 0 {
+					pi := idx
+					if pi >= len(flags) {
+						pi = len(flags) - 1
+					}
+					if flags[pi] {
+						return
+					}
+				}
+			}
+		}
+		facts.viols = append(facts.viols, amViolation{
+			pkg: pkg.Path,
+			pos: sel.Pos(),
+			msg: fmt.Sprintf("address of atomically-accessed field %s escapes to a non-atomic context", fld.Name()),
+		})
+		return
+	}
+	verb := "plain read of"
+	if isWriteContext(parents, sel) {
+		verb = "plain write to"
+	}
+	facts.viols = append(facts.viols, amViolation{
+		pkg: pkg.Path,
+		pos: sel.Pos(),
+		msg: fmt.Sprintf("%s field %s, which is accessed via sync/atomic elsewhere in the module", verb, fld.Name()),
+	})
+}
+
+// checkTypedAtomicUse validates one selector of an atomic.* typed field:
+// method calls and address-taking only.
+func checkTypedAtomicUse(pkg *Package, sel *ast.SelectorExpr, fld *types.Var, parents map[ast.Node]ast.Node, cons map[*types.Var]bool, facts *amFacts) {
+	if aliasRootedShallow(pkg.Info, cons, sel.X) {
+		return
+	}
+	switch p := skipParens(parents, sel).(type) {
+	case *ast.SelectorExpr:
+		// x.f.Load(): the method selector over the field, in call position.
+		if p.X == sel || unparen(p.X) == sel {
+			if call, ok := skipParens(parents, p).(*ast.CallExpr); ok && unparen(call.Fun) == p {
+				return
+			}
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return
+		}
+	}
+	verb := "copies"
+	if isWriteContext(parents, sel) {
+		verb = "reassigns"
+	}
+	facts.viols = append(facts.viols, amViolation{
+		pkg: pkg.Path,
+		pos: sel.Pos(),
+		msg: fmt.Sprintf("non-atomic access %s atomic-typed field %s; use its methods", verb, fld.Name()),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Parent-map helpers (shared with the other v4 analyzers).
+
+// parentMap records each node's syntactic parent within one file.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// skipParens returns n's nearest non-paren ancestor.
+func skipParens(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	p := parents[n]
+	for {
+		if _, ok := p.(*ast.ParenExpr); !ok {
+			return p
+		}
+		p = parents[p]
+	}
+}
+
+// callArgOf reports whether e (possibly through parens) is an argument of
+// a call, and at which index.
+func callArgOf(parents map[ast.Node]ast.Node, e ast.Expr) (*ast.CallExpr, int, bool) {
+	n := ast.Node(e)
+	for {
+		p, ok := parents[n].(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		n = p
+	}
+	call, ok := parents[n].(*ast.CallExpr)
+	if !ok {
+		return nil, 0, false
+	}
+	for i, arg := range call.Args {
+		if arg == n {
+			return call, i, true
+		}
+	}
+	return nil, 0, false
+}
+
+// isWriteContext reports whether e is written through: an assignment
+// left-hand side or an inc/dec statement.
+func isWriteContext(parents map[ast.Node]ast.Node, e ast.Expr) bool {
+	n := ast.Node(e)
+	for {
+		p, ok := parents[n].(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		n = p
+	}
+	switch p := parents[n].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == n {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return p.X == n
+	}
+	return false
+}

@@ -1,0 +1,551 @@
+package lint
+
+// chanflow: channel protocol soundness in the concurrency-bearing role
+// packages (internal/sched, internal/router, internal/server,
+// internal/core) — the packages the streaming/retention roadmap items
+// will grow goroutine fan-out in. Three checks:
+//
+//  1. Close-state dataflow over the CFG: after close(ch) on a path, a
+//     later send or close of the same channel on that path panics.
+//     Solved as a forward fixpoint with a three-point lattice per channel
+//     (open, closed, maybe-closed at a merge); the reporting pass replays
+//     each reachable block with its entry fact, so a send that is closed
+//     on *every* path reads differently from one closed on *some* path.
+//     Re-making a channel (ch = make(...)) re-opens it. Function
+//     literals are separate analysis units, like the CFG itself treats
+//     them.
+//
+//  2. Sends on nil-able channel fields: a blocking send on a nil channel
+//     deadlocks silently. A naked `x.ch <- v` where ch is a channel
+//     field needs a proven non-nil guard on the path: a dominating
+//     `if x.ch != nil`, an early return on `if x.ch == nil`, or an
+//     assignment to the field earlier in the body. Sends inside select
+//     communication clauses are exempt — a nil channel in a select is
+//     the standard disable idiom, not a bug.
+//
+//  3. Unbuffered sends in goroutines with no reachable receiver: if a
+//     function makes an unbuffered channel, sends to it from a spawned
+//     goroutine, never receives from it, and the channel provably does
+//     not escape (v4 escape summary: no return, store, container
+//     insert, or unknown call), then no receiver can exist on any caller
+//     path and the goroutine blocks forever. This is the deadlock shape
+//     scatter-gather fan-out produces when a collect loop is dropped.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var ChanFlowAnalyzer = &Analyzer{
+	Name: "chanflow",
+	Doc:  "channel protocol soundness in sched/router/server/core: no send/close after close, nil-guarded field sends, receivers for goroutine sends",
+	Run:  runChanFlow,
+}
+
+// chanFlowScopes are the role-package suffixes the analyzer applies to.
+var chanFlowScopes = []string{
+	"internal/sched", "internal/router", "internal/server", "internal/core",
+}
+
+func runChanFlow(pass *Pass) {
+	inScope := false
+	for _, s := range chanFlowScopes {
+		if pkgPathHasSuffix(pass.Pkg.Path, s) {
+			inScope = true
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Each function literal is its own unit for the CFG checks.
+			for _, body := range bodyUnits(fd.Body) {
+				checkCloseState(pass, body)
+			}
+			checkNilFieldSends(pass, fd.Body)
+			checkGoroutineSends(pass, fd.Body)
+		}
+	}
+}
+
+// bodyUnits returns body plus every function-literal body nested in it.
+func bodyUnits(body *ast.BlockStmt) []*ast.BlockStmt {
+	units := []*ast.BlockStmt{body}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			units = append(units, lit.Body)
+		}
+		return true
+	})
+	return units
+}
+
+// ---------------------------------------------------------------------------
+// Check 1: close-state dataflow.
+
+const (
+	chOpen   uint8 = 1
+	chClosed uint8 = 2
+)
+
+// closeFact maps each tracked channel object to its state bits. A channel
+// absent from the map has never been touched: open.
+type closeFact map[types.Object]uint8
+
+func (f closeFact) clone() closeFact {
+	out := make(closeFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// chanObject resolves an expression to the channel-typed variable or
+// field it names, or nil.
+func chanObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		v := identVar(info, x)
+		if v != nil && isChanType(v.Type()) {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if f := fieldOf(info, x); f != nil && isChanType(f.Type()) {
+			return f
+		}
+	}
+	return nil
+}
+
+func isChanType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// closeEvents walks one CFG node in evaluation order (skipping nested
+// function literals) and reports each close, send, and channel
+// (re)assignment to the callbacks.
+func closeEvents(info *types.Info, n ast.Node, onClose func(types.Object, ast.Node), onSend func(types.Object, ast.Node), onAssign func(types.Object)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false // separate unit
+		case *ast.CallExpr:
+			if isBuiltin(info, x, "close") && len(x.Args) == 1 {
+				if obj := chanObject(info, x.Args[0]); obj != nil {
+					onClose(obj, x)
+				}
+			}
+		case *ast.SendStmt:
+			if obj := chanObject(info, x.Chan); obj != nil {
+				onSend(obj, x)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if obj := chanObject(info, lhs); obj != nil {
+					onAssign(obj)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkCloseState(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	g := buildCFG(body)
+	d := &dataflow{
+		g:    g,
+		init: func() dfFact { return closeFact{} },
+		transfer: func(b *cfgBlock, in dfFact) dfFact {
+			f := in.(closeFact).clone()
+			for _, n := range b.nodes {
+				closeEvents(info, n,
+					func(obj types.Object, _ ast.Node) { f[obj] = chClosed },
+					func(types.Object, ast.Node) {},
+					func(obj types.Object) { f[obj] = chOpen },
+				)
+			}
+			return f
+		},
+		join: func(a, b dfFact) dfFact {
+			fa, fb := a.(closeFact), b.(closeFact)
+			out := fa.clone()
+			for obj, bits := range fb {
+				out[obj] |= bits
+				// A channel one branch never touched is open there.
+				if _, ok := fa[obj]; !ok {
+					out[obj] |= chOpen
+				}
+			}
+			for obj := range fa {
+				if _, ok := fb[obj]; !ok {
+					out[obj] |= chOpen
+				}
+			}
+			return out
+		},
+		equal: func(a, b dfFact) bool {
+			fa, fb := a.(closeFact), b.(closeFact)
+			if len(fa) != len(fb) {
+				return false
+			}
+			for k, v := range fa {
+				if fb[k] != v {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	in := d.solve()
+	for b, fact := range in {
+		f := fact.(closeFact).clone()
+		for _, n := range b.nodes {
+			closeEvents(info, n,
+				func(obj types.Object, site ast.Node) {
+					switch f[obj] {
+					case chClosed:
+						pass.Reportf(site.Pos(), "close of %s, which is already closed on every path here (close of closed channel panics)", chanDisplay(obj))
+					case chClosed | chOpen:
+						pass.Reportf(site.Pos(), "close of %s, which may already be closed on some path here", chanDisplay(obj))
+					}
+					f[obj] = chClosed
+				},
+				func(obj types.Object, site ast.Node) {
+					switch f[obj] {
+					case chClosed:
+						pass.Reportf(site.Pos(), "send on %s, which is closed on every path here (send on closed channel panics)", chanDisplay(obj))
+					case chClosed | chOpen:
+						pass.Reportf(site.Pos(), "send on %s, which may be closed on some path here", chanDisplay(obj))
+					}
+				},
+				func(obj types.Object) { f[obj] = chOpen },
+			)
+		}
+	}
+}
+
+func chanDisplay(obj types.Object) string {
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return "channel field " + v.Name()
+	}
+	return "channel " + obj.Name()
+}
+
+// ---------------------------------------------------------------------------
+// Check 2: nil-able channel-field sends.
+
+// checkNilFieldSends walks the body structurally, tracking which channel
+// fields have a proven non-nil fact on the current path.
+func checkNilFieldSends(pass *Pass, body *ast.BlockStmt) {
+	w := &nilSendWalker{pass: pass, info: pass.Pkg.Info}
+	w.walkStmts(body.List, map[*types.Var]bool{}, false)
+}
+
+type nilSendWalker struct {
+	pass *Pass
+	info *types.Info
+}
+
+// nilChecks extracts the channel fields a condition compares against nil,
+// split by polarity: x.ch != nil conjuncts and x.ch == nil tests.
+func (w *nilSendWalker) nilChecks(cond ast.Expr, nonNil, isNil map[*types.Var]bool) {
+	switch x := unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND, token.LOR:
+			w.nilChecks(x.X, nonNil, isNil)
+			w.nilChecks(x.Y, nonNil, isNil)
+		case token.NEQ, token.EQL:
+			var selSide ast.Expr
+			if isTypedNil(w.info, x.Y) {
+				selSide = x.X
+			} else if isTypedNil(w.info, x.X) {
+				selSide = x.Y
+			} else {
+				return
+			}
+			sel, ok := unparen(selSide).(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			f := fieldOf(w.info, sel)
+			if f == nil || !isChanType(f.Type()) {
+				return
+			}
+			if x.Op == token.NEQ {
+				nonNil[f] = true
+			} else {
+				isNil[f] = true
+			}
+		}
+	case *ast.UnaryExpr:
+		// !(x.ch == nil) and friends: not worth normalizing; skip.
+	}
+}
+
+func isTypedNil(info *types.Info, e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// stmtTerminates reports whether a statement list definitely leaves the
+// enclosing function (return or terminator call at the end).
+func stmtsTerminate(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := unparen(last.X).(*ast.CallExpr)
+		return ok && terminatorCall(call)
+	}
+	return false
+}
+
+// walkStmts visits a statement list with the current proven-non-nil set.
+// inSelect marks statements inside a select communication clause, where
+// nil sends are the disable idiom.
+func (w *nilSendWalker) walkStmts(list []ast.Stmt, guarded map[*types.Var]bool, inSelect bool) {
+	for _, s := range list {
+		w.walkStmt(s, guarded, inSelect)
+	}
+}
+
+func (w *nilSendWalker) walkStmt(s ast.Stmt, guarded map[*types.Var]bool, inSelect bool) {
+	switch x := s.(type) {
+	case *ast.SendStmt:
+		sel, ok := unparen(x.Chan).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		f := fieldOf(w.info, sel)
+		if f == nil || !isChanType(f.Type()) {
+			return
+		}
+		if !guarded[f] && !inSelect {
+			w.pass.Reportf(x.Pos(), "send on nil-able channel field %s without a proven non-nil guard (a nil send blocks forever)", f.Name())
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range x.Lhs {
+			if sel, ok := unparen(lhs).(*ast.SelectorExpr); ok {
+				if f := fieldOf(w.info, sel); f != nil && isChanType(f.Type()) {
+					guarded[f] = true
+				}
+			}
+		}
+	case *ast.IfStmt:
+		nonNil := map[*types.Var]bool{}
+		isNil := map[*types.Var]bool{}
+		w.nilChecks(x.Cond, nonNil, isNil)
+		thenGuard := cloneGuard(guarded)
+		for f := range nonNil {
+			thenGuard[f] = true
+		}
+		w.walkStmts(x.Body.List, thenGuard, inSelect)
+		if x.Else != nil {
+			elseGuard := cloneGuard(guarded)
+			for f := range isNil {
+				// `if x.ch == nil { ... } else { send }`: else-branch is
+				// the non-nil side.
+				elseGuard[f] = true
+			}
+			w.walkStmt(x.Else, elseGuard, inSelect)
+		}
+		// Early-return guard: `if x.ch == nil { return }` proves the
+		// field non-nil for the rest of the enclosing list.
+		if len(isNil) > 0 && stmtsTerminate(x.Body.List) {
+			for f := range isNil {
+				guarded[f] = true
+			}
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(x.List, guarded, inSelect)
+	case *ast.ForStmt:
+		w.walkStmts(x.Body.List, cloneGuard(guarded), inSelect)
+	case *ast.RangeStmt:
+		w.walkStmts(x.Body.List, cloneGuard(guarded), inSelect)
+	case *ast.SwitchStmt:
+		for _, cs := range x.Body.List {
+			w.walkStmts(cs.(*ast.CaseClause).Body, cloneGuard(guarded), inSelect)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cs := range x.Body.List {
+			w.walkStmts(cs.(*ast.CaseClause).Body, cloneGuard(guarded), inSelect)
+		}
+	case *ast.SelectStmt:
+		for _, cs := range x.Body.List {
+			cc := cs.(*ast.CommClause)
+			// The communication op itself is the disable idiom; the
+			// clause body is ordinary code.
+			w.walkStmts(cc.Body, cloneGuard(guarded), inSelect)
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(x.Stmt, guarded, inSelect)
+	case *ast.GoStmt:
+		if lit, ok := unparen(x.Call.Fun).(*ast.FuncLit); ok {
+			// Non-nil facts are stable (channel fields are set once),
+			// so the goroutine inherits the current guard set.
+			w.walkStmts(lit.Body.List, cloneGuard(guarded), false)
+		}
+	case *ast.DeferStmt:
+		if lit, ok := unparen(x.Call.Fun).(*ast.FuncLit); ok {
+			w.walkStmts(lit.Body.List, cloneGuard(guarded), false)
+		}
+	case *ast.ExprStmt:
+		if call, ok := unparen(x.X).(*ast.CallExpr); ok {
+			if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok {
+				w.walkStmts(lit.Body.List, cloneGuard(guarded), inSelect)
+			}
+		}
+	}
+}
+
+func cloneGuard(g map[*types.Var]bool) map[*types.Var]bool {
+	out := make(map[*types.Var]bool, len(g))
+	for k, v := range g {
+		out[k] = v
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Check 3: unbuffered goroutine sends with no reachable receiver.
+
+// checkGoroutineSends proves, per unbuffered channel local, that a
+// goroutine send can never complete: the channel never escapes the
+// function and no receive exists anywhere in the body.
+func checkGoroutineSends(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	ef := moduleEscapes(pass.Prog)
+	for _, ch := range unbufferedLocals(info, body) {
+		set := aliasSetOf(info, body, ch)
+		// Any escape beyond the goroutine capture itself voids the proof:
+		// a stored/returned/unknown-callee alias could be received from.
+		if scanEscapeKinds(info, body, set, ef.params)&^escGoroutine != 0 {
+			continue
+		}
+		// So does handing the channel to any callee, whatever its escape
+		// mask: summaries track retention, and a receive retains nothing.
+		if aliasPassedToCall(info, body, set) {
+			continue
+		}
+		sends, receives := chanUses(info, body, set)
+		if receives == 0 {
+			for _, site := range sends {
+				pass.Reportf(site.Pos(), "unbuffered channel %s is sent to in a goroutine but never received from, and it cannot escape the function: the send blocks forever", ch.Name())
+			}
+		}
+	}
+}
+
+// aliasPassedToCall reports whether any alias in the set appears as an
+// argument of a non-builtin call (a callee may receive from it).
+func aliasPassedToCall(info *types.Info, body *ast.BlockStmt, set map[*types.Var]bool) bool {
+	passed := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || passed {
+			return !passed
+		}
+		for _, name := range []string{"close", "len", "cap", "make"} {
+			if isBuiltin(info, call, name) {
+				return true
+			}
+		}
+		for _, arg := range call.Args {
+			if aliasRootedShallow(info, set, arg) {
+				passed = true
+			}
+		}
+		return true
+	})
+	return passed
+}
+
+// unbufferedLocals finds locals assigned make(chan T) with no or zero
+// capacity.
+func unbufferedLocals(info *types.Info, body *ast.BlockStmt) []*types.Var {
+	var out []*types.Var
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v := identVar(info, id)
+			if v == nil || seen[v] || !isChanType(v.Type()) {
+				continue
+			}
+			call, ok := unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok || !isBuiltin(info, call, "make") {
+				continue
+			}
+			unbuffered := len(call.Args) == 1
+			if len(call.Args) == 2 {
+				if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+					unbuffered = true
+				}
+			}
+			if unbuffered {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// chanUses counts goroutine sends (positions) and receives (anywhere,
+// including literals) of any alias in the set.
+func chanUses(info *types.Info, body *ast.BlockStmt, set map[*types.Var]bool) (sends []ast.Node, receives int) {
+	inGo := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			ast.Inspect(g.Call, func(m ast.Node) bool {
+				inGo[m] = true
+				return true
+			})
+		}
+		return true
+	})
+	rooted := func(e ast.Expr) bool { return aliasRootedShallow(info, set, e) }
+	var sendPos []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if rooted(x.Chan) && inGo[ast.Node(x)] {
+				sendPos = append(sendPos, x)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && rooted(x.X) {
+				receives++
+			}
+		case *ast.RangeStmt:
+			if rooted(x.X) {
+				receives++
+			}
+		}
+		return true
+	})
+	return sendPos, receives
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// diagStrings renders diagnostics in their printed form for set
+// comparison: position + analyzer + message is the full identity.
+func diagStrings(diags []Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.String()
+	}
+	return out
+}
+
+// TestChangedModeAgreement pins the -changed contract on a seeded
+// two-package fixture chain (changedmode/top blank-imports shardiso/a,
+// and every finding lives in the leaf): selecting the changed leaf pulls
+// in its dependent and reproduces the full run's findings exactly, while
+// selecting only the clean dependent reports nothing because the leaf's
+// findings belong to an unselected package.
+func TestChangedModeAgreement(t *testing.T) {
+	l := fixtures(t)
+	leaf, _, err := l.LoadFixture("shardiso/a")
+	if err != nil {
+		t.Fatalf("loading leaf fixture: %v", err)
+	}
+	top, prog, err := l.LoadFixture("changedmode/top")
+	if err != nil {
+		t.Fatalf("loading top fixture: %v", err)
+	}
+	pkgs := []*Package{leaf, top}
+
+	full, timings := RunTimed(prog, pkgs, Analyzers(), RunOptions{})
+	if len(full) == 0 {
+		t.Fatal("fixture chain produced no findings; the agreement check would be vacuous")
+	}
+	if len(timings) != len(Analyzers()) {
+		t.Fatalf("RunTimed returned %d timings for %d analyzers", len(timings), len(Analyzers()))
+	}
+	for _, tm := range timings {
+		if tm.Elapsed < 0 {
+			t.Errorf("negative elapsed time for %s", tm.Name)
+		}
+	}
+
+	moduleDir, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("resolving module root: %v", err)
+	}
+
+	// Seed selection from git-style module-relative paths. The non-Go and
+	// unclaimed paths must select nothing.
+	seeds := PackagesForFiles(pkgs, moduleDir, []string{
+		"internal/lint/testdata/src/shardiso/a/a.go",
+		"LINT.md",
+		"internal/lint/testdata/src/nosuch/gone.go",
+	})
+	if len(seeds) != 1 || seeds[0] != leaf {
+		t.Fatalf("PackagesForFiles selected %d package(s), want exactly the leaf", len(seeds))
+	}
+
+	selected := Dependents(prog, pkgs, seeds)
+	if len(selected) != 2 {
+		paths := make([]string, len(selected))
+		for i, p := range selected {
+			paths[i] = p.Path
+		}
+		t.Fatalf("Dependents(leaf) = %v, want leaf plus its importer", paths)
+	}
+
+	sel, _ := RunTimed(prog, selected, Analyzers(), RunOptions{})
+	got, want := diagStrings(sel), diagStrings(full)
+	if len(got) != len(want) {
+		t.Fatalf("changed-mode run: %d findings, full run: %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("finding %d differs:\n  changed: %s\n  full:    %s", i, got[i], want[i])
+		}
+	}
+
+	// Changing only the clean dependent selects it alone and reports
+	// nothing: the leaf findings belong to an unselected package.
+	topSeeds := PackagesForFiles(pkgs, moduleDir, []string{
+		"internal/lint/testdata/src/changedmode/top/top.go",
+	})
+	topSel := Dependents(prog, pkgs, topSeeds)
+	if len(topSel) != 1 || topSel[0] != top {
+		t.Fatalf("Dependents(top) selected %d package(s), want only top", len(topSel))
+	}
+	if diags, _ := RunTimed(prog, topSel, Analyzers(), RunOptions{}); len(diags) != 0 {
+		t.Errorf("selecting the clean dependent reported %d findings, want 0:\n%v", len(diags), diags)
+	}
+}
+
+// TestDependentsModule checks reverse-dependency closure over the real
+// module import graph: a change to internal/storage must select its
+// importers (core, router) and must not drag in unrelated leaves.
+func TestDependentsModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	dir, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("resolving module root: %v", err)
+	}
+	pkgs, prog, err := NewLoader(dir).LoadModule("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+
+	seeds := PackagesForFiles(pkgs, dir, []string{"internal/storage/segment.go"})
+	if len(seeds) != 1 || seeds[0].Path != "mithrilog/internal/storage" {
+		t.Fatalf("PackagesForFiles(segment.go) = %v, want internal/storage", seeds)
+	}
+
+	selected := make(map[string]bool)
+	for _, pkg := range Dependents(prog, pkgs, seeds) {
+		selected[pkg.Path] = true
+	}
+	for _, want := range []string{
+		"mithrilog/internal/storage",
+		"mithrilog/internal/core",
+		"mithrilog/internal/router",
+	} {
+		if !selected[want] {
+			t.Errorf("dependents of internal/storage miss %s", want)
+		}
+	}
+	for _, reject := range []string{
+		"mithrilog/internal/tokenizer",
+		"mithrilog/internal/lint",
+	} {
+		if selected[reject] {
+			t.Errorf("dependents of internal/storage wrongly include %s", reject)
+		}
+	}
+}

@@ -17,12 +17,18 @@
 //	poollife      sync.Pool objects released on every path; no alias outlives release
 //	guardedby     `// guarded by <mu>` fields touched only with the mutex provably held
 //	hotalloc      //mithrilint:hotpath functions are statically allocation-free
+//	atomicmix     fields touched via sync/atomic are touched only atomically, module-wide
+//	chanflow      channel protocol soundness: no close/send races, nil sends, or orphan sends
+//	shardiso      `// shard-owned` state never escapes across the router boundary
+//	persistver    persisted streams write one canonical magic/version and check it on decode
 //
 // Several are built on a statement-level control-flow graph (cfg.go) and
 // a forward-dataflow fixpoint solver (dataflow.go); the v3 analyzers
-// (the last three) add a whole-module static call graph (callgraph.go)
-// with bottom-up per-function summaries — locks held at entry, escaping
-// parameters, same-package reachability — all stdlib-only like the rest
+// (poollife, guardedby, hotalloc) add a whole-module static call graph
+// (callgraph.go) with bottom-up per-function summaries — locks held at
+// entry, escaping parameters, same-package reachability; the v4
+// analyzers (the last four) add a kinded alias/escape summary layer
+// (escape.go) on top of that call graph — all stdlib-only like the rest
 // of the suite.
 //
 // See LINT.md at the repository root for the rationale behind each
@@ -37,7 +43,6 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 	"sync"
 )
@@ -68,6 +73,10 @@ func Analyzers() []*Analyzer {
 		PoolLifeAnalyzer,
 		GuardedByAnalyzer,
 		HotAllocAnalyzer,
+		AtomicMixAnalyzer,
+		ChanFlowAnalyzer,
+		ShardIsoAnalyzer,
+		PersistVerAnalyzer,
 	}
 }
 
@@ -180,29 +189,10 @@ func Run(prog *Program, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return RunWithOptions(prog, pkgs, analyzers, RunOptions{})
 }
 
-// RunWithOptions is Run with explicit options.
+// RunWithOptions is Run with explicit options (RunTimed without the
+// timings).
 func RunWithOptions(prog *Program, pkgs []*Package, analyzers []*Analyzer, opts RunOptions) []Diagnostic {
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		for _, pkg := range pkgs {
-			if pkg.Standard {
-				continue
-			}
-			pass := &Pass{Analyzer: a, Fset: prog.Fset, Pkg: pkg, Prog: prog, diags: &diags}
-			a.Run(pass)
-		}
-	}
-	diags = filterSuppressed(prog, pkgs, diags, analyzers, opts)
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		return a.Message < b.Message
-	})
+	diags, _ := RunTimed(prog, pkgs, analyzers, opts)
 	return diags
 }
 

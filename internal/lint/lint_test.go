@@ -73,6 +73,22 @@ func TestHotAllocFixture(t *testing.T) {
 	RunFixture(t, fixtures(t), HotAllocAnalyzer, "hotalloc/a")
 }
 
+func TestAtomicMixFixture(t *testing.T) {
+	RunFixture(t, fixtures(t), AtomicMixAnalyzer, "atomicmix/a")
+}
+
+func TestChanFlowFixture(t *testing.T) {
+	RunFixture(t, fixtures(t), ChanFlowAnalyzer, "chanflow/internal/sched")
+}
+
+func TestShardIsoFixture(t *testing.T) {
+	RunFixture(t, fixtures(t), ShardIsoAnalyzer, "shardiso/a")
+}
+
+func TestPersistVerFixture(t *testing.T) {
+	RunFixture(t, fixtures(t), PersistVerAnalyzer, "persistver/a")
+}
+
 // TestStrictIgnores checks the stale-suppression report over the
 // ignorestale/a fixture: the directive silencing a live finding is
 // used, the one silencing nothing is reported stale, and a directive
@@ -169,6 +185,10 @@ func TestFixtureExclusivity(t *testing.T) {
 		{"poollife/a", "poollife"},
 		{"guardedby/a", "guardedby"},
 		{"hotalloc/a", "hotalloc"},
+		{"atomicmix/a", "atomicmix"},
+		{"chanflow/internal/sched", "chanflow"},
+		{"shardiso/a", "shardiso"},
+		{"persistver/a", "persistver"},
 	}
 	l := fixtures(t)
 	for _, tc := range cases {

@@ -1,0 +1,99 @@
+// Package a exercises atomicmix: a field whose address reaches
+// sync/atomic anywhere in the module must be accessed atomically
+// everywhere. The proof is interprocedural — bump never mentions Stats,
+// but forwarding its *uint64 parameter to atomic.AddUint64 makes every
+// `&s.field` passed to it an atomic access, and every plain touch of
+// that field elsewhere a finding. Typed atomic.* fields are checked for
+// copies and reassignments that bypass the method API.
+package a
+
+import "sync/atomic"
+
+// Stats mixes counter styles: hits is touched by atomic functions
+// directly, misses and total only through helpers, depth is a typed
+// atomic.
+type Stats struct {
+	hits   uint64
+	misses uint64
+	total  uint64
+	depth  atomic.Int64
+}
+
+// Add touches hits directly through sync/atomic.
+func (s *Stats) Add() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+// Bump reaches sync/atomic one helper deep.
+func (s *Stats) Bump() {
+	bump(&s.misses)
+}
+
+// Accumulate reaches sync/atomic two helpers deep.
+func (s *Stats) Accumulate() {
+	bump2(&s.total)
+}
+
+func bump(p *uint64) {
+	atomic.AddUint64(p, 1)
+}
+
+func bump2(p *uint64) {
+	bump(p)
+}
+
+// Mixed is the finding class: plain accesses of atomically-touched
+// fields.
+func (s *Stats) Mixed() uint64 {
+	s.hits++      // want `plain write to field hits, which is accessed via sync/atomic elsewhere in the module`
+	n := s.misses // want `plain read of field misses, which is accessed via sync/atomic elsewhere in the module`
+	return n
+}
+
+// ReadTotal trips on the two-helper-deep field: the fixpoint chased it.
+func (s *Stats) ReadTotal() uint64 {
+	return s.total // want `plain read of field total, which is accessed via sync/atomic elsewhere in the module`
+}
+
+// Leak hands the address to a caller the analyzer cannot vouch for.
+func (s *Stats) Leak() *uint64 {
+	return &s.hits // want `address of atomically-accessed field hits escapes to a non-atomic context`
+}
+
+// Esc hands the address to a module helper that is not an atomic
+// forwarder.
+func (s *Stats) Esc() {
+	plainUse(&s.hits) // want `address of atomically-accessed field hits escapes to a non-atomic context`
+}
+
+func plainUse(p *uint64) {
+	*p = 0
+}
+
+// NewStats touches the field on an under-construction object: exempt.
+func NewStats() *Stats {
+	s := &Stats{}
+	s.hits = 1
+	return s
+}
+
+// Depth uses the typed atomic through its methods: clean.
+func (s *Stats) Depth() int64 {
+	return s.depth.Load()
+}
+
+// DepthAddr takes the address (to pass along): clean.
+func (s *Stats) DepthAddr() *atomic.Int64 {
+	return &s.depth
+}
+
+// CopyDepth copies the value out, bypassing the atomic API.
+func (s *Stats) CopyDepth() int64 {
+	d := s.depth // want `non-atomic access copies atomic-typed field depth; use its methods`
+	return d.Load()
+}
+
+// ResetDepth reassigns the field wholesale.
+func (s *Stats) ResetDepth() {
+	s.depth = atomic.Int64{} // want `non-atomic access reassigns atomic-typed field depth; use its methods`
+}

@@ -1,0 +1,165 @@
+// Package sched exercises chanflow's three checks in one of its scope
+// packages: close-state dataflow (send/close after close), nil-able
+// channel-field sends, and unbuffered goroutine sends with no reachable
+// receiver.
+package sched
+
+// CloseThenSend sends after a close on every path.
+func CloseThenSend() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want `send on channel ch, which is closed on every path here`
+}
+
+// DoubleClose closes twice on every path.
+func DoubleClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	close(ch) // want `close of channel ch, which is already closed on every path here`
+}
+
+// MaybeClosed closes on one branch only: the later send is a may-panic.
+func MaybeClosed(stop bool) {
+	ch := make(chan int, 1)
+	if stop {
+		close(ch)
+	}
+	ch <- 1 // want `send on channel ch, which may be closed on some path here`
+}
+
+// Remake re-opens the channel between the close and the send: clean.
+func Remake() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch = make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+// BranchClose closes on exactly one of two exclusive branches and sends
+// on the open one: clean on the taken path, flagged after the merge.
+func BranchClose(done bool) {
+	ch := make(chan int, 1)
+	if done {
+		close(ch)
+		return
+	}
+	ch <- 1
+	close(ch)
+}
+
+// Worker carries a nil-able completion channel: zero-value Workers have
+// no channel, so a naked send can block forever.
+type Worker struct {
+	done chan struct{}
+}
+
+// NotifyNaked sends with no non-nil proof on the path.
+func (w *Worker) NotifyNaked() {
+	w.done <- struct{}{} // want `send on nil-able channel field done without a proven non-nil guard`
+}
+
+// NotifyGuarded dominates the send with a non-nil check: clean.
+func (w *Worker) NotifyGuarded() {
+	if w.done != nil {
+		w.done <- struct{}{}
+	}
+}
+
+// NotifyEarlyReturn proves the field by bailing on nil: clean.
+func (w *Worker) NotifyEarlyReturn() {
+	if w.done == nil {
+		return
+	}
+	w.done <- struct{}{}
+}
+
+// NotifyElse sends on the else branch of a nil test: clean.
+func (w *Worker) NotifyElse() {
+	if w.done == nil {
+		return
+	} else {
+		w.done <- struct{}{}
+	}
+}
+
+// NotifySelect uses the select disable idiom — a nil channel in a comm
+// clause just never fires: clean.
+func (w *Worker) NotifySelect() {
+	select {
+	case w.done <- struct{}{}:
+	default:
+	}
+}
+
+// NotifyAssigned writes the field before sending: clean.
+func (w *Worker) NotifyAssigned() {
+	w.done = make(chan struct{}, 1)
+	w.done <- struct{}{}
+}
+
+// NotifyInGoroutine inherits the enclosing guard: clean.
+func (w *Worker) NotifyInGoroutine() {
+	if w.done == nil {
+		return
+	}
+	go func() {
+		w.done <- struct{}{}
+	}()
+}
+
+// Orphan sends from a goroutine on an unbuffered channel that provably
+// never escapes and is never received from: the send blocks forever.
+func Orphan() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1 // want `unbuffered channel ch is sent to in a goroutine but never received from, and it cannot escape the function`
+	}()
+}
+
+// Collected is the scatter-gather shape with its gather loop: clean.
+func Collected(n int) int {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		go func() {
+			ch <- 1
+		}()
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += <-ch
+	}
+	return total
+}
+
+// Stream returns the channel: a caller may receive, so no proof. Clean.
+func Stream() chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	return ch
+}
+
+// Handoff passes the channel to a module helper: the callee is a
+// receiver even though the channel never "escapes" by retention. Clean —
+// this is the interprocedural half of the proof.
+func Handoff() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	consume(ch)
+}
+
+func consume(ch chan int) {
+	<-ch
+}
+
+// Buffered sends never deadlock a goroutine on their own: out of scope.
+func Buffered() {
+	ch := make(chan int, 4)
+	go func() {
+		ch <- 1
+	}()
+}

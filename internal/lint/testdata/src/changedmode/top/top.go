@@ -1,0 +1,10 @@
+// Package top blank-imports the shardiso fixture so the changed-mode
+// tests (changed_test.go) get a two-package import chain whose findings
+// all live in the leaf. The package itself must stay finding-free:
+// selection, not content, decides whether the leaf findings surface.
+package top
+
+import _ "shardiso/a"
+
+// Clean keeps the package non-trivial without tripping any analyzer.
+func Clean() int { return 1 }

@@ -1,0 +1,61 @@
+// Package a pins the v4 escape-summary layer (escape.go): each function
+// exhibits exactly one way a parameter can leave the frame, plus the
+// composite cases escape_test.go asserts on. The package has no `want`
+// expectations — it is exercised through the summary API, not through an
+// analyzer.
+package a
+
+import "strconv"
+
+type box struct {
+	p *int
+}
+
+var global *int
+
+var registry []*int
+
+// ret returns its parameter.
+func ret(p *int) *int { return p }
+
+// store stores its parameter into a package-level variable.
+func store(p *int) { global = p }
+
+// fieldStore stores its second parameter into a foreign struct field.
+func fieldStore(b *box, p *int) { b.p = p }
+
+// insert appends its parameter into a package-level slice.
+func insert(p *int) { registry = append(registry, p) }
+
+// spawn hands its parameter to a goroutine.
+func spawn(p *int) {
+	go func() { _ = p }()
+}
+
+// mystery passes its parameter out of the module: the summary cannot
+// see what the callee does with it.
+func mystery(p *int) string {
+	return strconv.Itoa(*p)
+}
+
+// chain forwards to store: kinds chase through helper chains bottom-up.
+func chain(p *int) { store(p) }
+
+// reads uses its parameter without retaining it.
+func reads(p *int) int { return *p + 1 }
+
+// closure captures its parameter in a returned function literal: the
+// capture is a store, and the literal's inner return also counts as a
+// return of the alias (a documented over-approximation).
+func closure(p *int) func() *int {
+	return func() *int { return p }
+}
+
+// sender pushes its parameter into a channel.
+func sender(p *int, ch chan *int) { ch <- p }
+
+// literal embeds its parameter in a composite literal.
+func literal(p *int) {
+	b := box{p: p}
+	_ = b
+}

@@ -1,0 +1,127 @@
+// Package a exercises persistver: every annotated persisted stream must
+// write its magic/version constants in its encoders, agree across
+// encoders, compare the constants on every decode path, and keep the
+// constants confined to annotated functions.
+package a
+
+const (
+	goodMagic   = "PVGOOD"
+	goodVersion = 2
+
+	badMagic = "PVBAD"
+
+	dupMagic   = "PVDUP"
+	dupVersion = 7
+
+	partMagic   = "PVPART"
+	partVersion = 3
+
+	orphanMagic = "PVORPH"
+)
+
+// SaveGood and LoadGood are the clean pair: the encoder writes both
+// constants, the decoder compares both before trusting the payload.
+//
+//mithrilint:persist encode good
+func SaveGood() []byte {
+	b := append([]byte(nil), goodMagic...)
+	return append(b, byte(goodVersion))
+}
+
+//mithrilint:persist decode good
+func LoadGood(b []byte) bool {
+	if len(b) <= len(goodMagic) {
+		return false
+	}
+	if string(b[:len(goodMagic)]) != goodMagic {
+		return false
+	}
+	if b[len(goodMagic)] != goodVersion {
+		return false
+	}
+	return true
+}
+
+// LoadBad writes the constant into scope but never compares it: the
+// payload is trusted unconditionally.
+//
+//mithrilint:persist encode bad
+func SaveBad() []byte {
+	return append([]byte(nil), badMagic...)
+}
+
+//mithrilint:persist decode bad
+func LoadBad(b []byte) bool { // want `decoder LoadBad of stream "bad" never compares a magic/version constant` `stream "bad" writes constant badMagic but no decoder of the stream compares it`
+	_ = badMagic
+	return len(b) > 0
+}
+
+// SaveBare persists raw bytes with no format constant at all.
+//
+//mithrilint:persist encode bare
+func SaveBare() []byte { // want `encoder SaveBare of stream "bare" references no magic/version constant`
+	return []byte("raw")
+}
+
+//mithrilint:persist decode bare
+func LoadBare(b []byte) bool { // want `decoder LoadBare of stream "bare" never compares a magic/version constant`
+	return len(b) == 3
+}
+
+// SaveDupA and SaveDupB both encode "dup" but disagree on the constant
+// set: the second writer forgot the version.
+//
+//mithrilint:persist encode dup
+func SaveDupA() []byte {
+	b := append([]byte(nil), dupMagic...)
+	return append(b, byte(dupVersion))
+}
+
+//mithrilint:persist encode dup
+func SaveDupB() []byte { // want `encoder SaveDupB of stream "dup" omits constant dupVersion that another encoder of the stream writes`
+	return append([]byte(nil), dupMagic...)
+}
+
+//mithrilint:persist decode dup
+func LoadDup(b []byte) bool {
+	if len(b) <= len(dupMagic) {
+		return false
+	}
+	if string(b[:len(dupMagic)]) != dupMagic {
+		return false
+	}
+	if b[len(dupMagic)] != dupVersion {
+		return false
+	}
+	return true
+}
+
+// LoadPart compares the magic but not the version the encoder writes:
+// a writer-side version bump would go unnoticed on decode.
+//
+//mithrilint:persist encode part
+func SavePart() []byte {
+	b := append([]byte(nil), partMagic...)
+	return append(b, byte(partVersion))
+}
+
+//mithrilint:persist decode part
+func LoadPart(b []byte) bool { // want `stream "part" writes constant partVersion but no decoder of the stream compares it`
+	if len(b) <= len(partMagic) || string(b[:len(partMagic)]) != partMagic {
+		return false
+	}
+	return true
+}
+
+// SaveOrphan has no decoder anywhere: either dead code or an unchecked
+// reader somewhere the analyzer cannot see.
+//
+//mithrilint:persist encode orphan
+func SaveOrphan() []byte { // want `stream "orphan" has an encoder but no annotated decoder`
+	return append([]byte(nil), orphanMagic...)
+}
+
+// peekOrphan touches a stream constant outside any annotated function.
+func peekOrphan(b []byte) bool {
+	return len(b) >= len(orphanMagic) // want `constant orphanMagic of persisted stream "orphan" used outside an annotated encode/decode function`
+}

@@ -32,6 +32,8 @@ const (
 // WriteSegments flushes and seals every shard, then streams the fleet:
 // header (magic, version, shard count), then each shard's segment stream
 // length-prefixed, in shard order.
+//
+//mithrilint:persist encode fleet
 func (r *Router) WriteSegments(w io.Writer) error {
 	if err := r.begin(); err != nil {
 		return err
@@ -66,6 +68,8 @@ func (r *Router) WriteSegments(w io.Writer) error {
 // shard count comes from the stream (overriding cfg.Shards): placement
 // is consistent only with the same shard count, so reopening into a
 // different fleet width would silently misroute tenants.
+//
+//mithrilint:persist decode fleet
 func Reopen(cfg Config, rd io.Reader) (*Router, error) {
 	hdr := make([]byte, len(fleetMagic)+8)
 	if _, err := io.ReadFull(rd, hdr); err != nil {

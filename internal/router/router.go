@@ -74,18 +74,22 @@ type Config struct {
 }
 
 // shard is one engine plus its admission layer and private metrics.
+// Every field is shard-local by construction: the router may call
+// through these references during one scatter, but must never hand
+// them to another shard, a router field, or a goroutine that outlives
+// the per-shard call (mithrilint's shardiso analyzer enforces this).
 type shard struct {
-	eng   *core.Engine
-	sch   *sched.Scheduler
-	cache *sched.PageCache
-	reg   *obs.Registry
+	eng   *core.Engine     // shard-owned
+	sch   *sched.Scheduler // shard-owned
+	cache *sched.PageCache // shard-owned
+	reg   *obs.Registry    // shard-owned
 }
 
 // Router fans ingest and queries across shards. All methods are safe for
 // concurrent use.
 type Router struct {
 	cfg     Config
-	shards  []*shard
+	shards  []*shard // shard-owned
 	limiter *sched.TenantLimiter
 
 	// rr stripes untenanted ingest lines across shards.
@@ -186,7 +190,12 @@ func (r *Router) ShardFor(tenant string) int {
 	return shardIndex(tenant, len(r.shards))
 }
 
-// Shard exposes one shard's engine (stats, tests, benchmarks).
+// Shard exposes one shard's engine (stats, tests, benchmarks). It is a
+// deliberate, documented hole in shard isolation: callers get read-only
+// introspection (Stats, differential oracles) and must not retain the
+// engine past the call.
+//
+//mithrilint:ignore shardiso Shard is the documented introspection escape hatch; callers must not retain the engine
 func (r *Router) Shard(i int) *core.Engine { return r.shards[i].eng }
 
 // Limiter exposes the router's tenant quota layer (tests, admission

@@ -205,6 +205,8 @@ func (s *SegmentStore) Records() []SegmentRecord {
 // CRC32. A reopener cross-checks each segment blob against this manifest,
 // so a swapped or truncated segment file is caught even if the blob is
 // internally consistent.
+//
+//mithrilint:persist encode segmeta
 func (s *SegmentStore) EncodeMeta() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -230,6 +232,8 @@ func (s *SegmentStore) EncodeMeta() ([]byte, error) {
 // header, then each record's length, CRC, and payload bytes (only the
 // payload — zero padding is reconstructed on reopen), then the
 // record-table CRC.
+//
+//mithrilint:persist encode segdata
 func (s *SegmentStore) EncodeSegment(i int) ([]byte, error) {
 	s.mu.Lock()
 	if i < 0 || i >= len(s.segs) {
@@ -341,6 +345,9 @@ type metaEntry struct {
 	crc  uint32
 }
 
+// parseMeta validates and decodes the index.meta sidecar manifest.
+//
+//mithrilint:persist decode segmeta
 func parseMeta(b []byte) ([]metaEntry, int, error) {
 	c := cursor{b: b}
 	if !c.magic(segMetaMagic) {
@@ -390,6 +397,8 @@ func parseMeta(b []byte) ([]metaEntry, int, error) {
 
 // parseSegment validates one blob against its manifest row and appends
 // its payloads to the device.
+//
+//mithrilint:persist decode segdata
 func parseSegment(dev *Device, b []byte, want metaEntry) (*segment, error) {
 	c := cursor{b: b}
 	if !c.magic(segDataMagic) {

@@ -59,6 +59,8 @@ func (e *Engine) WriteSegments(w io.Writer) error {
 // sharded engine with the shard count recorded at write time (overriding
 // cfg.Shards, so tenant placement stays consistent); a single-engine
 // stream reopens as a single engine.
+//
+//mithrilint:persist decode fleet
 func Reopen(cfg Config, r io.Reader) (*Engine, error) {
 	br := bufio.NewReader(r)
 	magic, err := br.Peek(len(router.FleetMagic))
